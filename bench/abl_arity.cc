@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Ablation (Section 5.1): tree arity / chunk size trade-off.
+ *
+ * An m-ary tree costs 1/(m-1) extra memory and log_m(N) checks per
+ * cold path. Sweeping the chunk size (with the m scheme keeping
+ * 64-byte L2 blocks) shows the depth-vs-overhead trade the paper
+ * quantifies analytically.
+ */
+
+#include "bench/common.h"
+
+using namespace cmt;
+using namespace cmt::bench;
+
+int
+main()
+{
+    SystemConfig show = baseConfig("swim", Scheme::kCached);
+    header("Ablation", "chunk size / tree arity sweep (m scheme)",
+           show);
+
+    const std::uint64_t chunks[] = {64, 128, 256};
+
+    Table g("Tree geometry per chunk size (4GB protected)");
+    g.header({"chunk", "arity", "depth", "RAM overhead"});
+    for (const std::uint64_t chunk : chunks) {
+        const TreeLayout layout(chunk, 4ULL << 30);
+        g.row({std::to_string(chunk) + "B",
+               std::to_string(layout.arity()),
+               std::to_string(layout.ancestorDepth()),
+               Table::pct(static_cast<double>(layout.hashBytes()) /
+                          layout.dataBytes())});
+    }
+    g.print(std::cout);
+    std::cout << "\n";
+
+    Table t("IPC by chunk size (64B blocks, cached scheme)");
+    t.header({"bench", "64B", "128B", "256B"});
+    for (const auto &bench : specBenchmarks()) {
+        std::vector<std::string> row{bench};
+        for (const std::uint64_t chunk : chunks) {
+            SystemConfig cfg = baseConfig(bench, Scheme::kCached);
+            cfg.l2.chunkSize = chunk;
+            row.push_back(Table::num(
+                run(cfg, bench + "/chunk" + std::to_string(chunk))
+                    .ipc));
+        }
+        t.row(std::move(row));
+    }
+    t.print(std::cout);
+    std::cout
+        << "\nLarger chunks: fewer tree levels and less RAM overhead,\n"
+        << "but every miss moves and hashes more data and write-backs\n"
+        << "involve whole chunks - the Section 6.7 tension.\n";
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shared plumbing for the figure-reproduction harnesses: default
+ * simulation windows, REPRO_SCALE handling, and result caching so a
+ * sweep can reuse runs across tables.
+ */
+
+#ifndef CMT_BENCH_COMMON_H
+#define CMT_BENCH_COMMON_H
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "sim/system.h"
+#include "support/table.h"
+
+namespace cmt::bench
+{
+
+/** Default measured window; REPRO_SCALE multiplies both windows. */
+constexpr std::uint64_t kWarmup = 400'000;
+constexpr std::uint64_t kMeasure = 1'000'000;
+
+/** A config with the harness-standard windows applied. */
+inline SystemConfig
+baseConfig(const std::string &benchmark, Scheme scheme)
+{
+    SystemConfig cfg;
+    cfg.benchmark = benchmark;
+    cfg.warmupInstructions = kWarmup;
+    cfg.measureInstructions = kMeasure;
+    cfg.l2.scheme = scheme;
+    cfg.scale(reproScale());
+    return cfg;
+}
+
+/** Run with a progress line on stderr (sweeps take minutes). */
+inline SimResult
+run(const SystemConfig &cfg, const std::string &label)
+{
+    std::fprintf(stderr, "  [run] %-28s ...", label.c_str());
+    std::fflush(stderr);
+    const SimResult r = simulate(cfg);
+    std::fprintf(stderr, " ipc=%.3f\n", r.ipc);
+    return r;
+}
+
+/** Emit the standard harness header. */
+inline void
+header(const char *figure, const char *what, const SystemConfig &cfg)
+{
+    std::cout << "=============================================="
+                 "==========================\n"
+              << figure << ": " << what << "\n"
+              << "Caches and Hash Trees for Efficient Memory Integrity "
+                 "Verification (HPCA'03)\n"
+              << "==============================================";
+    std::cout << "==========================\n";
+    printConfigTable(std::cout, cfg);
+    std::cout << "\n";
+}
+
+} // namespace cmt::bench
+
+#endif // CMT_BENCH_COMMON_H

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Figure 7 reproduction: effect of the hash read/write buffer size on
+ * IPC for the c scheme (1 MB L2, 64 B blocks).
+ */
+
+#include "bench/common.h"
+
+using namespace cmt;
+using namespace cmt::bench;
+
+int
+main()
+{
+    SystemConfig show = baseConfig("swim", Scheme::kCached);
+    header("Figure 7", "IPC vs hash buffer entries (c scheme)", show);
+
+    const unsigned sizes[] = {1, 2, 4, 8, 16, 32, 64};
+
+    Table t("Figure 7 - IPC by read/write buffer entries");
+    {
+        std::vector<std::string> cols{"bench"};
+        for (const unsigned n : sizes)
+            cols.push_back(std::to_string(n));
+        t.header(std::move(cols));
+    }
+    for (const auto &bench : specBenchmarks()) {
+        std::vector<std::string> row{bench};
+        for (const unsigned n : sizes) {
+            SystemConfig cfg = baseConfig(bench, Scheme::kCached);
+            cfg.l2.readBufferEntries = n;
+            cfg.l2.writeBufferEntries = n;
+            row.push_back(Table::num(
+                run(cfg, bench + "/buf" + std::to_string(n)).ipc));
+        }
+        t.row(std::move(row));
+    }
+    t.print(std::cout);
+    std::cout
+        << "\nExpected shape (paper): because hash throughput exceeds\n"
+        << "memory bandwidth, the buffer size barely matters beyond a\n"
+        << "few entries; only very small buffers serialise misses.\n";
+    return 0;
+}

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Micro-benchmarks for the cryptographic substrate (google-benchmark):
+ * digest throughput, MAC update cost, and the PRP.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "crypto/hmac.h"
+#include "crypto/md5.h"
+#include "crypto/prp112.h"
+#include "crypto/sha1.h"
+#include "crypto/xormac.h"
+#include "crypto/xtea.h"
+#include "support/random.h"
+
+namespace
+{
+
+using namespace cmt;
+
+std::vector<std::uint8_t>
+randomBytes(std::size_t n)
+{
+    Rng rng(42);
+    std::vector<std::uint8_t> out(n);
+    for (auto &b : out)
+        b = static_cast<std::uint8_t>(rng.next());
+    return out;
+}
+
+Key128
+key()
+{
+    Key128 k;
+    k.fill(0x3c);
+    return k;
+}
+
+void
+BM_Md5Chunk(benchmark::State &state)
+{
+    const auto data = randomBytes(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(Md5::digest(data));
+    state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_Md5Chunk)->Arg(64)->Arg(128)->Arg(4096)->Arg(1 << 20);
+
+void
+BM_Sha1Chunk(benchmark::State &state)
+{
+    const auto data = randomBytes(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(Sha1::digest(data));
+    state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_Sha1Chunk)->Arg(64)->Arg(4096);
+
+void
+BM_HmacMd5(benchmark::State &state)
+{
+    const auto data = randomBytes(64);
+    const Key128 k = key();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(hmacMd5(k, data));
+}
+BENCHMARK(BM_HmacMd5);
+
+void
+BM_XteaCtr(benchmark::State &state)
+{
+    auto data = randomBytes(state.range(0));
+    const Xtea cipher(key());
+    for (auto _ : state) {
+        cipher.ctrCrypt(7, data);
+        benchmark::DoNotOptimize(data.data());
+    }
+    state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_XteaCtr)->Arg(64)->Arg(4096);
+
+void
+BM_Prp112RoundTrip(benchmark::State &state)
+{
+    const Prp112 prp(key());
+    Val112 v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14};
+    for (auto _ : state) {
+        v = prp.decrypt(prp.encrypt(v));
+        benchmark::DoNotOptimize(v);
+    }
+}
+BENCHMARK(BM_Prp112RoundTrip);
+
+void
+BM_XorMacFull(benchmark::State &state)
+{
+    const XorMac mac(key());
+    const auto chunk = randomBytes(128);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mac.mac(chunk, 64, 0));
+}
+BENCHMARK(BM_XorMacFull);
+
+void
+BM_XorMacIncrementalUpdate(benchmark::State &state)
+{
+    const XorMac mac(key());
+    const auto chunk = randomBytes(128);
+    const auto new_block = randomBytes(64);
+    const Val112 m = mac.mac(chunk, 64, 0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mac.update(
+            m, 0, std::span<const std::uint8_t>(chunk).first(64), false,
+            new_block, true));
+    }
+}
+BENCHMARK(BM_XorMacIncrementalUpdate);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Micro-benchmarks for the simulator substrate itself: cache-array
+ * operation rate and end-to-end simulated instructions per host
+ * second (the number that bounds how long the figure sweeps take).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache_array.h"
+#include "sim/system.h"
+#include "support/random.h"
+
+namespace
+{
+
+using namespace cmt;
+
+void
+BM_CacheArrayLookupHit(benchmark::State &state)
+{
+    CacheParams p;
+    p.sizeBytes = 1 << 20;
+    p.assoc = 4;
+    p.blockSize = 64;
+    CacheArray cache(p);
+    CacheArray::Victim victim;
+    for (int i = 0; i < 1024; ++i)
+        cache.allocate(i * 64, &victim);
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cache.lookup(64 * rng.below(1024)));
+}
+BENCHMARK(BM_CacheArrayLookupHit);
+
+void
+BM_CacheArrayAllocateEvict(benchmark::State &state)
+{
+    CacheParams p;
+    p.sizeBytes = 64 << 10;
+    p.assoc = 4;
+    p.blockSize = 64;
+    CacheArray cache(p);
+    CacheArray::Victim victim;
+    std::uint64_t addr = 0;
+    for (auto _ : state) {
+        if (cache.lookup(addr) == nullptr)
+            cache.allocate(addr, &victim);
+        addr += 64;
+    }
+}
+BENCHMARK(BM_CacheArrayAllocateEvict);
+
+void
+BM_SimulatedInstructions(benchmark::State &state)
+{
+    // Simulated instructions per host second for one representative
+    // benchmark per scheme (range 0: base, 1: cached, 2: naive).
+    const Scheme scheme = static_cast<Scheme>(
+        state.range(0) == 0
+            ? static_cast<int>(Scheme::kBase)
+            : (state.range(0) == 1 ? static_cast<int>(Scheme::kCached)
+                                   : static_cast<int>(Scheme::kNaive)));
+    for (auto _ : state) {
+        SystemConfig cfg;
+        cfg.benchmark = "twolf";
+        cfg.warmupInstructions = 20'000;
+        cfg.measureInstructions = 100'000;
+        cfg.l2.scheme = scheme;
+        benchmark::DoNotOptimize(simulate(cfg));
+    }
+    state.SetItemsProcessed(state.iterations() * 120'000);
+}
+BENCHMARK(BM_SimulatedInstructions)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_SpecGen(benchmark::State &state)
+{
+    SpecGen gen(profileFor("gcc"), 1);
+    TraceInstr instr;
+    for (auto _ : state) {
+        gen.next(instr);
+        benchmark::DoNotOptimize(instr);
+    }
+}
+BENCHMARK(BM_SpecGen);
+
+} // namespace
+
+BENCHMARK_MAIN();

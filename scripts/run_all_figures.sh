@@ -1,0 +1,16 @@
+#!/bin/sh
+# Regenerate every figure/table/ablation into results/.
+# Usage: scripts/run_all_figures.sh [REPRO_SCALE]
+set -e
+cd "$(dirname "$0")/.."
+scale="${1:-1}"
+mkdir -p results
+for b in fig3_ipc_schemes fig4_cache_contention fig5_bandwidth \
+         fig6_hash_throughput fig7_buffer_size fig8_chunk_schemes \
+         tab_logic_overhead abl_speculation abl_writealloc abl_arity \
+         ext_privacy ext_smp; do
+    echo "== $b (REPRO_SCALE=$scale) =="
+    REPRO_SCALE="$scale" ./build/bench/"$b" \
+        > "results/$b.txt" 2> "results/$b.log"
+done
+echo "done; see results/*.txt"

@@ -1,0 +1,115 @@
+#include "cache/cache_array.h"
+
+#include "support/bitops.h"
+
+namespace cmt
+{
+
+CacheArray::CacheArray(const CacheParams &params) : params_(params)
+{
+    cmt_assert(isPow2(params_.blockSize));
+    cmt_assert(params_.blockSize >= kWordSize);
+    cmt_assert(params_.assoc >= 1);
+    cmt_assert(params_.sizeBytes %
+                   (params_.blockSize * params_.assoc) ==
+               0);
+
+    numSets_ = params_.sizeBytes / (params_.blockSize * params_.assoc);
+    cmt_assert(isPow2(numSets_));
+    wordsPerBlock_ = params_.blockSize / kWordSize;
+    cmt_assert(wordsPerBlock_ <= 64);
+
+    lines_.resize(numSets_ * params_.assoc);
+    if (params_.storesData) {
+        for (auto &line : lines_)
+            line.data.assign(params_.blockSize, 0);
+    }
+}
+
+std::uint64_t
+CacheArray::setIndex(std::uint64_t addr) const
+{
+    return (addr / params_.blockSize) & (numSets_ - 1);
+}
+
+std::uint64_t
+CacheArray::wordMask(unsigned offset, unsigned len) const
+{
+    cmt_assert(len > 0 && offset + len <= params_.blockSize);
+    const unsigned first = offset / kWordSize;
+    const unsigned last = (offset + len - 1) / kWordSize;
+    std::uint64_t mask = 0;
+    for (unsigned w = first; w <= last; ++w)
+        mask |= 1ULL << w;
+    return mask;
+}
+
+CacheArray::Line *
+CacheArray::lookup(std::uint64_t addr, bool touch)
+{
+    const std::uint64_t target = blockAddr(addr);
+    const std::uint64_t set = setIndex(addr);
+    for (unsigned way = 0; way < params_.assoc; ++way) {
+        Line &line = lines_[set * params_.assoc + way];
+        if (line.valid && line.blockAddr == target) {
+            if (touch)
+                line.lruStamp = ++stampCounter_;
+            return &line;
+        }
+    }
+    return nullptr;
+}
+
+CacheArray::Line *
+CacheArray::allocate(std::uint64_t addr, Victim *victim)
+{
+    const std::uint64_t target = blockAddr(addr);
+    cmt_assert(lookup(addr, false) == nullptr);
+
+    const std::uint64_t set = setIndex(addr);
+    Line *choice = nullptr;
+    for (unsigned way = 0; way < params_.assoc; ++way) {
+        Line &line = lines_[set * params_.assoc + way];
+        if (!line.valid) {
+            choice = &line;
+            break;
+        }
+        if (choice == nullptr || line.lruStamp < choice->lruStamp)
+            choice = &line;
+    }
+
+    if (victim != nullptr) {
+        victim->valid = choice->valid;
+        victim->dirty = choice->dirty;
+        victim->blockAddr = choice->blockAddr;
+        victim->validWords = choice->validWords;
+        victim->data = choice->data; // copy; line is reused below
+    }
+
+    choice->valid = true;
+    choice->dirty = false;
+    choice->blockAddr = target;
+    choice->validWords = 0;
+    choice->lruStamp = ++stampCounter_;
+    if (params_.storesData)
+        std::fill(choice->data.begin(), choice->data.end(), 0);
+    return choice;
+}
+
+void
+CacheArray::invalidate(std::uint64_t addr)
+{
+    if (Line *line = lookup(addr, false))
+        line->valid = false;
+}
+
+std::size_t
+CacheArray::validLineCount() const
+{
+    std::size_t count = 0;
+    for (const auto &line : lines_)
+        count += line.valid;
+    return count;
+}
+
+} // namespace cmt

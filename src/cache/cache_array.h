@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Set-associative cache tag/data array.
+ *
+ * This is the storage structure shared by the L1s (tags only) and the
+ * integrated L2 (tags + real data bytes + per-word valid bits). The
+ * timing and the integrity state machines live above it (cpu::Core for
+ * the L1s, SecureL2 for the L2); CacheArray only answers "what is
+ * where" questions and performs LRU replacement.
+ *
+ * Per-word valid bits implement the paper's write-allocate
+ * optimisation (Section 5.3): a store miss allocates a line without
+ * fetching, marking only the stored words valid; chunks that are
+ * entirely overwritten never pay a read or a check.
+ */
+
+#ifndef CMT_CACHE_CACHE_ARRAY_H
+#define CMT_CACHE_CACHE_ARRAY_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/logging.h"
+
+namespace cmt
+{
+
+/** Cache geometry. */
+struct CacheParams
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 1 << 20;
+    unsigned assoc = 4;
+    unsigned blockSize = 64;
+    /** Store data bytes (false for the timing-only L1s). */
+    bool storesData = true;
+};
+
+/** The granularity of a valid bit, in bytes. */
+constexpr unsigned kWordSize = 8;
+
+/** A tag/data cache with LRU replacement and per-word valid bits. */
+class CacheArray
+{
+  public:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t blockAddr = 0; ///< byte address of first byte
+        std::uint64_t validWords = 0; ///< bit per kWordSize bytes
+        std::uint64_t lruStamp = 0;
+        std::vector<std::uint8_t> data; ///< empty if !storesData
+    };
+
+    /** Contents handed back on eviction. */
+    struct Victim
+    {
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t blockAddr = 0;
+        std::uint64_t validWords = 0;
+        std::vector<std::uint8_t> data;
+    };
+
+    explicit CacheArray(const CacheParams &params);
+
+    unsigned blockSize() const { return params_.blockSize; }
+    std::uint64_t numSets() const { return numSets_; }
+    unsigned assoc() const { return params_.assoc; }
+    unsigned wordsPerBlock() const { return wordsPerBlock_; }
+
+    /** Bitmask with every word valid. */
+    std::uint64_t
+    fullMask() const
+    {
+        return wordsPerBlock_ == 64 ? ~0ULL
+                                    : (1ULL << wordsPerBlock_) - 1;
+    }
+
+    /** Mask of the words covering [offset, offset+len) in a block. */
+    std::uint64_t wordMask(unsigned offset, unsigned len) const;
+
+    /** First byte address of the block containing @p addr. */
+    std::uint64_t
+    blockAddr(std::uint64_t addr) const
+    {
+        return addr & ~static_cast<std::uint64_t>(params_.blockSize - 1);
+    }
+
+    /**
+     * Find the line holding @p addr's block.
+     * @param touch  update LRU recency on hit
+     * @return the line, or nullptr on miss
+     */
+    Line *lookup(std::uint64_t addr, bool touch = true);
+
+    /**
+     * Allocate a line for @p addr's block (which must not be
+     * present), evicting the set's LRU line into @p victim if valid.
+     * The new line starts valid with no valid words, clean, and
+     * zeroed data.
+     */
+    Line *allocate(std::uint64_t addr, Victim *victim);
+
+    /** Drop the block containing @p addr if present (no write-back). */
+    void invalidate(std::uint64_t addr);
+
+    /** Call @p fn on every valid line (e.g. for flush walks). */
+    template <typename Fn>
+    void
+    forEachLine(Fn &&fn)
+    {
+        for (auto &line : lines_) {
+            if (line.valid)
+                fn(line);
+        }
+    }
+
+    /** Number of currently valid lines (occupancy metric). */
+    std::size_t validLineCount() const;
+
+  private:
+    std::uint64_t setIndex(std::uint64_t addr) const;
+
+    CacheParams params_;
+    std::uint64_t numSets_;
+    unsigned wordsPerBlock_;
+    std::uint64_t stampCounter_ = 0;
+    std::vector<Line> lines_; ///< numSets_ * assoc, set-major
+};
+
+} // namespace cmt
+
+#endif // CMT_CACHE_CACHE_ARRAY_H

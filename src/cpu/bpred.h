@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Gshare branch direction predictor.
+ *
+ * The trace supplies each branch's actual outcome; the predictor
+ * decides whether the fetch engine would have followed it correctly.
+ * Targets come from the trace (perfect BTB), so only direction
+ * mispredictions cost cycles - the dominant effect at this scale.
+ */
+
+#ifndef CMT_CPU_BPRED_H
+#define CMT_CPU_BPRED_H
+
+#include <cstdint>
+#include <vector>
+
+namespace cmt
+{
+
+/**
+ * Gshare / bimodal branch predictor: 2-bit counters indexed by PC
+ * xor'd with `history_bits` of global history. With history_bits = 0
+ * it degenerates to a bimodal per-PC table - the right model for
+ * synthetic traces whose global history carries no information (a
+ * real gshare's xor would only scatter each PC across counters).
+ */
+class GsharePredictor
+{
+  public:
+    explicit GsharePredictor(unsigned table_bits = 12,
+                             unsigned history_bits = 12)
+        : tableBits_(table_bits),
+          historyMask_(history_bits == 0
+                           ? 0
+                           : ((1u << history_bits) - 1)),
+          counters_(1u << table_bits, kWeaklyTaken)
+    {}
+
+    /** Predicted direction for @p pc under current history. */
+    bool
+    predict(std::uint64_t pc) const
+    {
+        return counters_[index(pc)] >= kWeaklyTaken;
+    }
+
+    /** Train with the resolved outcome and advance history. */
+    void
+    update(std::uint64_t pc, bool taken)
+    {
+        std::uint8_t &ctr = counters_[index(pc)];
+        if (taken && ctr < 3)
+            ++ctr;
+        else if (!taken && ctr > 0)
+            --ctr;
+        history_ = ((history_ << 1) | (taken ? 1 : 0)) & historyMask_;
+    }
+
+  private:
+    static constexpr std::uint8_t kWeaklyTaken = 2;
+
+    std::size_t
+    index(std::uint64_t pc) const
+    {
+        return ((pc >> 2) ^ history_) & ((1u << tableBits_) - 1);
+    }
+
+    unsigned tableBits_;
+    std::uint32_t historyMask_;
+    std::uint32_t history_ = 0;
+    std::vector<std::uint8_t> counters_;
+};
+
+} // namespace cmt
+
+#endif // CMT_CPU_BPRED_H

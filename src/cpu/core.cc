@@ -1,0 +1,341 @@
+#include "cpu/core.h"
+
+namespace cmt
+{
+
+Core::Core(EventQueue &events, SecureL2 &l2, TraceSource &trace,
+           const CoreParams &params, StatGroup &stats)
+    : stat_fetched(stats, "core.fetched", "instructions fetched"),
+      stat_committed(stats, "core.committed", "instructions committed"),
+      stat_loads(stats, "core.loads", "loads executed"),
+      stat_stores(stats, "core.stores", "stores executed"),
+      stat_branches(stats, "core.branches", "branches committed"),
+      stat_mispredicts(stats, "core.mispredicts",
+                       "branch direction mispredictions"),
+      stat_l1dHits(stats, "l1d.hits", "L1 D-cache hits"),
+      stat_l1dMisses(stats, "l1d.misses", "L1 D-cache misses"),
+      stat_l1iHits(stats, "l1i.hits", "L1 I-cache hits"),
+      stat_l1iMisses(stats, "l1i.misses", "L1 I-cache misses"),
+      stat_cryptoBarrierStalls(stats, "core.crypto_barrier_stalls",
+                               "cycles crypto ops waited on checks"),
+      events_(events), l2_(l2), trace_(trace), params_(params),
+      l1i_(CacheParams{"l1i", params.l1SizeBytes, params.l1Assoc,
+                       params.l1BlockSize, /*storesData=*/false}),
+      l1d_(CacheParams{"l1d", params.l1SizeBytes, params.l1Assoc,
+                       params.l1BlockSize, /*storesData=*/false}),
+      itlb_(params.tlbEntries, params.tlbAssoc, stats, "itlb"),
+      dtlb_(params.tlbEntries, params.tlbAssoc, stats, "dtlb"),
+      bpred_(params.bpredTableBits, params.bpredHistoryBits),
+      window_(params.windowSize)
+{
+}
+
+void
+Core::invalidateL1(std::uint64_t cpu_addr, unsigned len)
+{
+    for (std::uint64_t a = cpu_addr; a < cpu_addr + len;
+         a += params_.l1BlockSize) {
+        l1i_.invalidate(a);
+        l1d_.invalidate(a);
+    }
+}
+
+bool
+Core::peekTrace()
+{
+    if (havePending_)
+        return true;
+    if (traceDone_)
+        return false;
+    if (!trace_.next(pending_)) {
+        traceDone_ = true;
+        return false;
+    }
+    havePending_ = true;
+    return true;
+}
+
+bool
+Core::done() const
+{
+    return traceDone_ && !havePending_ && windowEmpty();
+}
+
+void
+Core::tick()
+{
+    commitStage();
+    issueStage();
+    fetchStage();
+}
+
+// --------------------------------------------------------------------
+// Fetch
+// --------------------------------------------------------------------
+
+void
+Core::fetchStage()
+{
+    if (ifetchOutstanding_ || events_.now() < fetchStalledUntil_)
+        return;
+
+    for (unsigned n = 0; n < params_.fetchWidth; ++n) {
+        if (!peekTrace() || windowFull())
+            return;
+        const bool is_mem = pending_.type == InstrType::kLoad ||
+                            pending_.type == InstrType::kStore;
+        if (is_mem && memOpsInWindow_ >= params_.lsqSize)
+            return;
+
+        // I-cache: a new fetch block costs an I-TLB + L1I access.
+        const std::uint64_t fetch_block =
+            pending_.pc & ~static_cast<std::uint64_t>(
+                              params_.l1BlockSize - 1);
+        if (fetch_block != lastFetchBlock_) {
+            const bool tlb_hit = itlb_.access(pending_.pc);
+            if (l1i_.lookup(pending_.pc) != nullptr) {
+                ++stat_l1iHits;
+                lastFetchBlock_ = fetch_block;
+            } else {
+                ++stat_l1iMisses;
+                ifetchOutstanding_ = true;
+                const Cycle extra =
+                    tlb_hit ? 0 : params_.tlbMissPenalty;
+                l2_.read(fetch_block, params_.l1BlockSize,
+                         [this, fetch_block, extra]() {
+                             events_.scheduleIn(extra, [this,
+                                                        fetch_block]() {
+                                 CacheArray::Victim victim;
+                                 if (l1i_.lookup(fetch_block, false) ==
+                                     nullptr)
+                                     l1i_.allocate(fetch_block, &victim);
+                                 lastFetchBlock_ = fetch_block;
+                                 ifetchOutstanding_ = false;
+                             });
+                         });
+                return;
+            }
+            if (!tlb_hit) {
+                fetchStalledUntil_ =
+                    events_.now() + params_.tlbMissPenalty;
+                return;
+            }
+        }
+
+        // Insert into the window.
+        const std::uint64_t seq = tail_++;
+        Entry &e = slot(seq);
+        e.instr = pending_;
+        e.state = State::kWaiting;
+        e.pendingDeps = 0;
+        e.mispredicted = false;
+        e.consumers.clear();
+        havePending_ = false;
+        ++stat_fetched;
+        if (is_mem)
+            ++memOpsInWindow_;
+
+        for (const std::uint8_t dist : e.instr.srcDist) {
+            if (dist == 0)
+                continue;
+            if (seq < dist)
+                continue; // producer predates the trace window
+            const std::uint64_t producer = seq - dist;
+            if (producer < head_)
+                continue; // already committed
+            Entry &p = slot(producer);
+            if (p.state == State::kDone || p.state == State::kEmpty)
+                continue;
+            p.consumers.push_back(seq);
+            ++e.pendingDeps;
+        }
+
+        if (e.pendingDeps == 0) {
+            e.state = State::kReady;
+            readySet_.insert(seq);
+        }
+
+        if (e.instr.type == InstrType::kBranch) {
+            e.mispredicted =
+                bpred_.predict(e.instr.pc) != e.instr.taken;
+            if (e.instr.taken) {
+                // Taken branches end the fetch group.
+                return;
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// Issue / execute
+// --------------------------------------------------------------------
+
+void
+Core::issueStage()
+{
+    unsigned issued = 0;
+    auto it = readySet_.begin();
+    while (issued < params_.issueWidth && it != readySet_.end()) {
+        const std::uint64_t seq = *it;
+        if (issueOne(seq)) {
+            it = readySet_.erase(it);
+            ++issued;
+        } else {
+            ++it; // structural stall (e.g. MSHRs full); try younger ops
+        }
+    }
+}
+
+bool
+Core::issueOne(std::uint64_t seq)
+{
+    Entry &e = slot(seq);
+    cmt_assert(e.state == State::kReady);
+
+    switch (e.instr.type) {
+      case InstrType::kAlu:
+        e.state = State::kExecuting;
+        events_.scheduleIn(params_.aluLatency,
+                           [this, seq] { complete(seq); });
+        return true;
+      case InstrType::kMul:
+        e.state = State::kExecuting;
+        events_.scheduleIn(params_.mulLatency,
+                           [this, seq] { complete(seq); });
+        return true;
+      case InstrType::kFpu:
+      case InstrType::kCrypto:
+        e.state = State::kExecuting;
+        events_.scheduleIn(params_.fpuLatency,
+                           [this, seq] { complete(seq); });
+        return true;
+
+      case InstrType::kBranch:
+        e.state = State::kExecuting;
+        events_.scheduleIn(1, [this, seq] {
+            Entry &entry = slot(seq);
+            ++stat_branches;
+            bpred_.update(entry.instr.pc, entry.instr.taken);
+            if (entry.mispredicted) {
+                ++stat_mispredicts;
+                fetchStalledUntil_ =
+                    events_.now() + params_.mispredictPenalty;
+            }
+            complete(seq);
+        });
+        return true;
+
+      case InstrType::kLoad: {
+        const std::uint64_t addr = e.instr.addr;
+        const Cycle extra =
+            dtlb_.access(addr) ? 0 : params_.tlbMissPenalty;
+        if (l1d_.lookup(addr) != nullptr) {
+            ++stat_l1dHits;
+            e.state = State::kExecuting;
+            events_.scheduleIn(extra + params_.l1HitLatency,
+                               [this, seq] { complete(seq); });
+            ++stat_loads;
+            return true;
+        }
+        const std::uint64_t l1_block =
+            addr & ~static_cast<std::uint64_t>(params_.l1BlockSize - 1);
+        // Merge with an outstanding miss to the same block.
+        if (auto pending = l1dPending_.find(l1_block);
+            pending != l1dPending_.end()) {
+            ++stat_l1dMisses;
+            ++stat_loads;
+            e.state = State::kExecuting;
+            pending->second.push_back(seq);
+            return true;
+        }
+        if (l1dMshrsUsed_ >= params_.l1dMshrs)
+            return false; // retry next cycle
+        ++stat_l1dMisses;
+        ++stat_loads;
+        ++l1dMshrsUsed_;
+        e.state = State::kExecuting;
+        l1dPending_[l1_block].push_back(seq);
+        l2_.read(l1_block, params_.l1BlockSize,
+                 [this, l1_block, extra]() {
+                     --l1dMshrsUsed_;
+                     CacheArray::Victim victim;
+                     if (l1d_.lookup(l1_block, false) == nullptr)
+                         l1d_.allocate(l1_block, &victim);
+                     auto node = l1dPending_.extract(l1_block);
+                     for (const std::uint64_t waiter : node.mapped()) {
+                         events_.scheduleIn(
+                             extra, [this, waiter] { complete(waiter); });
+                     }
+                 });
+        return true;
+      }
+
+      case InstrType::kStore: {
+        const std::uint64_t addr = e.instr.addr;
+        const Cycle extra =
+            dtlb_.access(addr) ? 0 : params_.tlbMissPenalty;
+        // Write-through, no-allocate: the L2 complex holds the data.
+        std::uint8_t bytes[8];
+        for (int i = 0; i < 8; ++i)
+            bytes[i] =
+                static_cast<std::uint8_t>(e.instr.storeValue >> (8 * i));
+        l2_.write(addr, bytes);
+        ++stat_stores;
+        e.state = State::kExecuting;
+        events_.scheduleIn(1 + extra, [this, seq] { complete(seq); });
+        return true;
+      }
+    }
+    return false;
+}
+
+void
+Core::complete(std::uint64_t seq)
+{
+    Entry &e = slot(seq);
+    cmt_assert(e.state == State::kExecuting);
+    e.state = State::kDone;
+    for (const std::uint64_t cseq : e.consumers) {
+        if (cseq < head_ || cseq >= tail_)
+            continue;
+        Entry &c = slot(cseq);
+        if (c.state == State::kWaiting && c.pendingDeps > 0) {
+            if (--c.pendingDeps == 0) {
+                c.state = State::kReady;
+                readySet_.insert(cseq);
+            }
+        }
+    }
+    e.consumers.clear();
+}
+
+// --------------------------------------------------------------------
+// Commit
+// --------------------------------------------------------------------
+
+void
+Core::commitStage()
+{
+    for (unsigned n = 0; n < params_.commitWidth; ++n) {
+        if (windowEmpty())
+            return;
+        Entry &e = slot(head_);
+        if (e.state != State::kDone)
+            return;
+        if (e.instr.type == InstrType::kCrypto &&
+            l2_.pendingChecks() > 0) {
+            // Section 5.8: crypto instructions are barriers; nothing
+            // derived from the secret escapes before checks pass.
+            ++stat_cryptoBarrierStalls;
+            return;
+        }
+        if (e.instr.type == InstrType::kLoad ||
+            e.instr.type == InstrType::kStore)
+            --memOpsInWindow_;
+        e.state = State::kEmpty;
+        ++head_;
+        ++stat_committed;
+    }
+}
+
+} // namespace cmt

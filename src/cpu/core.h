@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Trace-driven speculative out-of-order superscalar core in the
+ * SimpleScalar mould (Table 1 defaults: 4-wide fetch/decode/issue/
+ * commit, 128-entry register update unit, 64-entry load/store queue,
+ * 64 KB 2-way 32 B-line L1 I/D caches, 4-way 128-entry TLBs).
+ *
+ * The core owns the L1s and talks to the SecureL2 below; loads
+ * complete when the L2 complex delivers data (speculatively, before
+ * integrity checks finish - Section 5.8), stores write through.
+ * Crypto instructions act as commit barriers that drain outstanding
+ * checks, reproducing the paper's signing semantics.
+ */
+
+#ifndef CMT_CPU_CORE_H
+#define CMT_CPU_CORE_H
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "cache/cache_array.h"
+#include "cpu/bpred.h"
+#include "cpu/tlb.h"
+#include "cpu/trace.h"
+#include "support/event.h"
+#include "support/stats.h"
+#include "tree/secure_l2.h"
+
+namespace cmt
+{
+
+/** Core microarchitecture parameters (defaults: Table 1). */
+struct CoreParams
+{
+    unsigned fetchWidth = 4;
+    unsigned issueWidth = 4;
+    unsigned commitWidth = 4;
+    unsigned windowSize = 128; ///< register update unit
+    unsigned lsqSize = 64;
+    unsigned l1SizeBytes = 64 << 10;
+    unsigned l1Assoc = 2;
+    unsigned l1BlockSize = 32;
+    unsigned l1HitLatency = 1;
+    unsigned l1dMshrs = 8;
+    unsigned aluLatency = 1;
+    unsigned mulLatency = 3;
+    unsigned fpuLatency = 4;
+    unsigned mispredictPenalty = 7;
+    /** Predictor history depth; 0 = bimodal (best for synthetic
+     *  traces whose global history is uninformative). */
+    unsigned bpredHistoryBits = 0;
+    /** Counter-table index bits (2-bit counters). */
+    unsigned bpredTableBits = 15;
+    unsigned tlbEntries = 128;
+    unsigned tlbAssoc = 4;
+    unsigned tlbMissPenalty = 30;
+};
+
+/** The out-of-order engine plus its L1 caches. */
+class Core
+{
+  public:
+    Core(EventQueue &events, SecureL2 &l2, TraceSource &trace,
+         const CoreParams &params, StatGroup &stats);
+
+    /** Advance one cycle: commit, issue, fetch. */
+    void tick();
+
+    /** True once the trace is exhausted and the pipeline drained. */
+    bool done() const;
+
+    /**
+     * Drop L1 copies of [cpu_addr, cpu_addr+len) - called by the
+     * system when L2 inclusion evicts a block (the owner of the L2
+     * wires SecureL2::onBackInvalidate to every core's invalidateL1).
+     */
+    void invalidateL1(std::uint64_t cpu_addr, unsigned len);
+
+    std::uint64_t committed() const { return stat_committed.value(); }
+
+    Counter stat_fetched;
+    Counter stat_committed;
+    Counter stat_loads;
+    Counter stat_stores;
+    Counter stat_branches;
+    Counter stat_mispredicts;
+    Counter stat_l1dHits;
+    Counter stat_l1dMisses;
+    Counter stat_l1iHits;
+    Counter stat_l1iMisses;
+    Counter stat_cryptoBarrierStalls;
+
+  private:
+    enum class State : std::uint8_t
+    {
+        kEmpty,
+        kWaiting,
+        kReady,
+        kExecuting,
+        kDone,
+    };
+
+    struct Entry
+    {
+        TraceInstr instr;
+        State state = State::kEmpty;
+        unsigned pendingDeps = 0;
+        bool mispredicted = false;
+        std::vector<std::uint64_t> consumers;
+    };
+
+    Entry &slot(std::uint64_t seq)
+    {
+        return window_[seq % params_.windowSize];
+    }
+
+    bool windowFull() const
+    {
+        return tail_ - head_ >= params_.windowSize;
+    }
+    bool windowEmpty() const { return tail_ == head_; }
+
+    void fetchStage();
+    void issueStage();
+    void commitStage();
+
+    /** Try to issue one entry; false if it must stay ready. */
+    bool issueOne(std::uint64_t seq);
+
+    /** Mark @p seq executed and wake its consumers. */
+    void complete(std::uint64_t seq);
+
+    /** Refill the one-instruction lookahead buffer. */
+    bool peekTrace();
+
+    EventQueue &events_;
+    SecureL2 &l2_;
+    TraceSource &trace_;
+    CoreParams params_;
+
+    CacheArray l1i_;
+    CacheArray l1d_;
+    Tlb itlb_;
+    Tlb dtlb_;
+    GsharePredictor bpred_;
+
+    std::vector<Entry> window_;
+    std::uint64_t head_ = 0; ///< oldest in-flight sequence number
+    std::uint64_t tail_ = 0; ///< next sequence number to allocate
+    std::set<std::uint64_t> readySet_;
+    unsigned memOpsInWindow_ = 0;
+    unsigned l1dMshrsUsed_ = 0;
+    /** Outstanding L1D misses by block: later loads to the same block
+     *  merge instead of issuing duplicate L2 reads. */
+    std::map<std::uint64_t, std::vector<std::uint64_t>> l1dPending_;
+
+    TraceInstr pending_{};
+    bool havePending_ = false;
+    bool traceDone_ = false;
+
+    Cycle fetchStalledUntil_ = 0;
+    bool ifetchOutstanding_ = false;
+    std::uint64_t lastFetchBlock_ = ~0ULL;
+};
+
+} // namespace cmt
+
+#endif // CMT_CPU_CORE_H

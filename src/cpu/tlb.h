@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Small fully-timed TLB model (Table 1: 4-way, 128 entries).
+ */
+
+#ifndef CMT_CPU_TLB_H
+#define CMT_CPU_TLB_H
+
+#include <cstdint>
+#include <vector>
+
+#include "support/stats.h"
+
+namespace cmt
+{
+
+/** Set-associative TLB with LRU replacement; returns hit/miss only. */
+class Tlb
+{
+  public:
+    Tlb(unsigned entries, unsigned assoc, StatGroup &stats,
+        const std::string &name)
+        : stat_hits(stats, name + ".hits", "TLB hits"),
+          stat_misses(stats, name + ".misses", "TLB misses"),
+          assoc_(assoc), sets_(entries / assoc),
+          tags_(entries, ~0ULL), stamps_(entries, 0)
+    {}
+
+    /** Look up the page of @p addr, filling on miss.
+     *  @return true on hit. */
+    bool
+    access(std::uint64_t addr)
+    {
+        const std::uint64_t page = addr >> kPageBits;
+        const std::size_t set = page % sets_;
+        std::size_t lru = set * assoc_;
+        for (unsigned way = 0; way < assoc_; ++way) {
+            const std::size_t i = set * assoc_ + way;
+            if (tags_[i] == page) {
+                stamps_[i] = ++stamp_;
+                ++stat_hits;
+                return true;
+            }
+            if (stamps_[i] < stamps_[lru])
+                lru = i;
+        }
+        tags_[lru] = page;
+        stamps_[lru] = ++stamp_;
+        ++stat_misses;
+        return false;
+    }
+
+    Counter stat_hits;
+    Counter stat_misses;
+
+  private:
+    static constexpr unsigned kPageBits = 12; // 4 KB pages
+
+    unsigned assoc_;
+    std::size_t sets_;
+    std::vector<std::uint64_t> tags_;
+    std::vector<std::uint64_t> stamps_;
+    std::uint64_t stamp_ = 0;
+};
+
+} // namespace cmt
+
+#endif // CMT_CPU_TLB_H

@@ -1,0 +1,38 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+namespace cmt
+{
+
+Hash128
+hmacMd5(const Key128 &key, std::span<const std::uint8_t> data)
+{
+    // Key fits in one block, so no pre-hashing step is needed.
+    std::uint8_t ipad[64];
+    std::uint8_t opad[64];
+    std::memset(ipad, 0x36, sizeof(ipad));
+    std::memset(opad, 0x5c, sizeof(opad));
+    for (std::size_t i = 0; i < key.size(); ++i) {
+        ipad[i] ^= key[i];
+        opad[i] ^= key[i];
+    }
+
+    Md5 inner;
+    inner.update({ipad, sizeof(ipad)});
+    inner.update(data);
+    const Hash128 inner_digest = inner.finish();
+
+    Md5 outer;
+    outer.update({opad, sizeof(opad)});
+    outer.update(inner_digest);
+    return outer.finish();
+}
+
+Key128
+deriveKey(const Key128 &master, std::span<const std::uint8_t> ctx)
+{
+    return hmacMd5(master, ctx);
+}
+
+} // namespace cmt

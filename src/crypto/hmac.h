@@ -1,0 +1,33 @@
+/**
+ * @file
+ * HMAC-MD5 (RFC 2104) and key-derivation helpers.
+ *
+ * HMAC is the conventional MAC h_k used by the incremental XOR-MAC
+ * construction and by the certified-execution facade (program-key
+ * derivation and result signing; see DESIGN.md for the asymmetric-
+ * signature substitution note).
+ */
+
+#ifndef CMT_CRYPTO_HMAC_H
+#define CMT_CRYPTO_HMAC_H
+
+#include <span>
+
+#include "crypto/md5.h"
+#include "crypto/xtea.h"
+
+namespace cmt
+{
+
+/** HMAC-MD5 over @p data with @p key. */
+Hash128 hmacMd5(const Key128 &key, std::span<const std::uint8_t> data);
+
+/**
+ * Derive a sub-key from a master key and a context label, e.g. the
+ * processor-program key of Section 4.1: K_pp = KDF(secret, hash(prog)).
+ */
+Key128 deriveKey(const Key128 &master, std::span<const std::uint8_t> ctx);
+
+} // namespace cmt
+
+#endif // CMT_CRYPTO_HMAC_H

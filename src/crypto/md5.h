@@ -1,0 +1,57 @@
+/**
+ * @file
+ * MD5 message digest (RFC 1321), implemented from scratch.
+ *
+ * The paper's hash unit digests fixed 512-bit blocks with MD5 or SHA-1;
+ * the simulator carries real MD5 digests through the memory hierarchy
+ * so tamper detection in tests is genuine, not modelled.
+ *
+ * MD5 is cryptographically broken for collision resistance today; we
+ * reproduce the paper's 2003-era choice faithfully and note that every
+ * component is parameterised over the digest function.
+ */
+
+#ifndef CMT_CRYPTO_MD5_H
+#define CMT_CRYPTO_MD5_H
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace cmt
+{
+
+/** A 128-bit digest or MAC value. */
+using Hash128 = std::array<std::uint8_t, 16>;
+
+/** Incremental MD5 context. */
+class Md5
+{
+  public:
+    Md5() { reset(); }
+
+    /** Reinitialise to the empty message. */
+    void reset();
+
+    /** Absorb @p data. */
+    void update(std::span<const std::uint8_t> data);
+
+    /** Finalise and return the digest; the context must be reset()
+     *  before reuse. */
+    Hash128 finish();
+
+    /** One-shot convenience. */
+    static Hash128 digest(std::span<const std::uint8_t> data);
+
+  private:
+    void processBlock(const std::uint8_t *block);
+
+    std::uint32_t state_[4];
+    std::uint64_t totalBytes_;
+    std::uint8_t buffer_[64];
+    std::size_t bufferLen_;
+};
+
+} // namespace cmt
+
+#endif // CMT_CRYPTO_MD5_H

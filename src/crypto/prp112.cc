@@ -1,0 +1,84 @@
+#include "crypto/prp112.h"
+
+#include "crypto/hmac.h"
+
+namespace cmt
+{
+
+namespace
+{
+
+constexpr std::uint64_t kMask56 = (1ULL << 56) - 1;
+constexpr unsigned kRounds = 4;
+
+/** Unpack 14 bytes into two 56-bit halves. */
+void
+unpack(const Val112 &v, std::uint64_t &left, std::uint64_t &right)
+{
+    left = 0;
+    right = 0;
+    for (int i = 0; i < 7; ++i)
+        left = (left << 8) | v[i];
+    for (int i = 7; i < 14; ++i)
+        right = (right << 8) | v[i];
+}
+
+/** Pack two 56-bit halves back into 14 bytes. */
+Val112
+pack(std::uint64_t left, std::uint64_t right)
+{
+    Val112 out;
+    for (int i = 6; i >= 0; --i) {
+        out[i] = static_cast<std::uint8_t>(left);
+        left >>= 8;
+    }
+    for (int i = 13; i >= 7; --i) {
+        out[i] = static_cast<std::uint8_t>(right);
+        right >>= 8;
+    }
+    return out;
+}
+
+} // namespace
+
+std::uint64_t
+Prp112::roundF(unsigned round, std::uint64_t half) const
+{
+    std::uint8_t msg[9];
+    msg[0] = static_cast<std::uint8_t>(round);
+    for (int i = 0; i < 8; ++i)
+        msg[1 + i] = static_cast<std::uint8_t>(half >> (8 * i));
+    const Hash128 h = hmacMd5(key_, msg);
+    std::uint64_t out = 0;
+    for (int i = 0; i < 7; ++i)
+        out = (out << 8) | h[i];
+    return out & kMask56;
+}
+
+Val112
+Prp112::encrypt(const Val112 &in) const
+{
+    std::uint64_t l, r;
+    unpack(in, l, r);
+    for (unsigned round = 0; round < kRounds; ++round) {
+        const std::uint64_t t = r;
+        r = (l ^ roundF(round, r)) & kMask56;
+        l = t;
+    }
+    return pack(l, r);
+}
+
+Val112
+Prp112::decrypt(const Val112 &in) const
+{
+    std::uint64_t l, r;
+    unpack(in, l, r);
+    for (unsigned round = kRounds; round-- > 0;) {
+        const std::uint64_t t = l;
+        l = (r ^ roundF(round, l)) & kMask56;
+        r = t;
+    }
+    return pack(l, r);
+}
+
+} // namespace cmt

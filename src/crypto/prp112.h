@@ -1,0 +1,49 @@
+/**
+ * @file
+ * A 112-bit keyed pseudo-random permutation.
+ *
+ * The incremental XOR-MAC of Section 5.5 needs an *invertible*
+ * encryption E_k over the xor-sum (update = decrypt, adjust, encrypt).
+ * Our tree stores each child's authenticator in a 16-byte slot laid out
+ * as [14-byte MAC][2-byte timestamp bits], so E_k must permute 112-bit
+ * values. We build it as a 4-round Luby-Rackoff Feistel network over
+ * two 56-bit halves whose round function is a truncated keyed MD5 - a
+ * textbook PRP-from-PRF construction.
+ */
+
+#ifndef CMT_CRYPTO_PRP112_H
+#define CMT_CRYPTO_PRP112_H
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/xtea.h"
+
+namespace cmt
+{
+
+/** A 112-bit value as 14 bytes (big-endian half packing). */
+using Val112 = std::array<std::uint8_t, 14>;
+
+/** Keyed invertible permutation on 112-bit values. */
+class Prp112
+{
+  public:
+    explicit Prp112(const Key128 &key) : key_(key) {}
+
+    /** Forward permutation. */
+    Val112 encrypt(const Val112 &in) const;
+
+    /** Inverse permutation: decrypt(encrypt(x)) == x. */
+    Val112 decrypt(const Val112 &in) const;
+
+  private:
+    /** Keyed round function: 56-bit PRF of (round, half). */
+    std::uint64_t roundF(unsigned round, std::uint64_t half) const;
+
+    Key128 key_;
+};
+
+} // namespace cmt
+
+#endif // CMT_CRYPTO_PRP112_H

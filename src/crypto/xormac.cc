@@ -1,0 +1,78 @@
+#include "crypto/xormac.h"
+
+#include <cstring>
+#include <vector>
+
+#include "crypto/hmac.h"
+#include "support/logging.h"
+
+namespace cmt
+{
+
+void
+MacSlot::store(std::uint8_t out[16]) const
+{
+    std::memcpy(out, mac.data(), 14);
+    out[14] = static_cast<std::uint8_t>(tsBits);
+    out[15] = static_cast<std::uint8_t>(tsBits >> 8);
+}
+
+MacSlot
+MacSlot::load(const std::uint8_t in[16])
+{
+    MacSlot slot;
+    std::memcpy(slot.mac.data(), in, 14);
+    slot.tsBits = static_cast<std::uint16_t>(in[14]) |
+                  (static_cast<std::uint16_t>(in[15]) << 8);
+    return slot;
+}
+
+Val112
+XorMac::hterm(unsigned block_idx, bool ts,
+              std::span<const std::uint8_t> block) const
+{
+    cmt_assert(block_idx < kMaxBlocks);
+    std::vector<std::uint8_t> msg;
+    msg.reserve(2 + block.size());
+    msg.push_back(static_cast<std::uint8_t>(block_idx));
+    msg.push_back(useTimestamps_ ? static_cast<std::uint8_t>(ts) : 0);
+    msg.insert(msg.end(), block.begin(), block.end());
+    const Hash128 h = hmacMd5(key_, msg);
+    Val112 out;
+    std::memcpy(out.data(), h.data(), out.size());
+    return out;
+}
+
+Val112
+XorMac::mac(std::span<const std::uint8_t> chunk, std::size_t block_size,
+            std::uint16_t ts_bits) const
+{
+    cmt_assert(block_size > 0 && chunk.size() % block_size == 0);
+    const std::size_t n = chunk.size() / block_size;
+    cmt_assert(n <= kMaxBlocks);
+
+    Val112 sum{};
+    for (std::size_t i = 0; i < n; ++i) {
+        const bool ts = (ts_bits >> i) & 1;
+        const Val112 term =
+            hterm(i, ts, chunk.subspan(i * block_size, block_size));
+        for (std::size_t b = 0; b < sum.size(); ++b)
+            sum[b] ^= term[b];
+    }
+    return prp_.encrypt(sum);
+}
+
+Val112
+XorMac::update(const Val112 &old_mac, unsigned block_idx,
+               std::span<const std::uint8_t> old_block, bool old_ts,
+               std::span<const std::uint8_t> new_block, bool new_ts) const
+{
+    Val112 sum = prp_.decrypt(old_mac);
+    const Val112 out_term = hterm(block_idx, old_ts, old_block);
+    const Val112 in_term = hterm(block_idx, new_ts, new_block);
+    for (std::size_t b = 0; b < sum.size(); ++b)
+        sum[b] ^= out_term[b] ^ in_term[b];
+    return prp_.encrypt(sum);
+}
+
+} // namespace cmt

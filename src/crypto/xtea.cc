@@ -1,0 +1,69 @@
+#include "crypto/xtea.h"
+
+namespace cmt
+{
+
+namespace
+{
+constexpr std::uint32_t kDelta = 0x9e3779b9u;
+constexpr unsigned kCycles = 32;
+} // namespace
+
+Xtea::Xtea(const Key128 &key)
+{
+    for (int i = 0; i < 4; ++i) {
+        key_[i] = static_cast<std::uint32_t>(key[4 * i]) |
+                  (static_cast<std::uint32_t>(key[4 * i + 1]) << 8) |
+                  (static_cast<std::uint32_t>(key[4 * i + 2]) << 16) |
+                  (static_cast<std::uint32_t>(key[4 * i + 3]) << 24);
+    }
+}
+
+void
+Xtea::encryptBlock(std::uint32_t &v0, std::uint32_t &v1) const
+{
+    std::uint32_t sum = 0;
+    for (unsigned i = 0; i < kCycles; ++i) {
+        v0 += (((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + key_[sum & 3]);
+        sum += kDelta;
+        v1 += (((v0 << 4) ^ (v0 >> 5)) + v0) ^
+              (sum + key_[(sum >> 11) & 3]);
+    }
+}
+
+void
+Xtea::decryptBlock(std::uint32_t &v0, std::uint32_t &v1) const
+{
+    std::uint32_t sum = kDelta * kCycles;
+    for (unsigned i = 0; i < kCycles; ++i) {
+        v1 -= (((v0 << 4) ^ (v0 >> 5)) + v0) ^
+              (sum + key_[(sum >> 11) & 3]);
+        sum -= kDelta;
+        v0 -= (((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + key_[sum & 3]);
+    }
+}
+
+void
+Xtea::ctrCrypt(std::uint64_t nonce, std::span<std::uint8_t> data) const
+{
+    std::uint64_t counter = 0;
+    std::size_t pos = 0;
+    while (pos < data.size()) {
+        std::uint32_t v0 = static_cast<std::uint32_t>(nonce ^ counter);
+        std::uint32_t v1 = static_cast<std::uint32_t>(
+            (nonce >> 32) ^ (counter >> 32) ^ 0xa5a5a5a5u);
+        encryptBlock(v0, v1);
+        std::uint8_t stream[8];
+        for (int i = 0; i < 4; ++i) {
+            stream[i] = static_cast<std::uint8_t>(v0 >> (8 * i));
+            stream[4 + i] = static_cast<std::uint8_t>(v1 >> (8 * i));
+        }
+        const std::size_t take = std::min<std::size_t>(8, data.size() - pos);
+        for (std::size_t i = 0; i < take; ++i)
+            data[pos + i] ^= stream[i];
+        pos += take;
+        ++counter;
+    }
+}
+
+} // namespace cmt

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * XTEA block cipher (Needham & Wheeler, 1997), from scratch.
+ *
+ * Used as the symmetric primitive for the XOM-style baseline memory
+ * (CTR-mode privacy) and inside key-derivation helpers. 64-bit block,
+ * 128-bit key, 64 Feistel rounds (32 cycles).
+ */
+
+#ifndef CMT_CRYPTO_XTEA_H
+#define CMT_CRYPTO_XTEA_H
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace cmt
+{
+
+/** A 128-bit symmetric key. */
+using Key128 = std::array<std::uint8_t, 16>;
+
+/** XTEA with a fixed 32-cycle schedule. */
+class Xtea
+{
+  public:
+    explicit Xtea(const Key128 &key);
+
+    /** Encrypt one 64-bit block (two 32-bit words). */
+    void encryptBlock(std::uint32_t &v0, std::uint32_t &v1) const;
+
+    /** Decrypt one 64-bit block. */
+    void decryptBlock(std::uint32_t &v0, std::uint32_t &v1) const;
+
+    /**
+     * CTR-mode keystream XOR: encrypts/decrypts @p data in place using
+     * the counter sequence (nonce, blockIndex). Symmetric: applying it
+     * twice with the same arguments restores the plaintext.
+     */
+    void ctrCrypt(std::uint64_t nonce, std::span<std::uint8_t> data) const;
+
+  private:
+    std::uint32_t key_[4];
+};
+
+} // namespace cmt
+
+#endif // CMT_CRYPTO_XTEA_H

@@ -1,0 +1,58 @@
+#include "mem/backing_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace cmt
+{
+
+BackingStore::Page &
+BackingStore::pageForWrite(std::uint64_t page_index)
+{
+    auto it = pages_.find(page_index);
+    if (it == pages_.end())
+        it = pages_.emplace(page_index, Page(kPageSize, 0)).first;
+    return it->second;
+}
+
+const BackingStore::Page *
+BackingStore::pageForRead(std::uint64_t page_index) const
+{
+    auto it = pages_.find(page_index);
+    return it == pages_.end() ? nullptr : &it->second;
+}
+
+void
+BackingStore::read(std::uint64_t addr, std::span<std::uint8_t> out)
+{
+    std::size_t done = 0;
+    while (done < out.size()) {
+        const std::uint64_t page_index = (addr + done) / kPageSize;
+        const std::uint64_t offset = (addr + done) % kPageSize;
+        const std::size_t take = std::min<std::size_t>(
+            out.size() - done, kPageSize - offset);
+        if (const Page *page = pageForRead(page_index)) {
+            std::memcpy(out.data() + done, page->data() + offset, take);
+        } else {
+            std::memset(out.data() + done, 0, take);
+        }
+        done += take;
+    }
+}
+
+void
+BackingStore::write(std::uint64_t addr, std::span<const std::uint8_t> in)
+{
+    std::size_t done = 0;
+    while (done < in.size()) {
+        const std::uint64_t page_index = (addr + done) / kPageSize;
+        const std::uint64_t offset = (addr + done) % kPageSize;
+        const std::size_t take = std::min<std::size_t>(
+            in.size() - done, kPageSize - offset);
+        Page &page = pageForWrite(page_index);
+        std::memcpy(page.data() + offset, in.data() + done, take);
+        done += take;
+    }
+}
+
+} // namespace cmt

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Sparse page-granular RAM model.
+ *
+ * Pages are allocated on first write; reads of untouched memory return
+ * zeros without allocating. This is what lets a single simulation
+ * "protect" a multi-gigabyte physical region while only paying for the
+ * working set it actually touches.
+ */
+
+#ifndef CMT_MEM_BACKING_STORE_H
+#define CMT_MEM_BACKING_STORE_H
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/storage.h"
+
+namespace cmt
+{
+
+/** Sparse, zero-initialised byte store. */
+class BackingStore : public Storage
+{
+  public:
+    static constexpr std::uint64_t kPageSize = 4096;
+
+    void read(std::uint64_t addr, std::span<std::uint8_t> out) override;
+    void write(std::uint64_t addr,
+               std::span<const std::uint8_t> in) override;
+
+    /** Number of pages materialised so far (footprint metric). */
+    std::size_t pageCount() const { return pages_.size(); }
+
+    /** Materialised pages, for serialisation (index -> bytes). */
+    const std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> &
+    pages() const
+    {
+        return pages_;
+    }
+
+    /**
+     * Direct adversary access: flip bits in RAM behind the processor's
+     * back. Identical to write() but named so call sites that model an
+     * attack are easy to audit.
+     */
+    void
+    tamper(std::uint64_t addr, std::span<const std::uint8_t> in)
+    {
+        write(addr, in);
+    }
+
+  private:
+    using Page = std::vector<std::uint8_t>;
+
+    /** Page for @p pageIndex, materialising it if needed. */
+    Page &pageForWrite(std::uint64_t page_index);
+
+    /** Page for @p pageIndex or nullptr if never written. */
+    const Page *pageForRead(std::uint64_t page_index) const;
+
+    std::unordered_map<std::uint64_t, Page> pages_;
+};
+
+} // namespace cmt
+
+#endif // CMT_MEM_BACKING_STORE_H

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Abstract byte-addressable storage.
+ *
+ * The timing model (bus/DRAM) and the integrity machinery read and
+ * write RAM through this interface. The plain implementation is
+ * BackingStore; the hash tree wraps it with a lazily-materialising
+ * decorator so a freshly-initialised tree over gigabytes costs nothing
+ * until touched.
+ */
+
+#ifndef CMT_MEM_STORAGE_H
+#define CMT_MEM_STORAGE_H
+
+#include <cstdint>
+#include <span>
+
+namespace cmt
+{
+
+/** Byte-level load/store interface for untrusted RAM. */
+class Storage
+{
+  public:
+    virtual ~Storage() = default;
+
+    /** Copy @p out.size() bytes starting at @p addr into @p out. */
+    virtual void read(std::uint64_t addr, std::span<std::uint8_t> out) = 0;
+
+    /** Store @p in at @p addr. */
+    virtual void write(std::uint64_t addr,
+                       std::span<const std::uint8_t> in) = 0;
+};
+
+} // namespace cmt
+
+#endif // CMT_MEM_STORAGE_H

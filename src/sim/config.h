@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Whole-system configuration: Table 1 of the paper as a struct.
+ */
+
+#ifndef CMT_SIM_CONFIG_H
+#define CMT_SIM_CONFIG_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "cpu/core.h"
+#include "mem/main_memory.h"
+#include "tree/hash_engine.h"
+#include "tree/secure_l2.h"
+
+namespace cmt
+{
+
+/** Complete simulation configuration (defaults reproduce Table 1). */
+struct SystemConfig
+{
+    /** Benchmark name (one of specBenchmarks()). */
+    std::string benchmark = "gcc";
+    std::uint64_t seed = 1;
+
+    /** Instructions to warm caches/tree before measuring. */
+    std::uint64_t warmupInstructions = 200'000;
+    /** Instructions in the measured window. */
+    std::uint64_t measureInstructions = 1'000'000;
+
+    CoreParams core;
+    SecureL2Params l2;
+    MemTimingParams mem;
+    HashEngineParams hash;
+
+    /** Scale both instruction windows by a factor (REPRO_SCALE env). */
+    void
+    scale(double factor)
+    {
+        warmupInstructions =
+            static_cast<std::uint64_t>(warmupInstructions * factor);
+        measureInstructions =
+            static_cast<std::uint64_t>(measureInstructions * factor);
+    }
+};
+
+/** Print the Table 1 style parameter block. */
+void printConfigTable(std::ostream &os, const SystemConfig &config);
+
+} // namespace cmt
+
+#endif // CMT_SIM_CONFIG_H

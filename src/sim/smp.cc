@@ -1,0 +1,141 @@
+#include "sim/smp.h"
+
+#include "support/logging.h"
+#include "trace/specgen.h"
+
+namespace cmt
+{
+
+namespace
+{
+
+/** Private 4 GB slice per core inside the shared protected space. */
+constexpr std::uint64_t kSliceBytes = 4ULL << 30;
+
+/**
+ * Per-core stagger within the slice. Slices are a power-of-two apart,
+ * so without it every program's regions would land on identical L2
+ * sets (the set index uses low address bits only) - a conflict
+ * pathology a real OS avoids through distinct physical mappings.
+ * 51 MB is 64 KB-aligned but not a multiple of the 2 MB set span.
+ */
+constexpr std::uint64_t kSliceStagger = 51ULL << 20;
+
+} // namespace
+
+SmpSystem::SmpSystem(const SmpConfig &config) : config_(config)
+{
+    cmt_assert(!config_.benchmarks.empty());
+    cmt_assert((config_.benchmarks.size() - 1) *
+                       (kSliceBytes + kSliceStagger) +
+                   kSliceBytes <=
+               config_.l2.protectedSize);
+
+    layout_ = std::make_unique<TreeLayout>(config_.l2.chunkSize,
+                                           config_.l2.protectedSize);
+    const Authenticator::Kind kind =
+        config_.l2.scheme == Scheme::kIncremental
+            ? Authenticator::Kind::kXorMac
+            : config_.l2.authKind;
+    auth_ = std::make_unique<Authenticator>(kind, config_.l2.key,
+                                            config_.l2.blockSize,
+                                            config_.l2.timestamps);
+    ram_ = std::make_unique<ChunkStore>(store_, *layout_, *auth_);
+    memory_ = std::make_unique<MainMemory>(events_, *ram_, config_.mem,
+                                           stats_);
+    hasher_ =
+        std::make_unique<HashEngine>(events_, config_.hash, stats_);
+
+    SecureL2Params l2_params = config_.l2;
+    l2_params.authKind = kind;
+    l2_ = std::make_unique<SecureL2>(events_, *memory_, *ram_, *hasher_,
+                                     *layout_, *auth_, l2_params,
+                                     stats_);
+
+    for (std::size_t i = 0; i < config_.benchmarks.size(); ++i) {
+        auto gen = std::make_unique<SpecGen>(
+            profileFor(config_.benchmarks[i]), config_.seed + i);
+        traces_.push_back(std::make_unique<OffsetTrace>(
+            std::move(gen), sliceOffset(static_cast<unsigned>(i))));
+        cores_.push_back(std::make_unique<Core>(
+            events_, *l2_, *traces_.back(), config_.core, stats_));
+    }
+
+    // Inclusion: an L2 eviction drops every core's L1 copies.
+    l2_->onBackInvalidate = [this](std::uint64_t addr, unsigned len) {
+        for (auto &core : cores_)
+            core->invalidateL1(addr, len);
+    };
+}
+
+SmpSystem::~SmpSystem() = default;
+
+std::uint64_t
+SmpSystem::sliceOffset(unsigned i)
+{
+    return i * (kSliceBytes + kSliceStagger);
+}
+
+SmpResult
+SmpSystem::run()
+{
+    Cycle cycle = events_.now();
+
+    const auto all_reached = [&](std::uint64_t per_core) {
+        for (const auto &core : cores_) {
+            if (core->committed() < per_core)
+                return false;
+        }
+        return true;
+    };
+
+    const auto run_until = [&](std::uint64_t per_core) {
+        std::uint64_t watchdog = 0;
+        while (!all_reached(per_core)) {
+            events_.runUntil(cycle);
+            for (auto &core : cores_)
+                core->tick();
+            ++cycle;
+            cmt_assert(++watchdog < 2'000'000'000ULL);
+        }
+    };
+
+    run_until(config_.warmupInstructions);
+    stats_.resetAll();
+    const Cycle start = cycle;
+    std::vector<std::uint64_t> committed_start;
+    for (auto &core : cores_)
+        committed_start.push_back(core->committed());
+
+    // Each core must complete its measured window; fast cores keep
+    // running (and keep contending) until the slowest finishes, as in
+    // a real multiprogrammed machine.
+    std::uint64_t max_target = 0;
+    for (const std::uint64_t c : committed_start)
+        max_target = std::max(max_target,
+                              c + config_.measureInstructions);
+    run_until(max_target);
+
+    SmpResult result;
+    result.cycles = cycle - start;
+    std::uint64_t total_instr = 0;
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+        SimResult r;
+        r.benchmark = config_.benchmarks[i];
+        r.scheme = config_.l2.scheme;
+        r.instructions = cores_[i]->committed() - committed_start[i];
+        r.cycles = result.cycles;
+        r.ipc = static_cast<double>(r.instructions) / result.cycles;
+        r.integrityFailures = l2_->integrityFailures();
+        result.perCore.push_back(r);
+        total_instr += r.instructions;
+    }
+    result.aggregateIpc =
+        static_cast<double>(total_instr) / result.cycles;
+    result.integrityFailures = l2_->integrityFailures();
+    result.bandwidthBytesPerCycle =
+        static_cast<double>(memory_->bytesTransferred()) / result.cycles;
+    return result;
+}
+
+} // namespace cmt

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Multiprogrammed SMP extension.
+ *
+ * Section 4 motivates verification with Bob renting out his machine
+ * while continuing to use it: several programs share one secure
+ * processor complex. SmpSystem instantiates N cores (each with its
+ * own L1s, branch predictor and workload) over a single shared
+ * SecureL2, hash engine, bus and protected memory - the natural
+ * shared-L2 topology for the paper's machinery, and the setting the
+ * authors' follow-up work on snooping-based SMP integrity studies.
+ *
+ * Workloads are multiprogrammed, not data-sharing: each core's
+ * addresses are displaced into a private slice of the protected
+ * space, so coherence reduces to L2 inclusion (every core's L1 copies
+ * are dropped when the shared L2 evicts a block). One hash tree
+ * covers all slices; every core's traffic is verified by the same
+ * machinery and contends for the same hash buffers.
+ */
+
+#ifndef CMT_SIM_SMP_H
+#define CMT_SIM_SMP_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/system.h"
+
+namespace cmt
+{
+
+/** Per-core result alongside the shared-machine aggregates. */
+struct SmpResult
+{
+    std::vector<SimResult> perCore;
+    double aggregateIpc = 0;  ///< total instructions / cycles
+    std::uint64_t cycles = 0;
+    std::uint64_t integrityFailures = 0;
+    double bandwidthBytesPerCycle = 0;
+};
+
+/** Multiprogrammed-SMP configuration. */
+struct SmpConfig
+{
+    /** One benchmark name per core. */
+    std::vector<std::string> benchmarks = {"gcc", "swim"};
+    std::uint64_t seed = 1;
+    std::uint64_t warmupInstructions = 200'000;
+    /** Measured instructions per core. */
+    std::uint64_t measureInstructions = 500'000;
+
+    CoreParams core;
+    SecureL2Params l2;
+    MemTimingParams mem;
+    HashEngineParams hash;
+
+    SmpConfig()
+    {
+        // Room for four staggered 4 GB per-core slices in one tree
+        // (the backing store is sparse, so the capacity is free).
+        l2.protectedSize = 32ULL << 30;
+    }
+};
+
+/** Address-displacing wrapper: gives a core a private memory slice. */
+class OffsetTrace : public TraceSource
+{
+  public:
+    OffsetTrace(std::unique_ptr<TraceSource> inner,
+                std::uint64_t data_offset)
+        : inner_(std::move(inner)), offset_(data_offset)
+    {}
+
+    bool
+    next(TraceInstr &out) override
+    {
+        if (!inner_->next(out))
+            return false;
+        if (out.type == InstrType::kLoad ||
+            out.type == InstrType::kStore)
+            out.addr += offset_;
+        out.pc += offset_;
+        return true;
+    }
+
+  private:
+    std::unique_ptr<TraceSource> inner_;
+    std::uint64_t offset_;
+};
+
+/** N cores over one shared verified memory system. */
+class SmpSystem
+{
+  public:
+    explicit SmpSystem(const SmpConfig &config);
+    ~SmpSystem();
+
+    /** Run warmup + measured window on every core. */
+    SmpResult run();
+
+    unsigned coreCount() const
+    {
+        return static_cast<unsigned>(cores_.size());
+    }
+
+    /** CPU-address displacement of core @p i's memory slice. */
+    static std::uint64_t sliceOffset(unsigned i);
+    SecureL2 &l2() { return *l2_; }
+    Core &core(unsigned i) { return *cores_.at(i); }
+    ChunkStore &ram() { return *ram_; }
+    EventQueue &events() { return events_; }
+
+  private:
+    SmpConfig config_;
+    StatGroup stats_;
+    EventQueue events_;
+    BackingStore store_;
+    std::unique_ptr<TreeLayout> layout_;
+    std::unique_ptr<Authenticator> auth_;
+    std::unique_ptr<ChunkStore> ram_;
+    std::unique_ptr<MainMemory> memory_;
+    std::unique_ptr<HashEngine> hasher_;
+    std::unique_ptr<SecureL2> l2_;
+    std::vector<std::unique_ptr<TraceSource>> traces_;
+    std::vector<std::unique_ptr<Core>> cores_;
+};
+
+} // namespace cmt
+
+#endif // CMT_SIM_SMP_H

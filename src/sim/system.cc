@@ -1,0 +1,173 @@
+#include "sim/system.h"
+
+#include <cstdlib>
+
+#include "support/logging.h"
+
+namespace cmt
+{
+
+double
+reproScale()
+{
+    if (const char *env = std::getenv("REPRO_SCALE")) {
+        const double v = std::atof(env);
+        if (v > 0)
+            return v;
+        warn("ignoring invalid REPRO_SCALE='%s'", env);
+    }
+    return 1.0;
+}
+
+void
+printConfigTable(std::ostream &os, const SystemConfig &config)
+{
+    const auto &c = config.core;
+    const auto &l2 = config.l2;
+    os << "Architectural parameters (Table 1)\n"
+       << "  clock                 1 GHz\n"
+       << "  L1 I/D caches         " << (c.l1SizeBytes >> 10)
+       << "KB, " << c.l1Assoc << "-way, " << c.l1BlockSize
+       << "B line, " << c.l1HitLatency << "-cycle\n"
+       << "  L2 cache              unified, " << (l2.sizeBytes >> 10)
+       << "KB, " << l2.assoc << "-way, " << l2.blockSize << "B line, "
+       << l2.hitLatency << "-cycle\n"
+       << "  memory                " << config.mem.dramLatency
+       << "-cycle latency, bus "
+       << (8.0 * config.mem.busWidthBytes /
+           config.mem.cpuCyclesPerBusCycle / 8.0)
+       << " GB/s (" << config.mem.busWidthBytes << "B @ 1/"
+       << config.mem.cpuCyclesPerBusCycle << " CPU clock)\n"
+       << "  I/D TLBs              " << c.tlbEntries << "-entry, "
+       << c.tlbAssoc << "-way, " << c.tlbMissPenalty
+       << "-cycle miss\n"
+       << "  fetch/issue/commit    " << c.fetchWidth << "/"
+       << c.issueWidth << "/" << c.commitWidth << " per cycle\n"
+       << "  RUU / LSQ             " << c.windowSize << " / "
+       << c.lsqSize << "\n"
+       << "  hash unit             " << config.hash.latency
+       << "-cycle latency, " << config.hash.throughputBytesPerCycle
+       << " GB/s, " << l2.readBufferEntries << "/"
+       << l2.writeBufferEntries << " read/write buffers\n"
+       << "  scheme                " << schemeName(l2.scheme)
+       << ", chunk " << l2.chunkSize << "B, protected "
+       << (l2.protectedSize >> 30) << "GB\n";
+}
+
+System::System(const SystemConfig &config,
+               std::unique_ptr<TraceSource> trace)
+    : config_(config)
+{
+    layout_ = std::make_unique<TreeLayout>(config_.l2.chunkSize,
+                                           config_.l2.protectedSize);
+    const Authenticator::Kind kind =
+        config_.l2.scheme == Scheme::kIncremental
+            ? Authenticator::Kind::kXorMac
+            : config_.l2.authKind;
+    auth_ = std::make_unique<Authenticator>(kind, config_.l2.key,
+                                            config_.l2.blockSize,
+                                            config_.l2.timestamps);
+    ram_ = std::make_unique<ChunkStore>(store_, *layout_, *auth_);
+    memory_ = std::make_unique<MainMemory>(events_, *ram_, config_.mem,
+                                           stats_);
+    hasher_ =
+        std::make_unique<HashEngine>(events_, config_.hash, stats_);
+
+    SecureL2Params l2_params = config_.l2;
+    l2_params.authKind = kind;
+    l2_ = std::make_unique<SecureL2>(events_, *memory_, *ram_, *hasher_,
+                                     *layout_, *auth_, l2_params,
+                                     stats_);
+
+    trace_ = trace ? std::move(trace)
+                   : std::make_unique<SpecGen>(
+                         profileFor(config_.benchmark), config_.seed);
+    core_ = std::make_unique<Core>(events_, *l2_, *trace_, config_.core,
+                                   stats_);
+    l2_->onBackInvalidate = [this](std::uint64_t addr, unsigned len) {
+        core_->invalidateL1(addr, len);
+    };
+}
+
+System::~System() = default;
+
+SimResult
+System::run()
+{
+    Cycle cycle = events_.now();
+
+    const auto run_until_committed = [&](std::uint64_t target) {
+        std::uint64_t last_committed = core_->committed();
+        Cycle last_progress = cycle;
+        while (core_->committed() < target && !core_->done()) {
+            events_.runUntil(cycle);
+            core_->tick();
+            ++cycle;
+            if (core_->committed() != last_committed) {
+                last_committed = core_->committed();
+                last_progress = cycle;
+            } else if (cycle - last_progress > 5'000'000) {
+                cmt_panic("no commit progress for 5M cycles at cycle "
+                          "%llu (deadlock?)",
+                          static_cast<unsigned long long>(cycle));
+            }
+        }
+    };
+
+    // Warmup: fill caches and grow the tree, then reset every stat.
+    run_until_committed(config_.warmupInstructions);
+    stats_.resetAll();
+    const Cycle measure_start = cycle;
+    const std::uint64_t committed_start = core_->committed();
+
+    run_until_committed(committed_start + config_.measureInstructions);
+
+    SimResult r;
+    r.benchmark = config_.benchmark;
+    r.scheme = config_.l2.scheme;
+    r.instructions = core_->committed() - committed_start;
+    r.cycles = cycle - measure_start;
+    r.ipc = static_cast<double>(r.instructions) / r.cycles;
+
+    r.l2DemandAccesses = l2_->stat_reads.value();
+    r.l2DemandMisses = l2_->stat_readMisses.value();
+    r.l2DataMissRate =
+        r.l2DemandAccesses
+            ? static_cast<double>(r.l2DemandMisses) / r.l2DemandAccesses
+            : 0.0;
+
+    const std::uint64_t total_reads = memory_->stat_reads.value();
+    const std::uint64_t demand_reads =
+        l2_->stat_demandBlockReads.value();
+    r.extraReadsPerMiss =
+        r.l2DemandMisses
+            ? static_cast<double>(total_reads - demand_reads) /
+                  r.l2DemandMisses
+            : 0.0;
+    r.bandwidthBytesPerCycle =
+        static_cast<double>(memory_->bytesTransferred()) / r.cycles;
+    r.integrityFailures = l2_->integrityFailures();
+    r.bufferStalls = l2_->stat_bufferStallEvents.value();
+    const std::uint64_t branches = core_->stat_branches.value();
+    r.branchMispredictRate =
+        branches ? static_cast<double>(
+                       core_->stat_mispredicts.value()) /
+                       branches
+                 : 0.0;
+    return r;
+}
+
+void
+System::dumpStats(std::ostream &os) const
+{
+    stats_.dump(os);
+}
+
+SimResult
+simulate(const SystemConfig &config)
+{
+    System system(config);
+    return system.run();
+}
+
+} // namespace cmt

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * System assembly and run control: builds the core, caches, hash
+ * machinery, bus and DRAM from a SystemConfig, runs warmup + measured
+ * windows, and reports the metrics every figure in the paper is
+ * built from.
+ */
+
+#ifndef CMT_SIM_SYSTEM_H
+#define CMT_SIM_SYSTEM_H
+
+#include <memory>
+#include <ostream>
+
+#include "cpu/core.h"
+#include "mem/backing_store.h"
+#include "mem/main_memory.h"
+#include "sim/config.h"
+#include "support/event.h"
+#include "support/stats.h"
+#include "trace/specgen.h"
+#include "tree/authenticator.h"
+#include "tree/chunk_store.h"
+#include "tree/hash_engine.h"
+#include "tree/layout.h"
+#include "tree/secure_l2.h"
+
+namespace cmt
+{
+
+/** Everything a figure needs from one run. */
+struct SimResult
+{
+    std::string benchmark;
+    Scheme scheme = Scheme::kBase;
+
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    double ipc = 0;
+
+    /** L2 miss-rate of program data (Figure 4). */
+    double l2DataMissRate = 0;
+    /** Additional RAM block reads per demand L2 miss (Figure 5a). */
+    double extraReadsPerMiss = 0;
+    /** DRAM traffic in bytes per cycle (Figure 5b, unnormalised). */
+    double bandwidthBytesPerCycle = 0;
+
+    std::uint64_t l2DemandAccesses = 0;
+    std::uint64_t l2DemandMisses = 0;
+    std::uint64_t integrityFailures = 0;
+    std::uint64_t bufferStalls = 0;
+    double branchMispredictRate = 0;
+};
+
+/** One complete simulated machine. */
+class System
+{
+  public:
+    /**
+     * @param config  machine + workload parameters
+     * @param trace   optional external instruction source (e.g. a
+     *                FileTrace); when null the config's specgen
+     *                benchmark drives the core
+     */
+    explicit System(const SystemConfig &config,
+                    std::unique_ptr<TraceSource> trace = nullptr);
+    ~System();
+
+    /** Run warmup then the measured window; @return the metrics. */
+    SimResult run();
+
+    /** Dump every registered statistic (post-run diagnostics). */
+    void dumpStats(std::ostream &os) const;
+
+    SecureL2 &l2() { return *l2_; }
+    Core &core() { return *core_; }
+    ChunkStore &ram() { return *ram_; }
+    EventQueue &events() { return events_; }
+
+  private:
+    SystemConfig config_;
+    StatGroup stats_;
+    EventQueue events_;
+    BackingStore store_;
+    std::unique_ptr<TreeLayout> layout_;
+    std::unique_ptr<Authenticator> auth_;
+    std::unique_ptr<ChunkStore> ram_;
+    std::unique_ptr<MainMemory> memory_;
+    std::unique_ptr<HashEngine> hasher_;
+    std::unique_ptr<SecureL2> l2_;
+    std::unique_ptr<TraceSource> trace_;
+    std::unique_ptr<Core> core_;
+};
+
+/** Convenience: build, run, and return the result for a config. */
+SimResult simulate(const SystemConfig &config);
+
+/** REPRO_SCALE environment scaling (1.0 if unset). */
+double reproScale();
+
+} // namespace cmt
+
+#endif // CMT_SIM_SYSTEM_H

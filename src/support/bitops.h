@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used throughout the cache and tree
+ * address arithmetic.
+ */
+
+#ifndef CMT_SUPPORT_BITOPS_H
+#define CMT_SUPPORT_BITOPS_H
+
+#include <cstdint>
+
+#include "support/logging.h"
+
+namespace cmt
+{
+
+/** @return true iff @p v is a power of two (0 is not). */
+constexpr bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Integer floor(log2(v)); @p v must be nonzero. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    unsigned l = 0;
+    while (v >>= 1)
+        ++l;
+    return l;
+}
+
+/** Integer ceil(log2(v)); @p v must be nonzero. */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    return isPow2(v) ? floorLog2(v) : floorLog2(v) + 1;
+}
+
+/** Round @p v down to a multiple of @p align (a power of two). */
+constexpr std::uint64_t
+alignDown(std::uint64_t v, std::uint64_t align)
+{
+    return v & ~(align - 1);
+}
+
+/** Round @p v up to a multiple of @p align (a power of two). */
+constexpr std::uint64_t
+alignUp(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** Integer ceil(a / b) for b > 0. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace cmt
+
+#endif // CMT_SUPPORT_BITOPS_H

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Minimal discrete-event core for the timing simulator.
+ *
+ * The out-of-order core ticks every cycle; everything below it (bus,
+ * DRAM, hash engine, integrity controllers) schedules completion
+ * events on this queue. Events at the same cycle run in FIFO order of
+ * scheduling, which keeps runs bit-for-bit reproducible.
+ */
+
+#ifndef CMT_SUPPORT_EVENT_H
+#define CMT_SUPPORT_EVENT_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "support/logging.h"
+
+namespace cmt
+{
+
+/** Simulated processor cycle count. */
+using Cycle = std::uint64_t;
+
+/** A time-ordered queue of callbacks. */
+class EventQueue
+{
+  public:
+    /** Current simulated time. */
+    Cycle now() const { return now_; }
+
+    /** Schedule @p fn to run at absolute cycle @p when (>= now). */
+    void
+    schedule(Cycle when, std::function<void()> fn)
+    {
+        cmt_assert(when >= now_);
+        heap_.push(Event{when, seq_++, std::move(fn)});
+    }
+
+    /** Schedule @p fn to run @p delta cycles from now. */
+    void
+    scheduleIn(Cycle delta, std::function<void()> fn)
+    {
+        schedule(now_ + delta, std::move(fn));
+    }
+
+    /**
+     * Advance time to @p target, running every event scheduled at or
+     * before it. Events may schedule further events.
+     */
+    void
+    runUntil(Cycle target)
+    {
+        cmt_assert(target >= now_);
+        while (!heap_.empty() && heap_.top().when <= target) {
+            // Copy out before pop so the callback can schedule.
+            Event ev = heap_.top();
+            heap_.pop();
+            now_ = ev.when;
+            ev.fn();
+        }
+        now_ = target;
+    }
+
+    /** True when no events are pending. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Time of the earliest pending event; queue must be non-empty. */
+    Cycle
+    nextEventTime() const
+    {
+        cmt_assert(!heap_.empty());
+        return heap_.top().when;
+    }
+
+  private:
+    struct Event
+    {
+        Cycle when;
+        std::uint64_t seq;
+        std::function<void()> fn;
+
+        bool
+        operator>(const Event &other) const
+        {
+            return when != other.when ? when > other.when
+                                      : seq > other.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+    Cycle now_ = 0;
+    std::uint64_t seq_ = 0;
+};
+
+} // namespace cmt
+
+#endif // CMT_SUPPORT_EVENT_H

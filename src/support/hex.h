@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Hex encoding/decoding helpers (test vectors, debug dumps).
+ */
+
+#ifndef CMT_SUPPORT_HEX_H
+#define CMT_SUPPORT_HEX_H
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/logging.h"
+
+namespace cmt
+{
+
+/** Lower-case hex string of @p bytes. */
+inline std::string
+toHex(std::span<const std::uint8_t> bytes)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(bytes.size() * 2);
+    for (std::uint8_t b : bytes) {
+        out.push_back(digits[b >> 4]);
+        out.push_back(digits[b & 0xf]);
+    }
+    return out;
+}
+
+/** Decode a hex string; panics on odd length or bad digits. */
+inline std::vector<std::uint8_t>
+fromHex(const std::string &hex)
+{
+    cmt_assert(hex.size() % 2 == 0);
+    auto nibble = [](char c) -> std::uint8_t {
+        if (c >= '0' && c <= '9')
+            return c - '0';
+        if (c >= 'a' && c <= 'f')
+            return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F')
+            return c - 'A' + 10;
+        cmt_panic("bad hex digit '%c'", c);
+    };
+    std::vector<std::uint8_t> out(hex.size() / 2);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = (nibble(hex[2 * i]) << 4) | nibble(hex[2 * i + 1]);
+    return out;
+}
+
+} // namespace cmt
+
+#endif // CMT_SUPPORT_HEX_H

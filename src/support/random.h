@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic component of the simulator (workload generators,
+ * adversary timing, replacement tie-breaks) draws from an explicitly
+ * seeded Xoshiro256** instance so runs are exactly reproducible.
+ */
+
+#ifndef CMT_SUPPORT_RANDOM_H
+#define CMT_SUPPORT_RANDOM_H
+
+#include <cstdint>
+
+namespace cmt
+{
+
+/**
+ * Xoshiro256** generator (Blackman & Vigna). Small, fast, and good
+ * enough statistical quality for workload synthesis.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed via SplitMix64 state expansion. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            // SplitMix64 step.
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound); bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire-style rejection-free reduction is overkill here; the
+        // simple modulo bias is negligible for workload synthesis, but
+        // we use multiply-shift to keep it unbiased-ish and fast.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool chance(double p) { return real() < p; }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace cmt
+
+#endif // CMT_SUPPORT_RANDOM_H

@@ -1,0 +1,83 @@
+#include "support/stats.h"
+
+#include <iomanip>
+
+namespace cmt
+{
+
+Counter::Counter(StatGroup &group, std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    group.registerCounter(this);
+}
+
+Distribution::Distribution(StatGroup &group, std::string name,
+                           std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    group.registerDistribution(this);
+}
+
+void
+Distribution::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        if (v < min_)
+            min_ = v;
+        if (v > max_)
+            max_ = v;
+    }
+    sum_ += v;
+    ++count_;
+}
+
+void
+StatGroup::registerCounter(Counter *c)
+{
+    counters_.push_back(c);
+}
+
+void
+StatGroup::registerDistribution(Distribution *d)
+{
+    distributions_.push_back(d);
+}
+
+std::uint64_t
+StatGroup::counterValue(const std::string &name) const
+{
+    for (const Counter *c : counters_) {
+        if (c->name() == name)
+            return c->value();
+    }
+    return 0;
+}
+
+void
+StatGroup::resetAll()
+{
+    for (Counter *c : counters_)
+        c->reset();
+    for (Distribution *d : distributions_)
+        d->reset();
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const Counter *c : counters_) {
+        os << std::left << std::setw(36) << c->name() << " "
+           << std::right << std::setw(16) << c->value()
+           << "  # " << c->desc() << "\n";
+    }
+    for (const Distribution *d : distributions_) {
+        os << std::left << std::setw(36) << d->name() << " "
+           << std::right << std::setw(16) << d->mean()
+           << "  # mean of " << d->count() << " samples; " << d->desc()
+           << "\n";
+    }
+}
+
+} // namespace cmt

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Lightweight named-statistics registry.
+ *
+ * Components own Counter/Distribution members registered with a
+ * StatGroup; a whole group can be dumped, reset, or queried by name.
+ * This mirrors the role of the gem5 stats package at laptop scale.
+ */
+
+#ifndef CMT_SUPPORT_STATS_H
+#define CMT_SUPPORT_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cmt
+{
+
+class StatGroup;
+
+/** A monotonically increasing 64-bit event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+    Counter(StatGroup &group, std::string name, std::string desc);
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    std::uint64_t value_ = 0;
+};
+
+/** Running mean/min/max over observed samples. */
+class Distribution
+{
+  public:
+    Distribution() = default;
+    Distribution(StatGroup &group, std::string name, std::string desc);
+
+    void sample(double v);
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    void reset() { count_ = 0; sum_ = 0; min_ = 0; max_ = 0; }
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0;
+    double min_ = 0;
+    double max_ = 0;
+};
+
+/**
+ * Owner of a flat namespace of statistics. Components hold a reference
+ * to one group and prefix their stat names ("l2.misses").
+ */
+class StatGroup
+{
+  public:
+    void registerCounter(Counter *c);
+    void registerDistribution(Distribution *d);
+
+    /** Look up a counter value by exact name; 0 if absent. */
+    std::uint64_t counterValue(const std::string &name) const;
+
+    /** Reset every registered statistic. */
+    void resetAll();
+
+    /** Write "name value  # desc" lines for everything registered. */
+    void dump(std::ostream &os) const;
+
+  private:
+    std::vector<Counter *> counters_;
+    std::vector<Distribution *> distributions_;
+};
+
+} // namespace cmt
+
+#endif // CMT_SUPPORT_STATS_H

@@ -1,0 +1,75 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/logging.h"
+
+namespace cmt
+{
+
+void
+Table::header(std::vector<std::string> cols)
+{
+    header_ = std::move(cols);
+}
+
+void
+Table::row(std::vector<std::string> cells)
+{
+    cmt_assert(cells.size() == header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+std::string
+Table::pct(double v, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", prec, v * 100.0);
+    return buf;
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t i = 0; i < header_.size(); ++i)
+        width[i] = header_[i].size();
+    for (const auto &r : rows_) {
+        for (std::size_t i = 0; i < r.size(); ++i)
+            width[i] = std::max(width[i], r[i].size());
+    }
+
+    auto print_row = [&](const std::vector<std::string> &r) {
+        for (std::size_t i = 0; i < r.size(); ++i) {
+            os << (i ? "  " : "");
+            // Left-align first column, right-align the rest.
+            if (i == 0) {
+                os << r[i] << std::string(width[i] - r[i].size(), ' ');
+            } else {
+                os << std::string(width[i] - r[i].size(), ' ') << r[i];
+            }
+        }
+        os << "\n";
+    };
+
+    if (!title_.empty())
+        os << title_ << "\n";
+    print_row(header_);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < width.size(); ++i)
+        total += width[i] + (i ? 2 : 0);
+    os << std::string(total, '-') << "\n";
+    for (const auto &r : rows_)
+        print_row(r);
+}
+
+} // namespace cmt

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Column-aligned plain-text table printer.
+ *
+ * Every bench binary reports its figure/table reproduction through this
+ * formatter so the output reads like the rows/series in the paper.
+ */
+
+#ifndef CMT_SUPPORT_TABLE_H
+#define CMT_SUPPORT_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cmt
+{
+
+/** A simple accumulating table: add a header, then rows, then print. */
+class Table
+{
+  public:
+    explicit Table(std::string title = "") : title_(std::move(title)) {}
+
+    /** Set the column headers (defines the column count). */
+    void header(std::vector<std::string> cols);
+
+    /** Append one row; must match the header's column count. */
+    void row(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p prec decimals. */
+    static std::string num(double v, int prec = 3);
+
+    /** Convenience: format a percentage with @p prec decimals. */
+    static std::string pct(double v, int prec = 1);
+
+    /** Render with aligned columns. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace cmt
+
+#endif // CMT_SUPPORT_TABLE_H

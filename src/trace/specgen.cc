@@ -1,0 +1,413 @@
+#include "trace/specgen.h"
+
+#include "support/logging.h"
+
+namespace cmt
+{
+
+namespace
+{
+
+/**
+ * Calibration notes. Parameters are set so that the *base* (no
+ * verification) configuration lands in the published ballpark for
+ * each benchmark: L2 miss-rate and DRAM bandwidth demand first (they
+ * drive every figure in the paper), IPC second.
+ *
+ *  - gzip:   small working set, almost everything cache-resident.
+ *  - gcc:    big code footprint, moderate data set, branchy.
+ *  - mcf:    pointer chasing over a huge arena; very low ILP and
+ *            latency-bound with high miss-rate.
+ *  - twolf/vpr/vortex: ~1-3 MB working sets - the cache-contention
+ *            victims when hashes pollute a 256 KB L2.
+ *  - applu/swim: FP streaming over tens of MB; bandwidth-bound, high
+ *            ILP - the naive scheme's worst cases.
+ *  - art:    repeated scans of a multi-MB matrix; thrashes a 1 MB L2
+ *            but fits in 4 MB.
+ */
+const WorkloadProfile kProfiles[] = {
+    {
+        .name = "gcc",
+        .fracLoad = 0.25, .fracStore = 0.13, .fracBranch = 0.20,
+        .fracFpu = 0.02, .fracMul = 0.02,
+        .depDensity = 0.70, .shortDepFrac = 0.75,
+        .fracStream = 0.10, .fracChase = 0.05,
+        .randomWorkingSet = 1 << 20,
+        .randomHotFraction = 0.99, .randomHotRegion = 128 << 10,
+        .numStreams = 2, .streamRegion = 256 << 10,
+        .chaseWorkingSet = 192 << 10,
+        .branchTakenBias = 0.60, .branchNoise = 0.10,
+        .codeFootprint = 1 << 20, .farJumpProb = 0.04,
+    },
+    {
+        .name = "gzip",
+        .fracLoad = 0.22, .fracStore = 0.12, .fracBranch = 0.17,
+        .fracFpu = 0.00, .fracMul = 0.02,
+        .depDensity = 0.60, .shortDepFrac = 0.80,
+        .fracStream = 0.40, .fracChase = 0.00,
+        .randomWorkingSet = 200 << 10,
+        .randomHotFraction = 0.0, .randomHotRegion = 48 << 10,
+        .numStreams = 2, .streamRegion = 96 << 10,
+        .chaseWorkingSet = 64 << 10,
+        .branchTakenBias = 0.65, .branchNoise = 0.06,
+        .codeFootprint = 64 << 10, .farJumpProb = 0.10,
+    },
+    {
+        .name = "mcf",
+        .fracLoad = 0.30, .fracStore = 0.08, .fracBranch = 0.19,
+        .fracFpu = 0.00, .fracMul = 0.01,
+        .depDensity = 0.75, .shortDepFrac = 0.70,
+        .fracStream = 0.05, .fracChase = 0.22,
+        .randomWorkingSet = 4 << 20,
+        .randomHotFraction = 0.97, .randomHotRegion = 256 << 10,
+        .numStreams = 1, .streamRegion = 1 << 20,
+        .chaseWorkingSet = 96ULL << 20,
+        .numChaseChains = 3,
+        .chaseHotFraction = 0.90, .chaseHotRegion = 2 << 20,
+        .branchTakenBias = 0.55, .branchNoise = 0.08,
+        .codeFootprint = 64 << 10, .farJumpProb = 0.10,
+    },
+    {
+        .name = "twolf",
+        .fracLoad = 0.26, .fracStore = 0.10, .fracBranch = 0.16,
+        .fracFpu = 0.05, .fracMul = 0.03,
+        .depDensity = 0.70, .shortDepFrac = 0.70,
+        .fracStream = 0.05, .fracChase = 0.10,
+        .randomWorkingSet = 3 << 18, // 768 KB
+        .randomHotFraction = 0.985, .randomHotRegion = 128 << 10,
+        .numStreams = 1, .streamRegion = 64 << 10,
+        .chaseWorkingSet = 128 << 10,
+        .branchTakenBias = 0.55, .branchNoise = 0.10,
+        .codeFootprint = 192 << 10, .farJumpProb = 0.03,
+    },
+    {
+        .name = "vortex",
+        .fracLoad = 0.28, .fracStore = 0.18, .fracBranch = 0.16,
+        .fracFpu = 0.00, .fracMul = 0.01,
+        .depDensity = 0.65, .shortDepFrac = 0.75,
+        .fracStream = 0.10, .fracChase = 0.05,
+        .randomWorkingSet = 5 << 18, // 1.25 MB
+        .randomHotFraction = 0.988, .randomHotRegion = 192 << 10,
+        .numStreams = 2, .streamRegion = 128 << 10,
+        .chaseWorkingSet = 128 << 10,
+        .branchTakenBias = 0.60, .branchNoise = 0.05,
+        .codeFootprint = 384 << 10, .farJumpProb = 0.035,
+    },
+    {
+        .name = "vpr",
+        .fracLoad = 0.28, .fracStore = 0.12, .fracBranch = 0.14,
+        .fracFpu = 0.08, .fracMul = 0.02,
+        .depDensity = 0.70, .shortDepFrac = 0.70,
+        .fracStream = 0.05, .fracChase = 0.15,
+        .randomWorkingSet = 1 << 20,
+        .randomHotFraction = 0.982, .randomHotRegion = 160 << 10,
+        .numStreams = 1, .streamRegion = 64 << 10,
+        .chaseWorkingSet = 192 << 10,
+        .branchTakenBias = 0.55, .branchNoise = 0.09,
+        .codeFootprint = 256 << 10, .farJumpProb = 0.03,
+    },
+    {
+        .name = "applu",
+        .fracLoad = 0.22, .fracStore = 0.10, .fracBranch = 0.03,
+        .fracFpu = 0.35, .fracMul = 0.02,
+        .depDensity = 0.50, .shortDepFrac = 0.60,
+        .fracStream = 0.52, .fracChase = 0.00,
+        .randomWorkingSet = 2 << 20,
+        .randomHotFraction = 0.95, .randomHotRegion = 192 << 10,
+        .numStreams = 4, .streamRegion = 30 << 20,
+        .numWriteStreams = 2,
+        .chaseWorkingSet = 64 << 10,
+        .branchTakenBias = 0.90, .branchNoise = 0.01,
+        .codeFootprint = 128 << 10, .farJumpProb = 0.05,
+    },
+    {
+        .name = "art",
+        .fracLoad = 0.26, .fracStore = 0.07, .fracBranch = 0.12,
+        .fracFpu = 0.25, .fracMul = 0.01,
+        .depDensity = 0.60, .shortDepFrac = 0.60,
+        .fracStream = 0.40, .fracChase = 0.00,
+        .randomWorkingSet = 3 << 20,
+        .randomHotFraction = 0.97, .randomHotRegion = 256 << 10,
+        .numStreams = 3, .streamRegion = 1 << 20,
+        .numWriteStreams = 1,
+        .chaseWorkingSet = 64 << 10,
+        .branchTakenBias = 0.70, .branchNoise = 0.03,
+        .codeFootprint = 64 << 10, .farJumpProb = 0.05,
+    },
+    {
+        .name = "swim",
+        .fracLoad = 0.20, .fracStore = 0.08, .fracBranch = 0.02,
+        .fracFpu = 0.40, .fracMul = 0.02,
+        .depDensity = 0.45, .shortDepFrac = 0.55,
+        .fracStream = 0.62, .fracChase = 0.00,
+        .randomWorkingSet = 1 << 20,
+        .randomHotFraction = 0.95, .randomHotRegion = 128 << 10,
+        .numStreams = 5, .streamRegion = 24 << 20,
+        .numWriteStreams = 3,
+        .chaseWorkingSet = 64 << 10,
+        .branchTakenBias = 0.95, .branchNoise = 0.005,
+        .codeFootprint = 64 << 10, .farJumpProb = 0.05,
+    },
+};
+
+} // namespace
+
+const std::vector<std::string> &
+specBenchmarks()
+{
+    static const std::vector<std::string> names = {
+        "gcc", "gzip", "mcf", "twolf", "vortex",
+        "vpr", "applu", "art", "swim",
+    };
+    return names;
+}
+
+WorkloadProfile
+profileFor(const std::string &name)
+{
+    for (const auto &p : kProfiles) {
+        if (p.name == name)
+            return p;
+    }
+    cmt_fatal("unknown benchmark '%s'", name.c_str());
+}
+
+SpecGen::SpecGen(const WorkloadProfile &profile, std::uint64_t seed)
+    : profile_(profile), rng_(seed ^ 0xc3a5c85c97cb3127ULL)
+{
+    // Region layout inside the protected physical space. Regions are
+    // sized generously and the backing store is sparse, so gaps are
+    // free.
+    codeBase_ = 0;
+    randomBase_ = 64ULL << 20;                          // 64 MB
+    chaseBase_ = 1ULL << 30;                            // 1 GB
+    streamBase_ = 2ULL << 30;                           // 2 GB
+
+    pc_ = codeBase_;
+    loopStart_ = codeBase_;
+    chains_.resize(std::max(1u, profile_.numChaseChains));
+    hotBase_ = 0;
+    streamCursor_.resize(profile_.numStreams);
+    for (unsigned i = 0; i < profile_.numStreams; ++i) {
+        // Desynchronise the streams.
+        streamCursor_[i] =
+            rng_.below(profile_.streamRegion / 64) * 64;
+    }
+    writeStreamCursor_.resize(profile_.numWriteStreams, 0);
+}
+
+std::uint64_t
+SpecGen::pickAddress(bool allow_chase, bool is_store)
+{
+    const double dice = rng_.real();
+    if (dice < profile_.fracStream && profile_.numStreams > 0) {
+        const unsigned s = nextStream_;
+        nextStream_ = (nextStream_ + 1) % profile_.numStreams;
+        std::uint64_t &cursor = streamCursor_[s];
+        const std::uint64_t addr =
+            streamBase_ + s * profile_.streamRegion + cursor;
+        cursor += 8;
+        if (cursor >= profile_.streamRegion)
+            cursor = 0;
+        return addr;
+    }
+    if (allow_chase && dice < profile_.fracStream + profile_.fracChase) {
+        return chaseBase_ +
+               8 * rng_.below(profile_.chaseWorkingSet / 8);
+    }
+    ++randCount_;
+    if (profile_.randomHotFraction > 0 &&
+        profile_.randomHotRegion < profile_.randomWorkingSet) {
+        if ((randCount_ & 0x3ffff) == 0) {
+            randHotBase_ = 8 * rng_.below((profile_.randomWorkingSet -
+                                           profile_.randomHotRegion) /
+                                          8);
+        }
+        if (rng_.real() < profile_.randomHotFraction) {
+            return randomBase_ + randHotBase_ +
+                   8 * rng_.below(profile_.randomHotRegion / 8);
+        }
+    }
+    // Programs mostly *read* cold data; mutation happens in hot
+    // structures. Redirect most cold stores to the hot window.
+    if (is_store && profile_.randomHotFraction > 0 &&
+        rng_.real() < profile_.coldStoreRedirect) {
+        return randomBase_ + randHotBase_ +
+               8 * rng_.below(profile_.randomHotRegion / 8);
+    }
+    // Cold access: walk spatial clusters rather than uniform chaos.
+    if (rng_.real() >= profile_.clusterStayProb) {
+        coldClusterBase_ = profile_.clusterSize *
+                           rng_.below(profile_.randomWorkingSet /
+                                      profile_.clusterSize);
+    }
+    return randomBase_ + coldClusterBase_ +
+           8 * rng_.below(profile_.clusterSize / 8);
+}
+
+bool
+SpecGen::next(TraceInstr &out)
+{
+    out = TraceInstr{};
+    ++instrIndex_;
+
+    const double dice = rng_.real();
+    double acc = profile_.fracLoad;
+    bool is_chase_load = false;
+
+    if (dice < acc) {
+        out.type = InstrType::kLoad;
+    } else if (dice < (acc += profile_.fracStore)) {
+        out.type = InstrType::kStore;
+    } else if (dice < (acc += profile_.fracBranch)) {
+        out.type = InstrType::kBranch;
+    } else if (dice < (acc += profile_.fracFpu)) {
+        out.type = InstrType::kFpu;
+    } else if (dice < (acc += profile_.fracMul)) {
+        out.type = InstrType::kMul;
+    } else if (dice < acc + profile_.fracCrypto) {
+        out.type = InstrType::kCrypto;
+    } else {
+        out.type = InstrType::kAlu;
+    }
+
+    // Program counter stream: sequential, with loops on taken
+    // branches and occasional far jumps (calls / phase changes).
+    out.pc = pc_;
+
+    if (out.type == InstrType::kLoad || out.type == InstrType::kStore) {
+        const double mdice = rng_.real();
+        if (out.type == InstrType::kLoad &&
+            mdice < profile_.fracChase) {
+            // Pointer chase: this load's address depends on the last
+            // chase load of its chain - serialised misses with
+            // numChaseChains-way memory-level parallelism. Accesses
+            // concentrate in a slowly-moving hot window, modelling
+            // pass structure over a big arena.
+            ++chaseCount_;
+            if ((chaseCount_ & 0xffff) == 0 ||
+                profile_.chaseHotRegion >= profile_.chaseWorkingSet) {
+                hotBase_ = 8 * rng_.below(
+                                   (profile_.chaseWorkingSet -
+                                    std::min(profile_.chaseHotRegion,
+                                             profile_.chaseWorkingSet)) /
+                                       8 +
+                                   1);
+            }
+            if (rng_.real() >= profile_.chaseClusterStayProb) {
+                // Hop to a new cluster, usually inside the hot window.
+                const bool hot =
+                    rng_.real() < profile_.chaseHotFraction;
+                const std::uint64_t region_base =
+                    hot ? hotBase_
+                        : profile_.clusterSize *
+                              rng_.below((profile_.chaseWorkingSet -
+                                          profile_.clusterSize) /
+                                         profile_.clusterSize);
+                const std::uint64_t region_size =
+                    hot ? profile_.chaseHotRegion : profile_.clusterSize;
+                chaseClusterBase_ =
+                    region_base +
+                    profile_.clusterSize *
+                        rng_.below(std::max<std::uint64_t>(
+                            1, region_size / profile_.clusterSize));
+            }
+            out.addr = chaseBase_ + chaseClusterBase_ +
+                       8 * rng_.below(profile_.clusterSize / 8);
+            is_chase_load = true;
+        } else {
+            // Chain-free accesses stay out of the chase arena: loads
+            // so the pointer chase keeps its memory-level parallelism
+            // of one, stores because mutation happens in hot
+            // structures, not mid-scan.
+            out.addr = pickAddress(false,
+                                   out.type == InstrType::kStore);
+        }
+        if (out.type == InstrType::kStore)
+            out.storeValue = rng_.next();
+    }
+
+    // Register dependences.
+    for (int s = 0; s < 2; ++s) {
+        if (rng_.real() >= profile_.depDensity)
+            continue;
+        const bool near = rng_.real() < profile_.shortDepFrac;
+        const std::uint64_t dist =
+            near ? 1 + rng_.below(4) : 5 + rng_.below(35);
+        out.srcDist[s] =
+            static_cast<std::uint8_t>(std::min<std::uint64_t>(dist, 255));
+    }
+    if (is_chase_load) {
+        // Overwrite source 0 with this chain's dependence.
+        ChaseChain &chain = chains_[nextChain_];
+        nextChain_ = (nextChain_ + 1) % chains_.size();
+        if (chain.live) {
+            const std::uint64_t dist = instrIndex_ - chain.lastIndex;
+            out.srcDist[0] = static_cast<std::uint8_t>(
+                std::min<std::uint64_t>(dist, 255));
+        }
+        chain.lastIndex = instrIndex_;
+        chain.live = true;
+    }
+
+    if (out.type == InstrType::kBranch) {
+        // Realistic branch structure: each static branch (PC) has its
+        // own strong bias - loops mostly taken, guards mostly not -
+        // with a branchNoise fraction of data-dependent (50/50) PCs.
+        // This is what lets gshare reach realistic accuracy; a global
+        // coin per dynamic branch would make prediction impossible.
+        std::uint64_t h = out.pc * 0x9e3779b97f4a7c15ULL;
+        h ^= h >> 29;
+        h *= 0xbf58476d1ce4e5b9ULL;
+        h ^= h >> 32;
+        const bool noisy_pc =
+            (h % 1024) < profile_.branchNoise * 1024;
+        if (noisy_pc) {
+            out.taken = rng_.chance(0.5);
+        } else {
+            const bool loop_like =
+                ((h >> 10) % 1024) < profile_.branchTakenBias * 1024;
+            out.taken = rng_.chance(loop_like ? 0.93 : 0.07);
+        }
+        if (out.taken) {
+            if (rng_.real() < profile_.farJumpProb) {
+                // Calls/returns concentrate on a set of hot sites
+                // (trained branch PCs, warm I-cache lines) with a
+                // uniform cold tail that keeps pressure on the
+                // I-cache for large-footprint codes.
+                if (rng_.real() < 0.7) {
+                    const std::uint64_t site =
+                        rng_.below(48) * 0x2493 % // spread pseudo-sites
+                        (profile_.codeFootprint / 4);
+                    pc_ = codeBase_ + 4 * site;
+                } else {
+                    pc_ = codeBase_ +
+                          4 * rng_.below(profile_.codeFootprint / 4);
+                }
+                loopStart_ = pc_;
+            } else if (rng_.real() < 0.12) {
+                // Loop exit: fall out into the following code and
+                // open a new loop region there.
+                pc_ = out.pc + 4;
+                loopStart_ = pc_;
+            } else {
+                // Back-edge to the loop head: the same body (same
+                // branch PCs, same I-cache lines) re-executes, as in
+                // real loops.
+                pc_ = loopStart_;
+            }
+            if (pc_ >= codeBase_ + profile_.codeFootprint) {
+                pc_ = codeBase_;
+                loopStart_ = pc_;
+            }
+            return true;
+        }
+    }
+
+    pc_ += 4;
+    if (pc_ >= codeBase_ + profile_.codeFootprint)
+        pc_ = codeBase_;
+    return true;
+}
+
+} // namespace cmt

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Synthetic SPEC CPU2000 workload generators ("specgen").
+ *
+ * The paper evaluates nine Alpha SPEC CPU2000 binaries (gcc, gzip,
+ * mcf, twolf, vortex, vpr, applu, art, swim) on SimpleScalar. Those
+ * binaries and their reference inputs are not redistributable here,
+ * so each benchmark is modelled by a parameterised stochastic
+ * generator that reproduces the *characteristics that drive the
+ * paper's results*: instruction mix, instruction-level parallelism
+ * (dependence distances), branch predictability, code footprint, and
+ * - most importantly - the memory access pattern (working-set size,
+ * streaming vs pointer-chasing vs random reuse) that determines L2
+ * miss-rate and DRAM bandwidth demand. See DESIGN.md for the
+ * substitution argument and EXPERIMENTS.md for the calibration
+ * against published per-benchmark behaviour.
+ */
+
+#ifndef CMT_TRACE_SPECGEN_H
+#define CMT_TRACE_SPECGEN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cpu/trace.h"
+#include "support/random.h"
+
+namespace cmt
+{
+
+/** Tunable character of one synthetic benchmark. */
+struct WorkloadProfile
+{
+    std::string name;
+
+    // Dynamic instruction mix (remainder is 1-cycle ALU).
+    double fracLoad = 0.25;
+    double fracStore = 0.12;
+    double fracBranch = 0.15;
+    double fracFpu = 0.0;
+    double fracMul = 0.02;
+
+    // Register dependence character (drives ILP).
+    double depDensity = 0.65; ///< P(a source operand has a producer)
+    double shortDepFrac = 0.75; ///< of which this close (1-4 back)
+
+    // Memory behaviour: fractions of memory ops per pattern
+    // (remainder is uniform over randomWorkingSet).
+    double fracStream = 0.1;
+    double fracChase = 0.0;
+    std::uint64_t randomWorkingSet = 1 << 20;
+    /** Fraction of random-region accesses hitting the slowly-moving
+     *  hot window (cache-resident locality). */
+    double randomHotFraction = 0.0;
+    std::uint64_t randomHotRegion = 256 << 10;
+    /** Cold misses arrive in spatial clusters (struct/page locality):
+     *  probability of staying inside the current cluster, and its
+     *  size. Neighbouring lines share hash-tree parents, which is
+     *  what makes cached verification cheap for real programs. */
+    double clusterStayProb = 0.96;
+    std::uint64_t clusterSize = 2 << 10;
+    /** Fraction of would-be cold stores redirected to the hot window
+     *  (programs scan cold data but mutate hot structures). */
+    double coldStoreRedirect = 0.8;
+    /** Chase-cluster dwell (pointer chases have weaker locality). */
+    double chaseClusterStayProb = 0.85;
+    unsigned numStreams = 2;
+    std::uint64_t streamRegion = 1 << 20;
+    /** Dedicated output streams: stores sweep their own arrays and
+     *  cover whole lines (the pattern Section 5.3's write-allocate-
+     *  without-fetch optimisation exploits). */
+    unsigned numWriteStreams = 0;
+    std::uint64_t chaseWorkingSet = 1 << 20;
+    /** Independent pointer chains (memory-level parallelism). */
+    unsigned numChaseChains = 1;
+    /** Fraction of chase accesses inside the slowly-moving hot
+     *  window (models mcf's pass structure over its arena). */
+    double chaseHotFraction = 0.0;
+    std::uint64_t chaseHotRegion = 2 << 20;
+
+    // Branch behaviour.
+    double branchTakenBias = 0.6;
+    double branchNoise = 0.08; ///< P(outcome is incompressible)
+
+    // Code behaviour.
+    std::uint64_t codeFootprint = 256 << 10;
+    double farJumpProb = 0.15; ///< taken branch leaves the local loop
+
+    // Section 5.8 workloads: fraction of crypto (signing) ops.
+    double fracCrypto = 0.0;
+};
+
+/** The nine benchmark names in the paper's order. */
+const std::vector<std::string> &specBenchmarks();
+
+/** Profile for one of the nine names; fatal on unknown name. */
+WorkloadProfile profileFor(const std::string &name);
+
+/** Stochastic instruction stream for a profile. */
+class SpecGen : public TraceSource
+{
+  public:
+    /**
+     * @param profile  benchmark character
+     * @param seed     RNG seed (runs are deterministic per seed)
+     */
+    explicit SpecGen(const WorkloadProfile &profile,
+                     std::uint64_t seed = 1);
+
+    bool next(TraceInstr &out) override;
+
+    const WorkloadProfile &profile() const { return profile_; }
+
+  private:
+    std::uint64_t pickAddress(bool allow_chase, bool is_store);
+
+    WorkloadProfile profile_;
+    Rng rng_;
+
+    // Region bases inside the protected physical space.
+    std::uint64_t codeBase_;
+    std::uint64_t randomBase_;
+    std::uint64_t chaseBase_;
+    std::uint64_t streamBase_;
+
+    std::uint64_t pc_;
+    std::uint64_t loopStart_ = 0;
+    std::uint64_t instrIndex_ = 0;
+    std::vector<std::uint64_t> streamCursor_;
+    unsigned nextStream_ = 0;
+    std::vector<std::uint64_t> writeStreamCursor_;
+    unsigned nextWriteStream_ = 0;
+    struct ChaseChain
+    {
+        std::uint64_t lastIndex = 0;
+        bool live = false;
+    };
+    std::vector<ChaseChain> chains_;
+    unsigned nextChain_ = 0;
+    std::uint64_t hotBase_ = 0;
+    std::uint64_t chaseCount_ = 0;
+    std::uint64_t randHotBase_ = 0;
+    std::uint64_t randCount_ = 0;
+    std::uint64_t coldClusterBase_ = 0;
+    std::uint64_t chaseClusterBase_ = 0;
+};
+
+} // namespace cmt
+
+#endif // CMT_TRACE_SPECGEN_H

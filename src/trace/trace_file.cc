@@ -1,0 +1,105 @@
+#include "trace/trace_file.h"
+
+#include <cstring>
+
+#include "support/logging.h"
+
+namespace cmt
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'C', 'M', 'T', 'T'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kRecordSize = 28;
+
+void
+put64(std::uint8_t *out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint64_t
+get64(const std::uint8_t *in)
+{
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | in[i];
+    return v;
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+    : file_(std::fopen(path.c_str(), "wb"))
+{
+    if (file_ == nullptr)
+        cmt_fatal("cannot open trace file '%s' for writing",
+                  path.c_str());
+    std::fwrite(kMagic, 1, sizeof(kMagic), file_);
+    std::uint8_t ver[4];
+    put64(ver, kVersion); // low 4 bytes of a u64 encoding
+    std::fwrite(ver, 1, 4, file_);
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (file_ != nullptr)
+        std::fclose(file_);
+}
+
+void
+TraceWriter::append(const TraceInstr &instr)
+{
+    std::uint8_t rec[kRecordSize];
+    rec[0] = static_cast<std::uint8_t>(instr.type);
+    rec[1] = instr.srcDist[0];
+    rec[2] = instr.srcDist[1];
+    rec[3] = instr.taken ? 1 : 0;
+    put64(rec + 4, instr.pc);
+    put64(rec + 12, instr.addr);
+    put64(rec + 20, instr.storeValue);
+    if (std::fwrite(rec, 1, kRecordSize, file_) != kRecordSize)
+        cmt_fatal("short write to trace file");
+    ++count_;
+}
+
+FileTrace::FileTrace(const std::string &path)
+    : file_(std::fopen(path.c_str(), "rb"))
+{
+    if (file_ == nullptr)
+        cmt_fatal("cannot open trace file '%s'", path.c_str());
+    char magic[4];
+    std::uint8_t ver[4];
+    if (std::fread(magic, 1, 4, file_) != 4 ||
+        std::memcmp(magic, kMagic, 4) != 0)
+        cmt_fatal("'%s' is not a CMT trace (bad magic)", path.c_str());
+    if (std::fread(ver, 1, 4, file_) != 4 || ver[0] != kVersion)
+        cmt_fatal("'%s': unsupported trace version", path.c_str());
+}
+
+FileTrace::~FileTrace()
+{
+    if (file_ != nullptr)
+        std::fclose(file_);
+}
+
+bool
+FileTrace::next(TraceInstr &out)
+{
+    std::uint8_t rec[kRecordSize];
+    if (std::fread(rec, 1, kRecordSize, file_) != kRecordSize)
+        return false;
+    out.type = static_cast<InstrType>(rec[0]);
+    out.srcDist[0] = rec[1];
+    out.srcDist[1] = rec[2];
+    out.taken = rec[3] & 1;
+    out.pc = get64(rec + 4);
+    out.addr = get64(rec + 12);
+    out.storeValue = get64(rec + 20);
+    return true;
+}
+
+} // namespace cmt

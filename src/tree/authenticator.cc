@@ -1,0 +1,83 @@
+#include "tree/authenticator.h"
+
+#include <cstring>
+
+#include "crypto/sha1.h"
+#include "support/logging.h"
+
+namespace cmt
+{
+
+Authenticator::Authenticator(Kind kind, const Key128 &key,
+                             std::size_t block_size, bool timestamps)
+    : kind_(kind), blockSize_(block_size)
+{
+    cmt_assert(block_size > 0);
+    if (kind_ == Kind::kXorMac)
+        mac_ = std::make_unique<XorMac>(key, timestamps);
+}
+
+Slot
+Authenticator::compute(std::span<const std::uint8_t> chunk,
+                       const Slot &prev_slot) const
+{
+    Slot out{};
+    switch (kind_) {
+      case Kind::kMd5:
+        out = Md5::digest(chunk);
+        break;
+      case Kind::kSha1Trunc: {
+        const Hash160 full = Sha1::digest(chunk);
+        std::memcpy(out.data(), full.data(), out.size());
+        break;
+      }
+      case Kind::kXorMac: {
+        const MacSlot prev = MacSlot::load(prev_slot.data());
+        MacSlot next;
+        next.tsBits = prev.tsBits;
+        next.mac = mac_->mac(chunk, blockSize_, next.tsBits);
+        next.store(out.data());
+        break;
+      }
+    }
+    return out;
+}
+
+bool
+Authenticator::verify(std::span<const std::uint8_t> chunk,
+                      const Slot &slot) const
+{
+    return compute(chunk, slot) == slot;
+}
+
+Slot
+Authenticator::updateSlot(const Slot &old_slot, unsigned block_idx,
+                          std::span<const std::uint8_t> old_block,
+                          std::span<const std::uint8_t> new_block) const
+{
+    cmt_assert(kind_ == Kind::kXorMac);
+    cmt_assert(old_block.size() == blockSize_);
+    cmt_assert(new_block.size() == blockSize_);
+
+    const MacSlot old_mac = MacSlot::load(old_slot.data());
+    const bool old_ts = (old_mac.tsBits >> block_idx) & 1;
+    const bool new_ts = !old_ts;
+
+    MacSlot next;
+    next.mac = mac_->update(old_mac.mac, block_idx, old_block, old_ts,
+                            new_block, new_ts);
+    next.tsBits = old_mac.tsBits ^ (1u << block_idx);
+
+    Slot out;
+    next.store(out.data());
+    return out;
+}
+
+bool
+Authenticator::tsBit(const Slot &slot, unsigned block_idx) const
+{
+    cmt_assert(kind_ == Kind::kXorMac);
+    return (MacSlot::load(slot.data()).tsBits >> block_idx) & 1;
+}
+
+} // namespace cmt

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Lazily-materialising view of tree-structured RAM.
+ *
+ * A freshly initialised tree over N bytes of zeroed memory has a
+ * perfectly regular shape: every untouched data chunk is all-zero and
+ * every untouched hash chunk at level k holds m copies of the
+ * canonical level-(k+1) authenticator. ChunkStore exploits this so
+ * that "initialise secure mode over 4 GB" (Section 5.7's procedure)
+ * costs O(levels) digests instead of hashing the world; chunks become
+ * concrete in the backing store on first write.
+ *
+ * All simulator and library RAM traffic flows through this class, so
+ * adversary tampering (a write) naturally promotes a chunk to
+ * concrete storage.
+ */
+
+#ifndef CMT_TREE_CHUNK_STORE_H
+#define CMT_TREE_CHUNK_STORE_H
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "mem/storage.h"
+#include "tree/authenticator.h"
+#include "tree/layout.h"
+
+namespace cmt
+{
+
+/** Storage decorator providing canonical content for virgin chunks. */
+class ChunkStore : public Storage
+{
+  public:
+    ChunkStore(Storage &base, const TreeLayout &layout,
+               const Authenticator &auth);
+
+    void read(std::uint64_t addr, std::span<std::uint8_t> out) override;
+    void write(std::uint64_t addr,
+               std::span<const std::uint8_t> in) override;
+
+    /** Whether @p chunk has ever been written concretely. */
+    bool
+    touched(std::uint64_t chunk) const
+    {
+        return touched_.contains(chunk);
+    }
+
+    /** Every chunk that has been written concretely. */
+    const std::unordered_set<std::uint64_t> &
+    touchedChunks() const
+    {
+        return touched_;
+    }
+
+    /**
+     * Mark @p chunk concrete without writing (state restore: the
+     * backing store already holds its bytes).
+     */
+    void markTouched(std::uint64_t chunk) { touched_.insert(chunk); }
+
+    /** Canonical (all-virgin) authenticator for a chunk at @p level. */
+    const Slot &
+    canonicalSlot(unsigned level) const
+    {
+        cmt_assert(level >= 1 && level <= layout_.levels());
+        return canonicalSlots_[level];
+    }
+
+    /** Convenience: read exactly one whole chunk. */
+    std::vector<std::uint8_t> readChunk(std::uint64_t chunk);
+
+    /** Convenience: read one 16-byte slot of a hash chunk. */
+    Slot readSlot(std::uint64_t chunk, std::uint64_t slot_index);
+
+    /** Convenience: overwrite one 16-byte slot of a hash chunk. */
+    void writeSlot(std::uint64_t chunk, std::uint64_t slot_index,
+                   const Slot &value);
+
+    const TreeLayout &layout() const { return layout_; }
+
+  private:
+    /** Fill @p out with the canonical content of @p chunk. */
+    void canonicalChunk(std::uint64_t chunk,
+                        std::span<std::uint8_t> out) const;
+
+    /** Ensure @p chunk is concrete in the backing store. */
+    void materialise(std::uint64_t chunk);
+
+    Storage &base_;
+    const TreeLayout &layout_;
+    const Authenticator &auth_;
+    std::unordered_set<std::uint64_t> touched_;
+    /** canonicalSlots_[k] = authenticator of a virgin level-k chunk. */
+    std::vector<Slot> canonicalSlots_;
+};
+
+} // namespace cmt
+
+#endif // CMT_TREE_CHUNK_STORE_H

@@ -1,0 +1,36 @@
+#include "tree/hash_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace cmt
+{
+
+HashEngine::HashEngine(EventQueue &events, const HashEngineParams &params,
+                       StatGroup &stats)
+    : stat_jobs(stats, "hash.jobs", "digest jobs issued"),
+      stat_bytes(stats, "hash.bytes", "bytes digested"),
+      events_(events), params_(params)
+{
+    cmt_assert(params_.throughputBytesPerCycle > 0);
+}
+
+void
+HashEngine::hash(unsigned bytes, std::function<void()> on_done)
+{
+    ++stat_jobs;
+    stat_bytes += bytes;
+
+    const Cycle occupancy = static_cast<Cycle>(
+        std::ceil(bytes / params_.throughputBytesPerCycle));
+    const Cycle start = std::max(events_.now(), nextFree_);
+    nextFree_ = start + occupancy;
+    busy_ += occupancy;
+
+    events_.schedule(start + occupancy + params_.latency,
+                     std::move(on_done));
+}
+
+} // namespace cmt

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Timing model of the on-chip hash unit (Section 6.1/6.2).
+ *
+ * The real unit digests 512-bit blocks over ~80 rounds; the paper
+ * models it with two parameters: a fixed latency (cycles from job
+ * start to digest) and a throughput (bytes/cycle the pipeline can
+ * absorb - 3.2 GB/s at 1 GHz default, one 64-byte hash every 20
+ * cycles). Jobs are served in order; a job's start is delayed until
+ * the pipeline has drained enough to accept it.
+ *
+ * The *values* of digests come from the functional layer; this class
+ * only answers "when is that digest ready".
+ */
+
+#ifndef CMT_TREE_HASH_ENGINE_H
+#define CMT_TREE_HASH_ENGINE_H
+
+#include <cstdint>
+#include <functional>
+
+#include "support/event.h"
+#include "support/stats.h"
+
+namespace cmt
+{
+
+/** Hash-unit parameters (defaults: Table 1). */
+struct HashEngineParams
+{
+    /** Cycles from job acceptance to digest availability. */
+    unsigned latency = 80;
+    /** Sustained digest bandwidth in bytes per cycle (3.2 = 3.2 GB/s
+     *  at a 1 GHz clock). */
+    double throughputBytesPerCycle = 3.2;
+};
+
+/** In-order pipelined hash unit. */
+class HashEngine
+{
+  public:
+    HashEngine(EventQueue &events, const HashEngineParams &params,
+               StatGroup &stats);
+
+    /**
+     * Enqueue a digest of @p bytes bytes; @p on_done fires when the
+     * digest would be available.
+     */
+    void hash(unsigned bytes, std::function<void()> on_done);
+
+    /** Cycles the pipeline front-end has been occupied. */
+    Cycle busyCycles() const { return busy_; }
+
+    Counter stat_jobs;
+    Counter stat_bytes;
+
+  private:
+    EventQueue &events_;
+    HashEngineParams params_;
+    Cycle nextFree_ = 0;
+    Cycle busy_ = 0;
+};
+
+} // namespace cmt
+
+#endif // CMT_TREE_HASH_ENGINE_H

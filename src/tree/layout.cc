@@ -1,0 +1,52 @@
+#include "tree/layout.h"
+
+#include "support/bitops.h"
+
+namespace cmt
+{
+
+TreeLayout::TreeLayout(std::uint64_t chunk_size,
+                       std::uint64_t protected_size)
+    : chunkSize_(chunk_size), arity_(chunk_size / kSlotSize)
+{
+    cmt_assert(isPow2(chunk_size));
+    cmt_assert(chunk_size >= 2 * kSlotSize);
+    cmt_assert(protected_size > 0);
+
+    // Smallest L with arity^L * chunkSize >= protectedSize.
+    levels_ = 1;
+    std::uint64_t leaves = arity_;
+    while (leaves * chunkSize_ < protected_size) {
+        leaves *= arity_;
+        ++levels_;
+        cmt_assert(levels_ < 32);
+    }
+
+    dataChunks_ = leaves;
+    levelStart_.resize(levels_ + 1);
+    std::uint64_t start = 0;
+    std::uint64_t width = arity_;
+    for (unsigned k = 1; k <= levels_; ++k) {
+        levelStart_[k - 1] = start;
+        start += width;
+        width *= arity_;
+    }
+    levelStart_[levels_] = start;
+    totalChunks_ = start;
+    firstDataChunk_ = totalChunks_ - dataChunks_;
+}
+
+unsigned
+TreeLayout::levelOf(std::uint64_t chunk) const
+{
+    cmt_assert(chunk < totalChunks_);
+    for (unsigned k = 1; k <= levels_; ++k) {
+        if (chunk < levelStart_[k])
+            return k;
+    }
+    cmt_panic("unreachable: chunk %llu beyond total %llu",
+              static_cast<unsigned long long>(chunk),
+              static_cast<unsigned long long>(totalChunks_));
+}
+
+} // namespace cmt

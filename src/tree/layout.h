@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Hash-tree address layout (Section 5.6 of the paper).
+ *
+ * Memory is divided into equal-size chunks; a chunk holds either data
+ * or m authenticators (16-byte slots) of its children. Using the
+ * paper's numbering, chunk i's authenticator lives at slot (i mod m)
+ * of chunk floor(i/m) - 1; a negative parent index means the value is
+ * held in on-chip secure storage (the m root registers).
+ *
+ * We instantiate the layout as a *perfect* m-ary tree: level k
+ * (k = 1..L) holds m^k chunks, the leaves (level L) are the data
+ * chunks, and they are contiguous at the top of the region - exactly
+ * the two properties the paper calls out (easy parent arithmetic,
+ * contiguous leaves). Protected capacity is rounded up to m^L chunks;
+ * the backing store is sparse so the rounding costs nothing.
+ */
+
+#ifndef CMT_TREE_LAYOUT_H
+#define CMT_TREE_LAYOUT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "support/logging.h"
+
+namespace cmt
+{
+
+/** Geometry of the tree over the protected region. */
+class TreeLayout
+{
+  public:
+    /** Bytes of one authenticator slot (128-bit hash or MAC+ts). */
+    static constexpr std::uint64_t kSlotSize = 16;
+
+    /**
+     * @param chunk_size      bytes per chunk (power of two >= 32)
+     * @param protected_size  data bytes to protect; rounded up to a
+     *                        whole number of leaf levels
+     */
+    TreeLayout(std::uint64_t chunk_size, std::uint64_t protected_size);
+
+    std::uint64_t chunkSize() const { return chunkSize_; }
+
+    /** Tree arity: slots per hash chunk. */
+    std::uint64_t arity() const { return arity_; }
+
+    /** Number of levels; leaves (data) live at level levels(). */
+    unsigned levels() const { return levels_; }
+
+    /** Total chunks, hash and data together. */
+    std::uint64_t totalChunks() const { return totalChunks_; }
+
+    /** Number of data (leaf) chunks. */
+    std::uint64_t dataChunks() const { return dataChunks_; }
+
+    /** Index of the first data chunk. */
+    std::uint64_t firstDataChunk() const { return firstDataChunk_; }
+
+    /** Usable protected capacity in bytes. */
+    std::uint64_t dataBytes() const { return dataChunks_ * chunkSize_; }
+
+    /** Hash-region overhead in bytes. */
+    std::uint64_t
+    hashBytes() const
+    {
+        return firstDataChunk_ * chunkSize_;
+    }
+
+    /** Parent chunk of @p chunk, or -1 if rooted in secure storage. */
+    std::int64_t
+    parentOf(std::uint64_t chunk) const
+    {
+        return static_cast<std::int64_t>(chunk / arity_) - 1;
+    }
+
+    /** Slot index of @p chunk's authenticator in its parent. */
+    std::uint64_t slotIndexOf(std::uint64_t chunk) const
+    {
+        return chunk % arity_;
+    }
+
+    /** Child @p slot of hash chunk @p chunk. */
+    std::uint64_t
+    childOf(std::uint64_t chunk, std::uint64_t slot) const
+    {
+        return arity_ * (chunk + 1) + slot;
+    }
+
+    /** True if @p chunk holds authenticators rather than data. */
+    bool
+    isHashChunk(std::uint64_t chunk) const
+    {
+        return chunk < firstDataChunk_;
+    }
+
+    /** Level (1 = just below the root registers) of @p chunk. */
+    unsigned levelOf(std::uint64_t chunk) const;
+
+    /** RAM byte address of @p chunk's first byte. */
+    std::uint64_t
+    chunkAddr(std::uint64_t chunk) const
+    {
+        return chunk * chunkSize_;
+    }
+
+    /** Chunk containing RAM byte address @p ram_addr. */
+    std::uint64_t
+    chunkOf(std::uint64_t ram_addr) const
+    {
+        return ram_addr / chunkSize_;
+    }
+
+    /** RAM address of slot @p slot inside hash chunk @p chunk. */
+    std::uint64_t
+    slotAddr(std::uint64_t chunk, std::uint64_t slot) const
+    {
+        return chunkAddr(chunk) + slot * kSlotSize;
+    }
+
+    /** Translate a CPU physical address into the RAM address space. */
+    std::uint64_t
+    dataToRam(std::uint64_t cpu_addr) const
+    {
+        cmt_assert(cpu_addr < dataBytes());
+        return cpu_addr + firstDataChunk_ * chunkSize_;
+    }
+
+    /** Inverse of dataToRam. */
+    std::uint64_t
+    ramToData(std::uint64_t ram_addr) const
+    {
+        cmt_assert(ram_addr >= firstDataChunk_ * chunkSize_);
+        return ram_addr - firstDataChunk_ * chunkSize_;
+    }
+
+    /**
+     * Number of hash-chunk ancestors between a data chunk and the
+     * secure root registers: the log_m(N) cost the paper's naive
+     * scheme pays on every miss.
+     */
+    unsigned ancestorDepth() const { return levels_ - 1; }
+
+  private:
+    std::uint64_t chunkSize_;
+    std::uint64_t arity_;
+    unsigned levels_;
+    std::uint64_t totalChunks_;
+    std::uint64_t dataChunks_;
+    std::uint64_t firstDataChunk_;
+    /** levelStart_[k] = index of the first chunk at level k+1. */
+    std::vector<std::uint64_t> levelStart_;
+};
+
+} // namespace cmt
+
+#endif // CMT_TREE_LAYOUT_H

@@ -1,0 +1,1192 @@
+#include "tree/secure_l2.h"
+#include <cstdio>
+#include <cstdlib>
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+
+#include "support/bitops.h"
+
+namespace cmt
+{
+
+const char *
+schemeName(Scheme scheme)
+{
+    switch (scheme) {
+      case Scheme::kBase:
+        return "base";
+      case Scheme::kNaive:
+        return "naive";
+      case Scheme::kCached:
+        return "cached";
+      case Scheme::kIncremental:
+        return "incremental";
+    }
+    return "?";
+}
+
+SecureL2::SecureL2(EventQueue &events, MainMemory &memory,
+                   ChunkStore &ram, HashEngine &hasher,
+                   const TreeLayout &layout, const Authenticator &auth,
+                   const SecureL2Params &params, StatGroup &stats)
+    : stat_reads(stats, "l2.reads", "demand read accesses"),
+      stat_writes(stats, "l2.writes", "demand store accesses"),
+      stat_readHits(stats, "l2.read_hits", "demand read hits"),
+      stat_readMisses(stats, "l2.read_misses", "demand read misses"),
+      stat_writeMisses(stats, "l2.write_misses", "store allocations"),
+      stat_demandBlockReads(stats, "l2.demand_block_reads",
+                            "RAM block reads serving demand"),
+      stat_integrityBlockReads(stats, "l2.integrity_block_reads",
+                               "RAM block reads added by verification"),
+      stat_evictionsDirty(stats, "l2.evictions_dirty",
+                          "dirty lines written back"),
+      stat_evictionsClean(stats, "l2.evictions_clean",
+                          "clean lines dropped"),
+      stat_checks(stats, "l2.checks", "chunk checks announced"),
+      stat_checkFailures(stats, "l2.check_failures",
+                         "integrity exceptions raised"),
+      stat_hashChunkFetches(stats, "l2.hash_chunk_fetches",
+                            "recursive parent-chunk fetches"),
+      stat_bufferStallEvents(stats, "l2.buffer_stalls",
+                             "demand misses queued on full buffers"),
+      events_(events), memory_(memory), ram_(ram), hasher_(hasher),
+      layout_(layout), auth_(auth), params_(params),
+      array_(CacheParams{"l2", params.sizeBytes, params.assoc,
+                         params.blockSize, /*storesData=*/true})
+{
+    cmt_assert(params_.chunkSize % params_.blockSize == 0);
+    cmt_assert(params_.chunkSize == layout_.chunkSize());
+    if (params_.scheme == Scheme::kIncremental)
+        cmt_assert(auth_.incremental());
+
+    roots_.resize(layout_.arity());
+    for (std::uint64_t i = 0; i < layout_.arity(); ++i)
+        roots_[i] = ram_.canonicalSlot(1);
+}
+
+namespace
+{
+std::int64_t
+traceChunkId();
+} // namespace
+
+/**
+ * Debug-only: verify that the traced chunk's authoritative slot
+ * (valid L2 copy, else RAM) matches its current RAM image.
+ */
+void
+SecureL2::debugCheckInvariant(const char *tag)
+{
+    const std::int64_t id = traceChunkId();
+    if (id < 0 || flowDepth_ > 0)
+        return;
+    const std::uint64_t chunk = static_cast<std::uint64_t>(id);
+    const std::vector<std::uint8_t> image = ramChunkImage(chunk);
+    const Slot expected = expectedSlotNow(chunk);
+    if (!auth_.verify(image, expected)) {
+        std::fprintf(stderr,
+                     "INVARIANT BROKEN @%llu after %s (chunk %llu)\n",
+                     static_cast<unsigned long long>(events_.now()),
+                     tag, static_cast<unsigned long long>(chunk));
+    }
+}
+
+namespace
+{
+std::int64_t
+traceChunkId()
+{
+    static std::int64_t id = [] {
+        const char *env = std::getenv("CMT_TRACE_CHUNK");
+        return env ? std::atoll(env) : -1;
+    }();
+    return id;
+}
+} // namespace
+
+bool
+SecureL2::buffersAvailable() const
+{
+    return readBufferUsed_ < params_.readBufferEntries &&
+           writeBufferUsed_ < params_.writeBufferEntries;
+}
+
+bool
+SecureL2::demandStalled() const
+{
+    return isTreeScheme() && !buffersAvailable();
+}
+
+// --------------------------------------------------------------------
+// Core-side interface
+// --------------------------------------------------------------------
+
+void
+SecureL2::read(std::uint64_t cpu_addr, unsigned size, Callback on_data)
+{
+    ++stat_reads;
+    const std::uint64_t ram_addr = ramOf(cpu_addr);
+    readRam(ram_addr, array_.wordMask(ram_addr % params_.blockSize, size),
+            std::move(on_data));
+}
+
+void
+SecureL2::readRam(std::uint64_t ram_addr, std::uint64_t need_mask,
+                  Callback on_data)
+{
+    CacheArray::Line *line = array_.lookup(ram_addr);
+    if (line && (line->validWords & need_mask) == need_mask) {
+        ++stat_readHits;
+        events_.scheduleIn(params_.hitLatency, std::move(on_data));
+        return;
+    }
+    ++stat_readMisses;
+    startMiss(ram_addr, need_mask, std::move(on_data));
+}
+
+void
+SecureL2::write(std::uint64_t cpu_addr, std::span<const std::uint8_t> data)
+{
+    ++stat_writes;
+    writeRam(ramOf(cpu_addr), data);
+}
+
+void
+SecureL2::writeRam(std::uint64_t ram_addr,
+                   std::span<const std::uint8_t> data)
+{
+    const unsigned offset = ram_addr % params_.blockSize;
+    cmt_assert(offset + data.size() <= params_.blockSize);
+    // Stores are word-granular: per-word valid bits cannot represent
+    // a sub-word write (the core issues aligned 8-byte stores; slot
+    // updates are aligned 16-byte writes).
+    cmt_assert(offset % kWordSize == 0 &&
+               data.size() % kWordSize == 0);
+    const std::uint64_t mask = array_.wordMask(offset, data.size());
+
+    CacheArray::Line *line = array_.lookup(ram_addr);
+    if (line == nullptr) {
+        ++stat_writeMisses;
+        // The baseline uses classic write-allocate (fetch the block on
+        // a store miss, like the SimpleScalar L2 the paper measures);
+        // the tree schemes use the Section 5.3 optimisation (allocate
+        // with only the stored words valid - never fetch, never
+        // check) unless the ablation disables it. Slot publishes from
+        // the integrity machinery always take the no-fetch path: the
+        // Write algorithm's fetch is modelled at eviction time.
+        const bool internal =
+            isTreeScheme() &&
+            layout_.isHashChunk(layout_.chunkOf(ram_addr));
+        if (internal || (isTreeScheme() && params_.writeAllocNoFetch)) {
+            line = allocateLine(ram_addr);
+        } else {
+            // Fetch (and for tree schemes check) the block, then
+            // apply the store on fill.
+            std::vector<std::uint8_t> copy(data.begin(), data.end());
+            startMiss(ram_addr, mask,
+                      [this, ram_addr, copy = std::move(copy)]() {
+                          writeRam(ram_addr, copy);
+                      });
+            return;
+        }
+    }
+    if (traceChunkId() >= 0 &&
+        layout_.chunkOf(ram_addr) ==
+            static_cast<std::uint64_t>(traceChunkId())) {
+        std::fprintf(stderr, "@%llu writeRam into chunk=%lld addr=%llx "
+                             "size=%zu\n",
+                     static_cast<unsigned long long>(events_.now()),
+                     static_cast<long long>(traceChunkId()),
+                     static_cast<unsigned long long>(ram_addr),
+                     data.size());
+    }
+    std::memcpy(line->data.data() + offset, data.data(), data.size());
+    line->validWords |= mask;
+    line->dirty = true;
+    debugCheckInvariant("writeRam");
+}
+
+// --------------------------------------------------------------------
+// Demand-miss dispatch
+// --------------------------------------------------------------------
+
+void
+SecureL2::startMiss(std::uint64_t ram_addr, std::uint64_t need_mask,
+                    Callback on_data)
+{
+    if (isTreeScheme() && !buffersAvailable()) {
+        ++stat_bufferStallEvents;
+        pendingMisses_.push_back(
+            PendingMiss{ram_addr, need_mask, std::move(on_data)});
+        return;
+    }
+
+    const std::uint64_t block_addr = array_.blockAddr(ram_addr);
+    auto [it, fresh] = mshrs_.try_emplace(block_addr);
+    it->second.waiters.push_back(std::move(on_data));
+    if (!fresh)
+        return; // piggyback on the outstanding fetch
+
+    switch (params_.scheme) {
+      case Scheme::kBase:
+        baseFetchBlock(block_addr);
+        break;
+      case Scheme::kNaive:
+        naiveFetchBlock(block_addr);
+        break;
+      case Scheme::kCached:
+      case Scheme::kIncremental: {
+        const std::uint64_t chunk = layout_.chunkOf(block_addr);
+        cachedFetchChunk(chunk, /*demand=*/true);
+        // The chunk may already have filled (fetch raced ahead of this
+        // miss); complete immediately in that case.
+        const auto f = fetches_.find(chunk);
+        if (f != fetches_.end() && f->second.dataArrived &&
+            params_.speculativeChecks) {
+            completeMshr(block_addr);
+        }
+        break;
+      }
+    }
+}
+
+void
+SecureL2::retryPendingMisses()
+{
+    while (!pendingMisses_.empty() && buffersAvailable()) {
+        PendingMiss pm = std::move(pendingMisses_.front());
+        pendingMisses_.pop_front();
+        // Re-check: the block may have been filled meanwhile.
+        CacheArray::Line *line = array_.lookup(pm.ram_addr);
+        if (line && (line->validWords & pm.need_mask) == pm.need_mask) {
+            events_.scheduleIn(params_.hitLatency, std::move(pm.on_data));
+            continue;
+        }
+        startMiss(pm.ram_addr, pm.need_mask, std::move(pm.on_data));
+    }
+}
+
+// --------------------------------------------------------------------
+// MSHR plumbing
+// --------------------------------------------------------------------
+
+void
+SecureL2::completeMshr(std::uint64_t block_addr)
+{
+    const auto it = mshrs_.find(block_addr);
+    if (it == mshrs_.end())
+        return;
+    // Privacy extension: data blocks decrypt on the way in.
+    const Cycle extra =
+        params_.encryptData &&
+                !layout_.isHashChunk(layout_.chunkOf(block_addr))
+            ? params_.decryptLatency
+            : 0;
+    for (auto &cb : it->second.waiters)
+        events_.scheduleIn(extra, std::move(cb));
+    mshrs_.erase(it);
+}
+
+void
+SecureL2::completeMshrsOfChunk(std::uint64_t chunk)
+{
+    const std::uint64_t base = layout_.chunkAddr(chunk);
+    for (unsigned b = 0; b < blocksPerChunk(); ++b)
+        completeMshr(base + static_cast<std::uint64_t>(b) *
+                                params_.blockSize);
+}
+
+// --------------------------------------------------------------------
+// Fills
+// --------------------------------------------------------------------
+
+std::vector<std::uint8_t>
+SecureL2::ramChunkImage(std::uint64_t chunk)
+{
+    return ram_.readChunk(chunk);
+}
+
+void
+SecureL2::fillBlockFromRam(std::uint64_t block_addr)
+{
+    CacheArray::Line *line = array_.lookup(block_addr, false);
+    if (line == nullptr)
+        line = allocateLine(block_addr);
+
+    std::vector<std::uint8_t> bytes(params_.blockSize);
+    ram_.read(block_addr, bytes);
+    for (unsigned w = 0; w < array_.wordsPerBlock(); ++w) {
+        if ((line->validWords >> w) & 1)
+            continue; // keep (possibly dirty) cached words
+        std::memcpy(line->data.data() + w * kWordSize,
+                    bytes.data() + w * kWordSize, kWordSize);
+    }
+    line->validWords = array_.fullMask();
+    debugCheckInvariant("fillBlockFromRam");
+}
+
+void
+SecureL2::fillChunkFromRam(std::uint64_t chunk)
+{
+    const std::uint64_t base = layout_.chunkAddr(chunk);
+    for (unsigned b = 0; b < blocksPerChunk(); ++b)
+        fillBlockFromRam(base +
+                         static_cast<std::uint64_t>(b) * params_.blockSize);
+}
+
+// --------------------------------------------------------------------
+// Expected-slot resolution
+// --------------------------------------------------------------------
+
+bool
+SecureL2::parentSlotCachedNow(std::uint64_t chunk)
+{
+    const std::int64_t parent = layout_.parentOf(chunk);
+    if (parent < 0)
+        return true;
+    const std::uint64_t slot_addr = layout_.slotAddr(
+        static_cast<std::uint64_t>(parent), layout_.slotIndexOf(chunk));
+    CacheArray::Line *line = array_.lookup(slot_addr, false);
+    if (line == nullptr)
+        return false;
+    const std::uint64_t mask = array_.wordMask(
+        slot_addr % params_.blockSize, TreeLayout::kSlotSize);
+    return (line->validWords & mask) == mask;
+}
+
+Slot
+SecureL2::expectedSlotNow(std::uint64_t chunk)
+{
+    const std::int64_t parent = layout_.parentOf(chunk);
+    if (parent < 0)
+        return roots_[chunk];
+
+    const std::uint64_t pchunk = static_cast<std::uint64_t>(parent);
+    const std::uint64_t slot_index = layout_.slotIndexOf(chunk);
+    const std::uint64_t slot_addr = layout_.slotAddr(pchunk, slot_index);
+
+    CacheArray::Line *line = array_.lookup(slot_addr, false);
+    if (line != nullptr) {
+        const unsigned offset = slot_addr % params_.blockSize;
+        const std::uint64_t mask =
+            array_.wordMask(offset, TreeLayout::kSlotSize);
+        if ((line->validWords & mask) == mask) {
+            Slot out;
+            std::memcpy(out.data(), line->data.data() + offset,
+                        out.size());
+            return out;
+        }
+    }
+    return ram_.readSlot(pchunk, slot_index);
+}
+
+// --------------------------------------------------------------------
+// Cached/incremental miss path (ReadAndCheckChunk)
+// --------------------------------------------------------------------
+
+void
+SecureL2::cachedFetchChunk(std::uint64_t chunk, bool demand)
+{
+    if (fetches_.contains(chunk))
+        return;
+
+    auto [it, inserted] = fetches_.try_emplace(chunk);
+    ChunkFetch &f = it->second;
+    f.chunk = chunk;
+    f.demand = demand;
+    ++readBufferUsed_;
+
+    // Issue RAM reads for every block that is not clean-and-complete
+    // in the cache: the hash covers the *memory image*, so dirty or
+    // partial cached blocks must be re-read from RAM (Section 5.4).
+    const std::uint64_t base = layout_.chunkAddr(chunk);
+    for (unsigned b = 0; b < blocksPerChunk(); ++b) {
+        const std::uint64_t block_addr =
+            base + static_cast<std::uint64_t>(b) * params_.blockSize;
+        CacheArray::Line *line = array_.lookup(block_addr, false);
+        const bool cached_clean = line != nullptr && !line->dirty &&
+                                  line->validWords == array_.fullMask();
+        if (cached_clean)
+            continue;
+        if (mshrs_.contains(block_addr))
+            ++stat_demandBlockReads;
+        else
+            ++stat_integrityBlockReads;
+        ++f.pendingReads;
+        memory_.read(block_addr, params_.blockSize,
+                     [this, chunk](std::span<const std::uint8_t>) {
+                         auto fit = fetches_.find(chunk);
+                         if (fit == fetches_.end())
+                             return;
+                         if (--fit->second.pendingReads == 0)
+                             chunkDataArrived(chunk);
+                     });
+    }
+
+    // Resolve where the parent authenticator will come from.
+    const std::int64_t parent = layout_.parentOf(chunk);
+    if (parent < 0 || parentSlotCachedNow(chunk)) {
+        f.parentReady = true;
+    } else {
+        const std::uint64_t pchunk = static_cast<std::uint64_t>(parent);
+        ++stat_hashChunkFetches;
+        cachedFetchChunk(pchunk, /*demand=*/false);
+        auto pit = fetches_.find(pchunk);
+        if (pit != fetches_.end() && !pit->second.dataArrived) {
+            pit->second.dependents.push_back(chunk);
+        } else {
+            // Parent already filled (or completed inside the recursive
+            // call): its slot is available now.
+            f.parentReady = true;
+        }
+    }
+
+    if (f.pendingReads == 0) {
+        // Everything was cached-clean (possible for recursively
+        // fetched parents): data is available immediately.
+        events_.scheduleIn(0, [this, chunk] {
+            auto fit = fetches_.find(chunk);
+            if (fit != fetches_.end() && !fit->second.dataArrived)
+                chunkDataArrived(chunk);
+        });
+    }
+}
+
+void
+SecureL2::chunkDataArrived(std::uint64_t chunk)
+{
+    ChunkFetch &f = fetches_.at(chunk);
+    f.dataArrived = true;
+
+    // Functional verdict against the *current* RAM image and the
+    // current trusted slot (cached copy if present, RAM otherwise).
+    const std::vector<std::uint8_t> image = ramChunkImage(chunk);
+    f.verdictOk = auth_.verify(image, expectedSlotNow(chunk));
+    if (static_cast<std::int64_t>(chunk) == traceChunkId()) {
+        std::fprintf(stderr, "@%llu dataArrived chunk=%llu ok=%d\n",
+                     static_cast<unsigned long long>(events_.now()),
+                     static_cast<unsigned long long>(chunk),
+                     static_cast<int>(f.verdictOk));
+    }
+
+    if (!f.verdictOk && std::getenv("CMT_DEBUG_VERDICT")) {
+        const std::int64_t parent = layout_.parentOf(chunk);
+        const Slot ram_slot =
+            parent < 0 ? roots_[chunk]
+                       : ram_.readSlot(static_cast<std::uint64_t>(parent),
+                                       layout_.slotIndexOf(chunk));
+        const Slot expected = expectedSlotNow(chunk);
+        const Slot computed = auth_.compute(image, expected);
+        std::fprintf(
+            stderr,
+            "VERDICT FAIL @%llu chunk=%llu level=%u hash=%d "
+            "slot_cached=%d ram_slot_matches=%d exp=%02x%02x "
+            "ram=%02x%02x got=%02x%02x\n",
+            static_cast<unsigned long long>(events_.now()),
+            static_cast<unsigned long long>(chunk),
+            layout_.levelOf(chunk),
+            static_cast<int>(layout_.isHashChunk(chunk)),
+            static_cast<int>(parentSlotCachedNow(chunk)),
+            static_cast<int>(auth_.verify(image, ram_slot)),
+            expected[0], expected[1], ram_slot[0], ram_slot[1],
+            computed[0], computed[1]);
+    }
+
+    // ReadAndCheck step 3: put the chunk's uncached blocks in the
+    // cache. The fill may evict lines and trigger write-backs.
+    fillChunkFromRam(chunk);
+
+    if (params_.speculativeChecks)
+        completeMshrsOfChunk(chunk);
+
+    // Children waiting for this chunk's slot values can now compare.
+    ChunkFetch &f2 = fetches_.at(chunk); // re-find: map may rebalance
+    for (const std::uint64_t child : f2.dependents) {
+        auto cit = fetches_.find(child);
+        if (cit != fetches_.end()) {
+            cit->second.parentReady = true;
+            chunkMaybeComplete(child);
+        }
+    }
+    f2.dependents.clear();
+
+    hasher_.hash(static_cast<unsigned>(params_.chunkSize),
+                 [this, chunk]() {
+                     auto fit = fetches_.find(chunk);
+                     if (fit == fetches_.end())
+                         return;
+                     fit->second.hashDone = true;
+                     chunkMaybeComplete(chunk);
+                 });
+
+    chunkMaybeComplete(chunk);
+}
+
+void
+SecureL2::chunkMaybeComplete(std::uint64_t chunk)
+{
+    auto it = fetches_.find(chunk);
+    if (it == fetches_.end())
+        return;
+    ChunkFetch &f = it->second;
+    if (!f.dataArrived || !f.hashDone || !f.parentReady)
+        return;
+
+    ++stat_checks;
+    if (!f.verdictOk)
+        ++stat_checkFailures;
+
+    if (!params_.speculativeChecks)
+        completeMshrsOfChunk(chunk);
+
+    fetches_.erase(it);
+    cmt_assert(readBufferUsed_ > 0);
+    --readBufferUsed_;
+    retryPendingMisses();
+}
+
+// --------------------------------------------------------------------
+// Base scheme miss path
+// --------------------------------------------------------------------
+
+void
+SecureL2::baseFetchBlock(std::uint64_t block_addr)
+{
+    ++stat_demandBlockReads;
+    memory_.read(block_addr, params_.blockSize,
+                 [this, block_addr](std::span<const std::uint8_t>) {
+                     fillBlockFromRam(block_addr);
+                     completeMshr(block_addr);
+                 });
+}
+
+// --------------------------------------------------------------------
+// Naive scheme miss path
+// --------------------------------------------------------------------
+
+void
+SecureL2::naiveFetchBlock(std::uint64_t block_addr)
+{
+    ++readBufferUsed_;
+    const std::uint64_t chunk = layout_.chunkOf(block_addr);
+
+    // Read the whole leaf chunk plus every ancestor hash chunk.
+    std::vector<std::uint64_t> path;
+    path.push_back(chunk);
+    std::int64_t cur = layout_.parentOf(chunk);
+    while (cur >= 0) {
+        path.push_back(static_cast<std::uint64_t>(cur));
+        cur = layout_.parentOf(static_cast<std::uint64_t>(cur));
+    }
+
+    auto pending = std::make_shared<unsigned>(
+        static_cast<unsigned>(path.size()));
+
+    const auto all_arrived = [this, block_addr, chunk, path]() {
+        // Verdict: walk the chain bottom-up against current RAM.
+        bool ok = true;
+        for (const std::uint64_t c : path) {
+            const std::vector<std::uint8_t> image = ramChunkImage(c);
+            const std::int64_t parent = layout_.parentOf(c);
+            const Slot expected =
+                parent < 0
+                    ? roots_[c]
+                    : ram_.readSlot(static_cast<std::uint64_t>(parent),
+                                    layout_.slotIndexOf(c));
+            ok = ok && auth_.verify(image, expected);
+        }
+
+        // Only the demand data block enters the cache: the naive
+        // machinery never caches hashes.
+        fillBlockFromRam(block_addr);
+        if (params_.speculativeChecks)
+            completeMshr(block_addr);
+
+        // One digest per chunk in the path; the last completion
+        // announces the check and frees the buffer entry.
+        auto jobs = std::make_shared<unsigned>(
+            static_cast<unsigned>(path.size()));
+        for (std::size_t i = 0; i < path.size(); ++i) {
+            hasher_.hash(static_cast<unsigned>(params_.chunkSize),
+                         [this, jobs, ok, block_addr]() {
+                             if (--*jobs > 0)
+                                 return;
+                             ++stat_checks;
+                             if (!ok)
+                                 ++stat_checkFailures;
+                             if (!params_.speculativeChecks)
+                                 completeMshr(block_addr);
+                             cmt_assert(readBufferUsed_ > 0);
+                             --readBufferUsed_;
+                             retryPendingMisses();
+                         });
+        }
+    };
+
+    for (std::size_t i = 0; i < path.size(); ++i) {
+        if (i == 0)
+            ++stat_demandBlockReads;
+        else
+            ++stat_integrityBlockReads;
+        memory_.read(layout_.chunkAddr(path[i]),
+                     static_cast<unsigned>(params_.chunkSize),
+                     [pending, all_arrived](std::span<const std::uint8_t>) {
+                         if (--*pending == 0)
+                             all_arrived();
+                     });
+    }
+}
+
+// --------------------------------------------------------------------
+// Evictions
+// --------------------------------------------------------------------
+
+CacheArray::Line *
+SecureL2::allocateLine(std::uint64_t block_addr)
+{
+    cmt_assert(++evictionDepth_ < 64);
+    for (;;) {
+        CacheArray::Victim victim;
+        array_.allocate(block_addr, &victim);
+        if (victim.valid)
+            handleEviction(std::move(victim));
+        // The eviction cascade can wrap around the set and displace
+        // the line we just allocated (its own write-backs allocate
+        // parent-slot lines); callers hold the returned pointer
+        // across no further operations, so it must be valid *now*.
+        // Re-look-up and retry if the cascade displaced it.
+        if (CacheArray::Line *line = array_.lookup(block_addr, false)) {
+            --evictionDepth_;
+            return line;
+        }
+    }
+}
+
+void
+SecureL2::handleEviction(CacheArray::Victim &&victim)
+{
+    // Inclusion: tell the L1s their copies are gone.
+    if (onBackInvalidate &&
+        !layout_.isHashChunk(layout_.chunkOf(victim.blockAddr))) {
+        onBackInvalidate(layout_.ramToData(victim.blockAddr),
+                         params_.blockSize);
+    }
+
+    if (static_cast<std::int64_t>(layout_.chunkOf(victim.blockAddr)) ==
+        traceChunkId()) {
+        std::fprintf(stderr,
+                     "@%llu handleEviction chunk=%lld dirty=%d "
+                     "valid=%llx\n",
+                     static_cast<unsigned long long>(events_.now()),
+                     static_cast<long long>(traceChunkId()),
+                     static_cast<int>(victim.dirty),
+                     static_cast<unsigned long long>(victim.validWords));
+    }
+    if (!victim.dirty) {
+        ++stat_evictionsClean;
+        return;
+    }
+    ++stat_evictionsDirty;
+
+    switch (params_.scheme) {
+      case Scheme::kBase:
+        baseEvict(victim);
+        break;
+      case Scheme::kNaive:
+        naiveEvict(victim);
+        break;
+      case Scheme::kCached:
+        cachedEvict(victim);
+        break;
+      case Scheme::kIncremental:
+        incrementalEvict(victim);
+        break;
+    }
+}
+
+namespace
+{
+
+/** Merge a victim's valid words over the RAM image of its block. */
+std::vector<std::uint8_t>
+mergeVictimOverRam(const CacheArray::Victim &victim, ChunkStore &ram,
+                   unsigned block_size)
+{
+    std::vector<std::uint8_t> bytes(block_size);
+    ram.read(victim.blockAddr, bytes);
+    for (unsigned w = 0; w < block_size / kWordSize; ++w) {
+        if ((victim.validWords >> w) & 1) {
+            std::memcpy(bytes.data() + w * kWordSize,
+                        victim.data.data() + w * kWordSize, kWordSize);
+        }
+    }
+    return bytes;
+}
+
+} // namespace
+
+void
+SecureL2::baseEvict(const CacheArray::Victim &victim)
+{
+    // Partial writes are legal on a real bus: write the valid words.
+    unsigned bytes = 0;
+    for (unsigned w = 0; w < array_.wordsPerBlock(); ++w) {
+        if (!((victim.validWords >> w) & 1))
+            continue;
+        ram_.write(victim.blockAddr + w * kWordSize,
+                   {victim.data.data() + w * kWordSize, kWordSize});
+        bytes += kWordSize;
+    }
+    if (bytes > 0)
+        memory_.write(victim.blockAddr, bytes);
+}
+
+void
+SecureL2::naiveEvict(const CacheArray::Victim &victim)
+{
+    struct FlowGuard
+    {
+        SecureL2 &l2;
+        explicit FlowGuard(SecureL2 &owner) : l2(owner)
+        {
+            ++l2.flowDepth_;
+        }
+        ~FlowGuard()
+        {
+            if (--l2.flowDepth_ == 0)
+                l2.debugCheckInvariant("cascade-exit");
+        }
+    } guard(*this);
+    ++writeBufferUsed_;
+
+    // Functional: merge, write, and rebuild the ancestor path now.
+    const std::vector<std::uint8_t> merged =
+        mergeVictimOverRam(victim, ram_, params_.blockSize);
+    ram_.write(victim.blockAddr, merged);
+    const std::uint64_t chunk = layout_.chunkOf(victim.blockAddr);
+    const unsigned ancestors = naiveRecomputePath(chunk);
+
+    // Timing: read every ancestor (read-modify-write) plus the block's
+    // missing words if it was partial, hash every level, write
+    // everything back.
+    auto pending = std::make_shared<unsigned>(0);
+    const bool partial = victim.validWords != array_.fullMask();
+    const unsigned reads = ancestors + (partial ? 1 : 0);
+    stat_integrityBlockReads += reads;
+
+    const auto after_reads = [this, ancestors, chunk]() {
+        const unsigned jobs_total = ancestors + 1;
+        auto jobs = std::make_shared<unsigned>(jobs_total);
+        for (unsigned i = 0; i < jobs_total; ++i) {
+            hasher_.hash(static_cast<unsigned>(params_.chunkSize),
+                         [this, jobs]() {
+                             if (--*jobs > 0)
+                                 return;
+                             cmt_assert(writeBufferUsed_ > 0);
+                             --writeBufferUsed_;
+                             retryPendingMisses();
+                         });
+        }
+        // Write the block plus every ancestor chunk.
+        memory_.write(layout_.chunkAddr(chunk), params_.blockSize);
+        std::int64_t cur = layout_.parentOf(chunk);
+        while (cur >= 0) {
+            memory_.write(
+                layout_.chunkAddr(static_cast<std::uint64_t>(cur)),
+                static_cast<unsigned>(params_.chunkSize));
+            cur = layout_.parentOf(static_cast<std::uint64_t>(cur));
+        }
+    };
+
+    if (reads == 0) {
+        after_reads();
+        return;
+    }
+    *pending = reads;
+    std::int64_t cur = layout_.parentOf(chunk);
+    for (unsigned i = 0; i < reads; ++i) {
+        // Addresses only matter for bus occupancy; use the path.
+        const std::uint64_t addr =
+            cur >= 0 ? layout_.chunkAddr(static_cast<std::uint64_t>(cur))
+                     : victim.blockAddr;
+        if (cur >= 0)
+            cur = layout_.parentOf(static_cast<std::uint64_t>(cur));
+        memory_.read(addr, static_cast<unsigned>(params_.chunkSize),
+                     [pending, after_reads](std::span<const std::uint8_t>) {
+                         if (--*pending == 0)
+                             after_reads();
+                     });
+    }
+}
+
+unsigned
+SecureL2::naiveRecomputePath(std::uint64_t chunk)
+{
+    unsigned updated = 0;
+    std::uint64_t cur = chunk;
+    const Slot zero{};
+    for (;;) {
+        const Slot slot = auth_.compute(ramChunkImage(cur), zero);
+        const std::int64_t parent = layout_.parentOf(cur);
+        if (parent < 0) {
+            roots_[cur] = slot;
+            break;
+        }
+        ram_.writeSlot(static_cast<std::uint64_t>(parent),
+                       layout_.slotIndexOf(cur), slot);
+        cur = static_cast<std::uint64_t>(parent);
+        ++updated;
+    }
+    return updated;
+}
+
+void
+SecureL2::cachedEvict(const CacheArray::Victim &victim)
+{
+    struct FlowGuard
+    {
+        SecureL2 &l2;
+        explicit FlowGuard(SecureL2 &owner) : l2(owner)
+        {
+            ++l2.flowDepth_;
+        }
+        ~FlowGuard()
+        {
+            if (--l2.flowDepth_ == 0)
+                l2.debugCheckInvariant("cascade-exit");
+        }
+    } guard(*this);
+    ++writeBufferUsed_;
+
+    const std::uint64_t chunk = layout_.chunkOf(victim.blockAddr);
+    const std::uint64_t base = layout_.chunkAddr(chunk);
+
+    // Assemble the new chunk image: victim words, other cached valid
+    // words, RAM for the rest. Track which blocks must be written and
+    // how many RAM reads (missing words) the write-back needs.
+    std::vector<std::uint8_t> image(params_.chunkSize);
+    ram_.read(base, image);
+
+    unsigned ram_reads = 0;
+    unsigned dirty_blocks = 0;
+    bool chunk_fully_cached = true;
+
+    for (unsigned b = 0; b < blocksPerChunk(); ++b) {
+        const std::uint64_t block_addr =
+            base + static_cast<std::uint64_t>(b) * params_.blockSize;
+        std::uint8_t *dst = image.data() + b * params_.blockSize;
+
+        const std::uint8_t *src = nullptr;
+        std::uint64_t valid = 0;
+        bool dirty = false;
+        if (block_addr == victim.blockAddr) {
+            src = victim.data.data();
+            valid = victim.validWords;
+            dirty = true;
+        } else if (CacheArray::Line *line =
+                       array_.lookup(block_addr, false)) {
+            src = line->data.data();
+            valid = line->validWords;
+            dirty = line->dirty;
+            // Section 5.4 Write-Back step 2: every cached block of the
+            // chunk is written back together and marked clean.
+            if (line->dirty) {
+                line->dirty = false;
+            }
+        }
+        if (valid != array_.fullMask())
+            chunk_fully_cached = false;
+        if (src != nullptr) {
+            for (unsigned w = 0; w < array_.wordsPerBlock(); ++w) {
+                if ((valid >> w) & 1)
+                    std::memcpy(dst + w * kWordSize,
+                                src + w * kWordSize, kWordSize);
+            }
+        }
+        if (dirty)
+            ++dirty_blocks;
+    }
+
+    // Timing reads: if the chunk was not entirely contained in the
+    // cache, the missing data comes from RAM via ReadAndCheckChunk.
+    if (!chunk_fully_cached)
+        ram_reads = 1; // modelled as one chunk-sized read
+
+    // Functional commit, ordered to be safe against nested evictions:
+    //  1. RAM gets the assembled image first, so any nested flow
+    //     reading this chunk (e.g. a child write-back fetching its
+    //     slot) sees fresh bytes.
+    //  2. The parent slot's line is made resident; that allocation may
+    //     displace other dirty lines - even a resurrected block of
+    //     THIS chunk (a child's publish can re-allocate it and a
+    //     deeper allocation re-evict it), advancing the chunk's RAM
+    //     image past what we assembled.
+    //  3. The authenticator is therefore recomputed from the *current*
+    //     RAM image and published with no allocation possible in
+    //     between: read-compute-publish is atomic.
+    // Timing decision captured before residency/publish below.
+    const bool parent_slot_was_cached = parentSlotCachedNow(chunk);
+
+    ram_.write(base, image);
+
+    const std::int64_t evict_parent = layout_.parentOf(chunk);
+    if (evict_parent >= 0) {
+        const std::uint64_t slot_addr = layout_.slotAddr(
+            static_cast<std::uint64_t>(evict_parent),
+            layout_.slotIndexOf(chunk));
+        if (array_.lookup(slot_addr, false) == nullptr) {
+            ++stat_writeMisses;
+            allocateLine(array_.blockAddr(slot_addr));
+        }
+        cmt_assert(array_.lookup(slot_addr, false) != nullptr);
+    }
+
+    // Timestamp bits of a MAC-kind slot carry over from the current
+    // slot value.
+    const Slot prev = expectedSlotNow(chunk);
+    const Slot new_slot = auth_.compute(ramChunkImage(chunk), prev);
+
+    if (static_cast<std::int64_t>(chunk) == traceChunkId()) {
+        std::fprintf(stderr,
+                     "@%llu cachedEvict chunk=%llu victim=%llx "
+                     "valid=%llx fullycached=%d\n",
+                     static_cast<unsigned long long>(events_.now()),
+                     static_cast<unsigned long long>(chunk),
+                     static_cast<unsigned long long>(victim.blockAddr),
+                     static_cast<unsigned long long>(victim.validWords),
+                     static_cast<int>(chunk_fully_cached));
+    }
+
+    publishSlot(chunk, new_slot);
+    debugCheckInvariant("cachedEvict");
+
+    // Timing: the ReadAndCheckChunk for missing data also needs the
+    // parent authenticator; charge the recursive fetch when the slot
+    // is not resident (symmetric with the i scheme's parent read).
+    if (ram_reads > 0 && evict_parent >= 0 && !parent_slot_was_cached) {
+        ++stat_hashChunkFetches;
+        cachedFetchChunk(static_cast<std::uint64_t>(evict_parent),
+                         /*demand=*/false);
+    }
+
+    // Timing: optional missing-data read, then the digest (plus one
+    // more digest for the ReadAndCheckChunk verification of the
+    // missing data), then the block writes.
+    const auto do_hashes = [this, dirty_blocks, base, extra_check =
+                                                          !chunk_fully_cached]() {
+        const unsigned jobs_total = extra_check ? 2u : 1u;
+        auto jobs = std::make_shared<unsigned>(jobs_total);
+        for (unsigned i = 0; i < jobs_total; ++i) {
+            hasher_.hash(static_cast<unsigned>(params_.chunkSize),
+                         [this, jobs]() {
+                             if (--*jobs > 0)
+                                 return;
+                             cmt_assert(writeBufferUsed_ > 0);
+                             --writeBufferUsed_;
+                             retryPendingMisses();
+                         });
+        }
+        for (unsigned b = 0; b < dirty_blocks; ++b)
+            memory_.write(base + b * params_.blockSize,
+                          params_.blockSize);
+    };
+
+    if (ram_reads > 0) {
+        stat_integrityBlockReads += blocksPerChunk() > 1
+                                        ? blocksPerChunk() - 1
+                                        : 1;
+        memory_.read(base, static_cast<unsigned>(params_.chunkSize),
+                     [do_hashes](std::span<const std::uint8_t>) {
+                         do_hashes();
+                     });
+    } else {
+        do_hashes();
+    }
+}
+
+void
+SecureL2::incrementalEvict(const CacheArray::Victim &victim)
+{
+    struct FlowGuard
+    {
+        SecureL2 &l2;
+        explicit FlowGuard(SecureL2 &owner) : l2(owner)
+        {
+            ++l2.flowDepth_;
+        }
+        ~FlowGuard()
+        {
+            if (--l2.flowDepth_ == 0)
+                l2.debugCheckInvariant("cascade-exit");
+        }
+    } guard(*this);
+    ++writeBufferUsed_;
+
+    const std::uint64_t chunk = layout_.chunkOf(victim.blockAddr);
+    const unsigned block_idx = static_cast<unsigned>(
+        (victim.blockAddr % params_.chunkSize) / params_.blockSize);
+
+    // Timing decision must be taken before the parent line becomes
+    // resident below.
+    const bool parent_was_cached = parentSlotCachedNow(chunk);
+
+    // Functional: capture the old block, then put the new bytes in
+    // RAM *before* anything can recurse. Nested evictions triggered
+    // below may read this chunk's image (e.g. a child of this hash
+    // chunk writing back reads its slot from RAM) and must see fresh
+    // bytes - the victim's line is already gone from the array.
+    std::vector<std::uint8_t> old_block(params_.blockSize);
+    ram_.read(victim.blockAddr, old_block);
+    const std::vector<std::uint8_t> new_block =
+        mergeVictimOverRam(victim, ram_, params_.blockSize);
+    ram_.write(victim.blockAddr, new_block);
+
+    // Make the parent slot's line resident next: allocating it inside
+    // publishSlot could displace another dirty block of this same
+    // chunk, whose nested MAC update would then be clobbered by our
+    // (stale) slot value. With the line resident, the
+    // read-update-publish below is atomic. Nested same-chunk slot
+    // updates that do land during this allocation commute with ours:
+    // each fixes only its own xor term.
+    const std::int64_t parent = layout_.parentOf(chunk);
+    if (parent >= 0) {
+        const std::uint64_t slot_addr =
+            layout_.slotAddr(static_cast<std::uint64_t>(parent),
+                             layout_.slotIndexOf(chunk));
+        if (array_.lookup(slot_addr, false) == nullptr) {
+            ++stat_writeMisses;
+            allocateLine(array_.blockAddr(slot_addr));
+        }
+        // Fail loudly if a nested chain displaced the line again.
+        cmt_assert(array_.lookup(slot_addr, false) != nullptr);
+    }
+
+    const Slot old_slot = expectedSlotNow(chunk);
+    const Slot new_slot =
+        auth_.updateSlot(old_slot, block_idx, old_block, new_block);
+    publishSlot(chunk, new_slot);
+
+    // Timing: the parent MAC is read via ReadAndCheck (free if its
+    // slot is cached, a recursive chunk fetch otherwise), the old
+    // block is read straight from RAM, two h_k terms are computed,
+    // then the block is written.
+    if (!parent_was_cached && layout_.parentOf(chunk) >= 0) {
+        ++stat_hashChunkFetches;
+        cachedFetchChunk(
+            static_cast<std::uint64_t>(layout_.parentOf(chunk)),
+            /*demand=*/false);
+    }
+
+    ++stat_integrityBlockReads; // the unchecked old-value read
+    memory_.read(
+        victim.blockAddr, params_.blockSize,
+        [this, block_addr = victim.blockAddr](
+            std::span<const std::uint8_t>) {
+            auto jobs = std::make_shared<unsigned>(2);
+            for (int i = 0; i < 2; ++i) {
+                hasher_.hash(static_cast<unsigned>(params_.blockSize),
+                             [this, jobs]() {
+                                 if (--*jobs > 0)
+                                     return;
+                                 cmt_assert(writeBufferUsed_ > 0);
+                                 --writeBufferUsed_;
+                                 retryPendingMisses();
+                             });
+            }
+            memory_.write(block_addr, params_.blockSize);
+        });
+}
+
+void
+SecureL2::publishSlot(std::uint64_t chunk, const Slot &value)
+{
+    if (static_cast<std::int64_t>(chunk) == traceChunkId()) {
+        std::fprintf(stderr, "@%llu publishSlot chunk=%llu v=%02x%02x..\n",
+                     static_cast<unsigned long long>(events_.now()),
+                     static_cast<unsigned long long>(chunk), value[0],
+                     value[1]);
+    }
+    const std::int64_t parent = layout_.parentOf(chunk);
+    if (parent < 0) {
+        roots_[chunk] = value;
+        return;
+    }
+    const std::uint64_t slot_addr = layout_.slotAddr(
+        static_cast<std::uint64_t>(parent), layout_.slotIndexOf(chunk));
+
+    if (isCachedScheme()) {
+        // The Write algorithm: the slot lands in the (trusted) cache
+        // and flows to RAM when the parent is itself evicted.
+        writeRam(slot_addr, value);
+        return;
+    }
+    // Naive: straight to RAM (callers rebuild the ancestor path).
+    ram_.write(slot_addr, value);
+}
+
+bool
+SecureL2::verifyTreeConsistency()
+{
+    if (!isTreeScheme())
+        return true;
+    for (const std::uint64_t chunk : ram_.touchedChunks()) {
+        const std::vector<std::uint8_t> image = ramChunkImage(chunk);
+        const std::int64_t parent = layout_.parentOf(chunk);
+        const Slot expected =
+            parent < 0
+                ? roots_[chunk]
+                : ram_.readSlot(static_cast<std::uint64_t>(parent),
+                                layout_.slotIndexOf(chunk));
+        if (!auth_.verify(image, expected))
+            return false;
+    }
+    return true;
+}
+
+void
+SecureL2::flushAllDirty()
+{
+    // Descending block address order: children of a chunk live at
+    // higher addresses than their ancestors, so parent-slot updates
+    // land in lines we have not yet visited. Repeat until clean.
+    for (;;) {
+        std::vector<std::uint64_t> dirty;
+        array_.forEachLine([&](CacheArray::Line &line) {
+            if (line.dirty)
+                dirty.push_back(line.blockAddr);
+        });
+        if (dirty.empty())
+            return;
+        std::sort(dirty.begin(), dirty.end(), std::greater<>());
+        for (const std::uint64_t addr : dirty) {
+            CacheArray::Line *line = array_.lookup(addr, false);
+            if (line == nullptr || !line->dirty)
+                continue;
+            CacheArray::Victim victim;
+            victim.valid = true;
+            victim.dirty = true;
+            victim.blockAddr = line->blockAddr;
+            victim.validWords = line->validWords;
+            victim.data = line->data;
+            line->dirty = false;
+            switch (params_.scheme) {
+              case Scheme::kBase:
+                baseEvict(victim);
+                break;
+              case Scheme::kNaive:
+                naiveEvict(victim);
+                break;
+              case Scheme::kCached:
+                cachedEvict(victim);
+                break;
+              case Scheme::kIncremental:
+                incrementalEvict(victim);
+                break;
+            }
+        }
+    }
+}
+
+} // namespace cmt

@@ -1,0 +1,335 @@
+/**
+ * @file
+ * SecureL2: the unified L2 cache + memory-integrity machinery - the
+ * paper's central artefact (Sections 5.2-5.5, hardware of Section 6.1).
+ *
+ * One class implements all four evaluated schemes:
+ *
+ *  - Scheme::kBase   : plain L2, no verification (baseline).
+ *  - Scheme::kNaive  : checker between L2 and RAM; hashes are never
+ *                      cached, every miss reads and verifies the whole
+ *                      ancestor path, every write-back rewrites it.
+ *  - Scheme::kCached : the c/m algorithms - hash chunks are cached in
+ *                      the L2 itself; a cached chunk is the trusted
+ *                      root of its subtree. chunkSize == blockSize
+ *                      gives c, chunkSize == k*blockSize gives m.
+ *  - Scheme::kIncremental : the i algorithm - like kCached but chunk
+ *                      authenticators are incremental XOR-MACs with
+ *                      one-bit timestamps, so a write-back touches one
+ *                      block instead of the whole chunk.
+ *
+ * Functional model: the L2 lines and RAM carry real bytes and slots
+ * carry real MD5/MAC values, so injected tampering is genuinely
+ * detected. All functional state transitions happen atomically inside
+ * event handlers; the timing machinery (bus, DRAM, hash engine,
+ * read/write buffers) only decides *when* fills complete and checks
+ * are announced. Verdicts are resolved against the RAM/L2 state at
+ * the chunk's data-arrival instant.
+ *
+ * Speculation (Section 5.8): demand data is returned to the core as
+ * soon as it arrives from DRAM; checks complete in the background.
+ * `speculativeChecks = false` reproduces the blocking design for the
+ * ablation study.
+ */
+
+#ifndef CMT_TREE_SECURE_L2_H
+#define CMT_TREE_SECURE_L2_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cache/cache_array.h"
+#include "mem/main_memory.h"
+#include "support/event.h"
+#include "support/stats.h"
+#include "tree/authenticator.h"
+#include "tree/chunk_store.h"
+#include "tree/hash_engine.h"
+#include "tree/layout.h"
+
+namespace cmt
+{
+
+/** Which verification scheme the L2 complex runs. */
+enum class Scheme
+{
+    kBase,
+    kNaive,
+    kCached,
+    kIncremental,
+};
+
+/** Human-readable scheme name for reports. */
+const char *schemeName(Scheme scheme);
+
+/** SecureL2 parameters (defaults follow Table 1). */
+struct SecureL2Params
+{
+    Scheme scheme = Scheme::kCached;
+    /** L2 geometry. */
+    std::uint64_t sizeBytes = 1 << 20;
+    unsigned assoc = 4;
+    unsigned blockSize = 64;
+    /** Tree chunk size; == blockSize for c, k*blockSize for m/i. */
+    std::uint64_t chunkSize = 64;
+    /** Protected physical capacity (tree leaves). */
+    std::uint64_t protectedSize = 4ULL << 30;
+    /** L2 hit latency in cycles. */
+    unsigned hitLatency = 10;
+    /** Read/write hash-buffer entries (Section 6.5). */
+    unsigned readBufferEntries = 16;
+    unsigned writeBufferEntries = 16;
+    /** Digest selection; kIncremental forces kXorMac. */
+    Authenticator::Kind authKind = Authenticator::Kind::kMd5;
+    bool timestamps = true;
+    /** Section 5.3 optimisation: allocate store misses without
+     *  fetching (per-word valid bits). Ablation toggle. */
+    bool writeAllocNoFetch = true;
+    /** Section 5.8: return data before its check completes. */
+    bool speculativeChecks = true;
+    /**
+     * Extension (beyond the paper, toward AEGIS): encrypt data blocks
+     * off-chip. Modelled as a pipelined decrypt latency on the miss
+     * return path for data (not hash) blocks - one-time-pad style
+     * counter-mode pads make throughput a non-issue, so latency is
+     * the whole cost. The paper explicitly excludes privacy; this
+     * toggle quantifies what adding it would cost on top of
+     * verification.
+     */
+    bool encryptData = false;
+    unsigned decryptLatency = 40;
+    Key128 key{};
+};
+
+/** The L2 complex: cache array + integrity controller + RAM port. */
+class SecureL2
+{
+  public:
+    using Callback = std::function<void()>;
+
+    SecureL2(EventQueue &events, MainMemory &memory, ChunkStore &ram,
+             HashEngine &hasher, const TreeLayout &layout,
+             const Authenticator &auth, const SecureL2Params &params,
+             StatGroup &stats);
+
+    // ----- core-side interface (CPU physical addresses) --------------
+
+    /**
+     * Demand read of @p size bytes at @p cpu_addr (must lie within one
+     * L2 block). @p on_data fires when the bytes are available to the
+     * L1 - for misses that is DRAM arrival, before checks finish,
+     * unless speculativeChecks is off.
+     */
+    void read(std::uint64_t cpu_addr, unsigned size, Callback on_data);
+
+    /**
+     * Write-through store of @p data (from the L1/core). Completes
+     * immediately into the L2 (write-allocate without fetch).
+     */
+    void write(std::uint64_t cpu_addr,
+               std::span<const std::uint8_t> data);
+
+    /** Invoked with (cpu_addr, len) when inclusion evicts L1 copies. */
+    std::function<void(std::uint64_t, unsigned)> onBackInvalidate;
+
+    /**
+     * True while the miss path cannot accept a new demand miss
+     * (hash buffers full); the core should retry next cycle.
+     */
+    bool demandStalled() const;
+
+    /** Write every dirty line back (end-of-run bookkeeping). */
+    void flushAllDirty();
+
+    /**
+     * Whole-tree audit: after a flushAllDirty, every touched chunk's
+     * RAM image must match its parent slot (or root register).
+     * @return false on any inconsistency. Tree schemes only.
+     */
+    bool verifyTreeConsistency();
+
+    /** Number of integrity-check mismatches observed so far. */
+    std::uint64_t integrityFailures() const
+    {
+        return stat_checkFailures.value();
+    }
+
+    /**
+     * Checks still in flight (read- plus write-buffer occupancy);
+     * crypto barrier instructions drain this to zero before they
+     * commit (Section 5.8).
+     */
+    unsigned
+    pendingChecks() const
+    {
+        return readBufferUsed_ + writeBufferUsed_;
+    }
+
+    const TreeLayout &layout() const { return layout_; }
+    Scheme scheme() const { return params_.scheme; }
+
+    // ----- statistics -------------------------------------------------
+    Counter stat_reads;          ///< demand read accesses
+    Counter stat_writes;         ///< demand store accesses
+    Counter stat_readHits;
+    Counter stat_readMisses;     ///< demand read misses (program data)
+    Counter stat_writeMisses;    ///< store misses (allocations)
+    Counter stat_demandBlockReads; ///< RAM block reads serving demand
+    Counter stat_integrityBlockReads; ///< RAM reads added by checking
+    Counter stat_evictionsDirty;
+    Counter stat_evictionsClean;
+    Counter stat_checks;         ///< chunk checks announced
+    Counter stat_checkFailures;  ///< integrity exceptions raised
+    Counter stat_hashChunkFetches; ///< recursive parent-chunk fetches
+    Counter stat_bufferStallEvents; ///< demand misses queued on buffers
+
+  private:
+    // ----- in-flight chunk verification ------------------------------
+    struct ChunkFetch
+    {
+        std::uint64_t chunk = 0;
+        unsigned pendingReads = 0;
+        bool dataArrived = false;
+        bool hashDone = false;
+        bool parentReady = false;
+        bool verdictOk = true;
+        bool demand = false; ///< occupies a read-buffer entry
+        /** Fetches of children waiting on this chunk's data. */
+        std::vector<std::uint64_t> dependents;
+    };
+
+    struct Mshr
+    {
+        std::vector<Callback> waiters;
+    };
+
+    /** Deferred demand miss waiting for buffer space. */
+    struct PendingMiss
+    {
+        std::uint64_t ram_addr;
+        std::uint64_t need_mask;
+        Callback on_data;
+    };
+
+    bool isTreeScheme() const
+    {
+        return params_.scheme != Scheme::kBase;
+    }
+    bool isCachedScheme() const
+    {
+        return params_.scheme == Scheme::kCached ||
+               params_.scheme == Scheme::kIncremental;
+    }
+
+    unsigned blocksPerChunk() const
+    {
+        return static_cast<unsigned>(params_.chunkSize /
+                                     params_.blockSize);
+    }
+
+    /** RAM address helpers. */
+    std::uint64_t ramOf(std::uint64_t cpu_addr) const
+    {
+        return layout_.dataToRam(cpu_addr);
+    }
+
+    /** Internal read access in RAM address space. */
+    void readRam(std::uint64_t ram_addr, std::uint64_t need_mask,
+                 Callback on_data);
+
+    /** Internal write access in RAM address space (slot updates). */
+    void writeRam(std::uint64_t ram_addr,
+                  std::span<const std::uint8_t> data);
+
+    /** Handle a demand miss on @p ram_addr's block. */
+    void startMiss(std::uint64_t ram_addr, std::uint64_t need_mask,
+                   Callback on_data);
+
+    /** Admission control for demand misses. */
+    bool buffersAvailable() const;
+    void retryPendingMisses();
+
+    // ----- scheme-specific miss paths ---------------------------------
+    void baseFetchBlock(std::uint64_t block_addr);
+    void naiveFetchBlock(std::uint64_t block_addr);
+    void cachedFetchChunk(std::uint64_t chunk, bool demand);
+
+    /** Resolve the trusted authenticator of @p chunk right now. */
+    Slot expectedSlotNow(std::uint64_t chunk);
+
+    /** True if the L2 holds valid words covering @p chunk's slot in
+     *  its parent block. */
+    bool parentSlotCachedNow(std::uint64_t chunk);
+
+    /** Fill L2 lines of @p chunk from current RAM (invalid words
+     *  only) and complete the blocks' MSHRs. */
+    void fillChunkFromRam(std::uint64_t chunk);
+
+    /** Fill one block's invalid words from RAM bytes. */
+    void fillBlockFromRam(std::uint64_t block_addr);
+
+    /** Chunk-fetch completion plumbing. */
+    void chunkDataArrived(std::uint64_t chunk);
+    void chunkMaybeComplete(std::uint64_t chunk);
+
+    /** MSHR management. */
+    void completeMshrsOfChunk(std::uint64_t chunk);
+    void completeMshr(std::uint64_t block_addr);
+
+    // ----- eviction paths ----------------------------------------------
+    void handleEviction(CacheArray::Victim &&victim);
+    void baseEvict(const CacheArray::Victim &victim);
+    void naiveEvict(const CacheArray::Victim &victim);
+    void cachedEvict(const CacheArray::Victim &victim);
+    void incrementalEvict(const CacheArray::Victim &victim);
+
+    /** Write @p value into @p chunk's parent slot (Write algorithm:
+     *  through the L2 for cached schemes, straight to RAM + ancestor
+     *  path for naive). */
+    void publishSlot(std::uint64_t chunk, const Slot &value);
+
+    /** Naive scheme: recompute and rewrite the ancestor path of
+     *  @p chunk against current RAM, assuming RAM already holds the
+     *  chunk's new bytes. Returns the number of ancestors updated. */
+    unsigned naiveRecomputePath(std::uint64_t chunk);
+
+    /** Allocate (or find) the L2 line for @p block_addr, handling the
+     *  victim through the eviction machinery. */
+    CacheArray::Line *allocateLine(std::uint64_t block_addr);
+
+    /** Assemble @p chunk's current RAM image. */
+    std::vector<std::uint8_t> ramChunkImage(std::uint64_t chunk);
+
+    /** Debug-only invariant probe for the CMT_TRACE_CHUNK chunk. */
+    void debugCheckInvariant(const char *tag);
+
+    EventQueue &events_;
+    MainMemory &memory_;
+    ChunkStore &ram_;
+    HashEngine &hasher_;
+    const TreeLayout &layout_;
+    const Authenticator &auth_;
+    SecureL2Params params_;
+    CacheArray array_;
+
+    /** On-chip root registers (level-1 authenticators). */
+    std::vector<Slot> roots_;
+
+    std::map<std::uint64_t, Mshr> mshrs_; ///< by block address
+    std::map<std::uint64_t, ChunkFetch> fetches_; ///< by chunk index
+    std::deque<PendingMiss> pendingMisses_;
+
+    /** Nesting depth of in-flight eviction flows (debug gating). */
+    unsigned flowDepth_ = 0;
+    unsigned readBufferUsed_ = 0;
+    unsigned writeBufferUsed_ = 0;
+    unsigned evictionDepth_ = 0;
+};
+
+} // namespace cmt
+
+#endif // CMT_TREE_SECURE_L2_H

@@ -1,0 +1,75 @@
+#include "verify/certified.h"
+
+namespace cmt
+{
+
+namespace
+{
+
+/** Signature message: programDigest || result bytes. */
+std::vector<std::uint8_t>
+signedMessage(const Hash128 &digest,
+              std::span<const std::uint8_t> result)
+{
+    std::vector<std::uint8_t> msg;
+    msg.reserve(digest.size() + result.size());
+    msg.insert(msg.end(), digest.begin(), digest.end());
+    msg.insert(msg.end(), result.begin(), result.end());
+    return msg;
+}
+
+} // namespace
+
+Key128
+SecureProcessor::verificationKeyFor(
+    std::span<const std::uint8_t> program_image) const
+{
+    // Collision-resistant combination of secret and program identity:
+    // K_pp = KDF(secret, H(program)).
+    const Hash128 digest = Md5::digest(program_image);
+    return deriveKey(secret_, digest);
+}
+
+std::optional<Certificate>
+SecureProcessor::runCertified(std::span<const std::uint8_t> program_image,
+                              const Program &body, Storage &untrusted,
+                              const MerkleConfig &config) const
+{
+    const Hash128 digest = Md5::digest(program_image);
+    const Key128 program_key = deriveKey(secret_, digest);
+
+    MerkleMemory memory(untrusted, config);
+    std::vector<std::uint8_t> result;
+    try {
+        result = body(memory);
+        // Cryptographic instructions act as barriers (Section 5.8):
+        // all pending checks must pass before the signature leaves
+        // the chip. Functionally: a full sweep of the tree state.
+        memory.flush();
+        if (!memory.verifyAll())
+            return std::nullopt;
+    } catch (const IntegrityException &) {
+        // Tampering detected: the program's key is destroyed and no
+        // certificate is produced.
+        return std::nullopt;
+    }
+
+    Certificate cert;
+    cert.programDigest = digest;
+    cert.result = std::move(result);
+    cert.signature = hmacMd5(program_key,
+                             signedMessage(digest, cert.result));
+    return cert;
+}
+
+bool
+SecureProcessor::verifyCertificate(const Key128 &verification_key,
+                                   const Certificate &cert)
+{
+    const Hash128 expected =
+        hmacMd5(verification_key,
+                signedMessage(cert.programDigest, cert.result));
+    return expected == cert.signature;
+}
+
+} // namespace cmt

@@ -1,0 +1,160 @@
+#include "verify/persistence.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "support/logging.h"
+
+namespace cmt
+{
+
+namespace
+{
+
+constexpr char kRamMagic[8] = {'C', 'M', 'T', 'R', 'A', 'M', '0', '1'};
+constexpr char kRootMagic[8] = {'C', 'M', 'T', 'R', 'T', 'S', '0', '1'};
+
+struct FileCloser
+{
+    void
+    operator()(std::FILE *f) const
+    {
+        if (f != nullptr)
+            std::fclose(f);
+    }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+File
+openOrDie(const std::string &path, const char *mode)
+{
+    File f(std::fopen(path.c_str(), mode));
+    if (!f)
+        cmt_fatal("cannot open '%s' (%s)", path.c_str(), mode);
+    return f;
+}
+
+void
+put64(std::FILE *f, std::uint64_t v)
+{
+    std::uint8_t buf[8];
+    for (int i = 0; i < 8; ++i)
+        buf[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    if (std::fwrite(buf, 1, 8, f) != 8)
+        cmt_fatal("short write during save");
+}
+
+std::uint64_t
+get64(std::FILE *f)
+{
+    std::uint8_t buf[8];
+    if (std::fread(buf, 1, 8, f) != 8)
+        cmt_fatal("short read during load");
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | buf[i];
+    return v;
+}
+
+/** Geometry fingerprint so mismatched configs fail loudly. */
+std::uint64_t
+fingerprint(const MerkleMemory &memory)
+{
+    const TreeLayout &layout =
+        const_cast<MerkleMemory &>(memory).layout();
+    return layout.chunkSize() * 0x1000003ULL ^
+           layout.totalChunks() * 0x10001ULL ^ layout.levels();
+}
+
+} // namespace
+
+void
+saveUntrustedImage(MerkleMemory &memory, const BackingStore &ram,
+                   const std::string &ram_path)
+{
+    memory.flush();
+    File f = openOrDie(ram_path, "wb");
+    std::fwrite(kRamMagic, 1, sizeof(kRamMagic), f.get());
+
+    const auto &pages = ram.pages();
+    put64(f.get(), pages.size());
+    for (const auto &[index, bytes] : pages) {
+        put64(f.get(), index);
+        if (std::fwrite(bytes.data(), 1, bytes.size(), f.get()) !=
+            bytes.size())
+            cmt_fatal("short write during RAM save");
+    }
+
+    const auto &touched = memory.chunkStore().touchedChunks();
+    put64(f.get(), touched.size());
+    for (const std::uint64_t chunk : touched)
+        put64(f.get(), chunk);
+}
+
+void
+saveTrustedRoots(MerkleMemory &memory, const std::string &root_path)
+{
+    const std::vector<Slot> roots = memory.exportRoots();
+    File f = openOrDie(root_path, "wb");
+    std::fwrite(kRootMagic, 1, sizeof(kRootMagic), f.get());
+    put64(f.get(), fingerprint(memory));
+    put64(f.get(), roots.size());
+    for (const Slot &root : roots) {
+        if (std::fwrite(root.data(), 1, root.size(), f.get()) !=
+            root.size())
+            cmt_fatal("short write during root save");
+    }
+}
+
+void
+loadState(MerkleMemory &memory, BackingStore &ram,
+          const std::string &ram_path, const std::string &root_path)
+{
+    // --- untrusted image ---------------------------------------------
+    {
+        File f = openOrDie(ram_path, "rb");
+        char magic[8];
+        if (std::fread(magic, 1, 8, f.get()) != 8 ||
+            std::memcmp(magic, kRamMagic, 8) != 0)
+            cmt_fatal("'%s' is not a CMT RAM image", ram_path.c_str());
+
+        const std::uint64_t page_count = get64(f.get());
+        std::vector<std::uint8_t> page(BackingStore::kPageSize);
+        for (std::uint64_t i = 0; i < page_count; ++i) {
+            const std::uint64_t index = get64(f.get());
+            if (std::fread(page.data(), 1, page.size(), f.get()) !=
+                page.size())
+                cmt_fatal("short read during RAM load");
+            ram.write(index * BackingStore::kPageSize, page);
+        }
+
+        const std::uint64_t touched_count = get64(f.get());
+        for (std::uint64_t i = 0; i < touched_count; ++i)
+            memory.chunkStore().markTouched(get64(f.get()));
+    }
+
+    // --- trusted roots -------------------------------------------------
+    {
+        File f = openOrDie(root_path, "rb");
+        char magic[8];
+        if (std::fread(magic, 1, 8, f.get()) != 8 ||
+            std::memcmp(magic, kRootMagic, 8) != 0)
+            cmt_fatal("'%s' is not a CMT root file", root_path.c_str());
+        if (get64(f.get()) != fingerprint(memory))
+            cmt_fatal("root file geometry does not match this memory "
+                      "(different chunk size / protected size?)");
+
+        const std::uint64_t count = get64(f.get());
+        std::vector<Slot> roots(count);
+        for (Slot &root : roots) {
+            if (std::fread(root.data(), 1, root.size(), f.get()) !=
+                root.size())
+                cmt_fatal("short read during root load");
+        }
+        memory.importRoots(roots);
+    }
+}
+
+} // namespace cmt

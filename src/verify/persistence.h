@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Persistence for integrity-protected memory.
+ *
+ * The paper's related work (Maheshwari, Vingralek and Shapiro) builds
+ * trusted databases on untrusted *disk* with exactly this structure:
+ * bulk data plus the hash tree live on untrusted storage; only the
+ * root authenticators need a trusted home (in a real deployment,
+ * sealed by the processor secret; here, a separate small file the
+ * caller is responsible for protecting).
+ *
+ * `saveState` flushes a MerkleMemory and writes two artefacts:
+ *   <ram_path>   : the untrusted image (sparse pages + touched set)
+ *   <root_path>  : the trusted root registers + geometry fingerprint
+ *
+ * `loadState` restores both into a fresh BackingStore/MerkleMemory
+ * pair; any offline tampering with the RAM image surfaces as an
+ * IntegrityException on the next verified load, while tampering with
+ * the root file is rejected at load time by the geometry fingerprint
+ * (and, in a real system, by the seal).
+ */
+
+#ifndef CMT_VERIFY_PERSISTENCE_H
+#define CMT_VERIFY_PERSISTENCE_H
+
+#include <string>
+
+#include "mem/backing_store.h"
+#include "verify/merkle_memory.h"
+
+namespace cmt
+{
+
+/** Write the untrusted image of @p ram plus @p memory's touched set. */
+void saveUntrustedImage(MerkleMemory &memory, const BackingStore &ram,
+                        const std::string &ram_path);
+
+/** Write @p memory's trusted roots (flushes first). */
+void saveTrustedRoots(MerkleMemory &memory,
+                      const std::string &root_path);
+
+/**
+ * Restore a previously saved untrusted image into @p ram and its
+ * touched set + roots into @p memory. The MerkleConfig used to build
+ * @p memory must match the geometry recorded in the root file
+ * (fatal otherwise). @p memory's cache is cleared so subsequent loads
+ * verify against the restored image.
+ */
+void loadState(MerkleMemory &memory, BackingStore &ram,
+               const std::string &ram_path,
+               const std::string &root_path);
+
+} // namespace cmt
+
+#endif // CMT_VERIFY_PERSISTENCE_H

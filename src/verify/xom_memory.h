@@ -1,0 +1,102 @@
+/**
+ * @file
+ * XOM-style protected memory (Section 4.3) - the comparison point the
+ * paper attacks in Section 4.4.
+ *
+ * Each cache-block-sized unit is stored off-chip as
+ *
+ *     [ E_k(data) | HMAC_k(address || data) ]
+ *
+ * so corruption and relocation are caught, but there is *no freshness*:
+ * an adversary can replay a stale (ciphertext, MAC) pair at the same
+ * address and the processor cannot tell. MerkleMemory closes exactly
+ * this hole. Tests and the replay_attack example demonstrate both the
+ * attack succeeding here and failing against the tree.
+ */
+
+#ifndef CMT_VERIFY_XOM_MEMORY_H
+#define CMT_VERIFY_XOM_MEMORY_H
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "crypto/hmac.h"
+#include "crypto/xtea.h"
+#include "mem/storage.h"
+
+namespace cmt
+{
+
+/** Raised when a XOM load meets corrupted (but not replayed) data. */
+class XomIntegrityException : public std::runtime_error
+{
+  public:
+    explicit XomIntegrityException(std::uint64_t addr)
+        : std::runtime_error("XOM MAC mismatch at address " +
+                             std::to_string(addr)),
+          addr_(addr)
+    {}
+
+    std::uint64_t addr() const { return addr_; }
+
+  private:
+    std::uint64_t addr_;
+};
+
+/** Per-compartment encrypted+MACed (but replayable) memory. */
+class XomMemory
+{
+  public:
+    /**
+     * @param untrusted        adversary-accessible RAM
+     * @param size             protected capacity in bytes
+     * @param compartment_key  the compartment's symmetric key
+     * @param block_size       protection granularity (a cache line)
+     */
+    XomMemory(Storage &untrusted, std::uint64_t size,
+              const Key128 &compartment_key,
+              std::uint64_t block_size = 64);
+
+    std::uint64_t size() const { return size_; }
+    std::uint64_t blockSize() const { return blockSize_; }
+
+    /** Encrypt, MAC and write. */
+    void store(std::uint64_t addr, std::span<const std::uint8_t> in);
+
+    /** Read, check the MAC (address-bound), decrypt. */
+    void load(std::uint64_t addr, std::span<std::uint8_t> out);
+
+    std::uint64_t load64(std::uint64_t addr);
+    void store64(std::uint64_t addr, std::uint64_t value);
+
+    /** RAM address of the stored block record for @p block index
+     *  (exposed so attack code can capture/replay records). */
+    std::uint64_t
+    recordAddr(std::uint64_t block) const
+    {
+        return block * (blockSize_ + kMacSize);
+    }
+
+    /** Total bytes of one stored record (ciphertext + MAC). */
+    std::uint64_t recordSize() const { return blockSize_ + kMacSize; }
+
+  private:
+    static constexpr std::uint64_t kMacSize = 16;
+
+    /** Read-modify-write granule helpers. */
+    std::vector<std::uint8_t> loadBlock(std::uint64_t block);
+    void storeBlock(std::uint64_t block,
+                    std::span<const std::uint8_t> plain);
+
+    Storage &untrusted_;
+    std::uint64_t size_;
+    std::uint64_t blockSize_;
+    Key128 key_;
+    Xtea cipher_;
+};
+
+} // namespace cmt
+
+#endif // CMT_VERIFY_XOM_MEMORY_H

@@ -1,0 +1,155 @@
+/** @file Set-associative cache array tests. */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache_array.h"
+#include "support/random.h"
+
+namespace cmt
+{
+namespace
+{
+
+CacheParams
+smallParams()
+{
+    CacheParams p;
+    p.name = "t";
+    p.sizeBytes = 1024; // 4 sets x 4 ways x 64B
+    p.assoc = 4;
+    p.blockSize = 64;
+    return p;
+}
+
+TEST(CacheArrayTest, MissThenHit)
+{
+    CacheArray cache(smallParams());
+    EXPECT_EQ(cache.lookup(0x1000), nullptr);
+    CacheArray::Victim victim;
+    auto *line = cache.allocate(0x1000, &victim);
+    EXPECT_FALSE(victim.valid);
+    line->validWords = cache.fullMask();
+    EXPECT_NE(cache.lookup(0x1000), nullptr);
+    EXPECT_NE(cache.lookup(0x103f), nullptr) << "same block";
+    EXPECT_EQ(cache.lookup(0x1040), nullptr) << "next block";
+}
+
+TEST(CacheArrayTest, LruEviction)
+{
+    CacheArray cache(smallParams());
+    // 4 ways in a set: fill with 4 conflicting blocks, touch the
+    // first again, allocate a 5th -> the 2nd (now LRU) is evicted.
+    const std::uint64_t stride = 4 * 64; // same set
+    CacheArray::Victim victim;
+    for (int i = 0; i < 4; ++i)
+        cache.allocate(i * stride, &victim);
+    EXPECT_NE(cache.lookup(0), nullptr); // touch block 0
+    cache.allocate(4 * stride, &victim);
+    EXPECT_TRUE(victim.valid);
+    EXPECT_EQ(victim.blockAddr, 1u * stride);
+    EXPECT_NE(cache.lookup(0), nullptr);
+    EXPECT_EQ(cache.lookup(stride), nullptr);
+}
+
+TEST(CacheArrayTest, VictimCarriesDataAndMasks)
+{
+    CacheArray cache(smallParams());
+    CacheArray::Victim victim;
+    auto *line = cache.allocate(0, &victim);
+    line->data[8] = 0xab;
+    line->validWords = cache.wordMask(8, 8);
+    line->dirty = true;
+
+    const std::uint64_t stride = 4 * 64;
+    for (int i = 1; i <= 4; ++i)
+        cache.allocate(i * stride, &victim);
+    EXPECT_TRUE(victim.valid);
+    EXPECT_TRUE(victim.dirty);
+    EXPECT_EQ(victim.blockAddr, 0u);
+    EXPECT_EQ(victim.validWords, cache.wordMask(8, 8));
+    EXPECT_EQ(victim.data[8], 0xab);
+}
+
+TEST(CacheArrayTest, WordMasks)
+{
+    CacheArray cache(smallParams());
+    EXPECT_EQ(cache.wordsPerBlock(), 8u);
+    EXPECT_EQ(cache.fullMask(), 0xffu);
+    EXPECT_EQ(cache.wordMask(0, 8), 0x01u);
+    EXPECT_EQ(cache.wordMask(0, 64), 0xffu);
+    EXPECT_EQ(cache.wordMask(8, 8), 0x02u);
+    EXPECT_EQ(cache.wordMask(56, 8), 0x80u);
+    EXPECT_EQ(cache.wordMask(0, 16), 0x03u);
+    EXPECT_EQ(cache.wordMask(4, 8), 0x03u) << "straddles two words";
+}
+
+TEST(CacheArrayTest, InvalidateDropsBlock)
+{
+    CacheArray cache(smallParams());
+    CacheArray::Victim victim;
+    cache.allocate(0x2000, &victim);
+    EXPECT_NE(cache.lookup(0x2000, false), nullptr);
+    cache.invalidate(0x2000);
+    EXPECT_EQ(cache.lookup(0x2000, false), nullptr);
+    cache.invalidate(0x3000); // no-op on absent block
+}
+
+TEST(CacheArrayTest, TagsOnlyModeHasNoData)
+{
+    CacheParams p = smallParams();
+    p.storesData = false;
+    CacheArray cache(p);
+    CacheArray::Victim victim;
+    auto *line = cache.allocate(0, &victim);
+    EXPECT_TRUE(line->data.empty());
+}
+
+TEST(CacheArrayTest, OccupancyCount)
+{
+    CacheArray cache(smallParams());
+    EXPECT_EQ(cache.validLineCount(), 0u);
+    CacheArray::Victim victim;
+    for (int i = 0; i < 10; ++i)
+        cache.allocate(i * 64, &victim);
+    EXPECT_EQ(cache.validLineCount(), 10u);
+}
+
+TEST(CacheArrayTest, RandomisedAgainstReferenceLru)
+{
+    // Property: hit/miss behaviour matches a simple per-set reference
+    // model over random traffic.
+    CacheArray cache(smallParams());
+    const unsigned num_sets = 4, assoc = 4, block = 64;
+    // reference[set] = list of block addrs, most recent first.
+    std::vector<std::vector<std::uint64_t>> reference(num_sets);
+    Rng rng(42);
+
+    for (int op = 0; op < 5000; ++op) {
+        const std::uint64_t addr = rng.below(64) * block;
+        const unsigned set = (addr / block) % num_sets;
+        auto &ref = reference[set];
+        const auto pos = std::find(ref.begin(), ref.end(), addr);
+        const bool ref_hit = pos != ref.end();
+
+        auto *line = cache.lookup(addr);
+        ASSERT_EQ(line != nullptr, ref_hit) << "op " << op;
+        if (ref_hit) {
+            ref.erase(pos);
+            ref.insert(ref.begin(), addr);
+        } else {
+            CacheArray::Victim victim;
+            cache.allocate(addr, &victim);
+            if (ref.size() == assoc) {
+                ASSERT_TRUE(victim.valid);
+                ASSERT_EQ(victim.blockAddr, ref.back());
+                ref.pop_back();
+            } else {
+                ASSERT_FALSE(victim.valid);
+            }
+            ref.insert(ref.begin(), addr);
+        }
+    }
+}
+
+} // namespace
+} // namespace cmt

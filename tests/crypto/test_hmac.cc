@@ -1,0 +1,67 @@
+/** @file HMAC-MD5 against RFC 2202 test vectors. */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "crypto/hmac.h"
+#include "support/hex.h"
+
+namespace cmt
+{
+namespace
+{
+
+TEST(HmacTest, Rfc2202Case1)
+{
+    Key128 key;
+    key.fill(0x0b);
+    const std::string msg = "Hi There";
+    const auto mac = hmacMd5(
+        key,
+        {reinterpret_cast<const std::uint8_t *>(msg.data()), msg.size()});
+    EXPECT_EQ(toHex(mac), "9294727a3638bb1c13f48ef8158bfc9d");
+}
+
+TEST(HmacTest, Rfc2202Case3)
+{
+    Key128 key;
+    key.fill(0xaa);
+    std::vector<std::uint8_t> msg(50, 0xdd);
+    const auto mac = hmacMd5(key, msg);
+    EXPECT_EQ(toHex(mac), "56be34521d144c88dbb8c733f0e8b3f6");
+}
+
+TEST(HmacTest, KeySensitivity)
+{
+    Key128 k1{}, k2{};
+    k2[15] = 1;
+    const std::uint8_t msg[] = {1, 2, 3};
+    EXPECT_NE(hmacMd5(k1, msg), hmacMd5(k2, msg));
+}
+
+TEST(HmacTest, MessageSensitivity)
+{
+    Key128 key{};
+    const std::uint8_t m1[] = {1, 2, 3};
+    const std::uint8_t m2[] = {1, 2, 4};
+    EXPECT_NE(hmacMd5(key, m1), hmacMd5(key, m2));
+}
+
+TEST(HmacTest, DeriveKeyIsDeterministicAndContextSeparated)
+{
+    Key128 master;
+    master.fill(0x42);
+    const std::uint8_t ctx_a[] = {'p', 'r', 'o', 'g', 'A'};
+    const std::uint8_t ctx_b[] = {'p', 'r', 'o', 'g', 'B'};
+    const Key128 ka1 = deriveKey(master, ctx_a);
+    const Key128 ka2 = deriveKey(master, ctx_a);
+    const Key128 kb = deriveKey(master, ctx_b);
+    EXPECT_EQ(ka1, ka2);
+    EXPECT_NE(ka1, kb);
+    EXPECT_NE(ka1, master) << "derived key must not equal the master";
+}
+
+} // namespace
+} // namespace cmt

@@ -1,0 +1,115 @@
+/** @file MD5 against the RFC 1321 appendix test vectors. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "crypto/md5.h"
+#include "support/hex.h"
+#include "support/random.h"
+
+namespace cmt
+{
+namespace
+{
+
+std::string
+md5Hex(const std::string &msg)
+{
+    const auto d = Md5::digest(
+        {reinterpret_cast<const std::uint8_t *>(msg.data()), msg.size()});
+    return toHex(d);
+}
+
+struct Vector
+{
+    const char *message;
+    const char *digest;
+};
+
+// RFC 1321, appendix A.5.
+constexpr Vector kRfc1321[] = {
+    {"", "d41d8cd98f00b204e9800998ecf8427e"},
+    {"a", "0cc175b9c0f1b6a831c399e269772661"},
+    {"abc", "900150983cd24fb0d6963f7d28e17f72"},
+    {"message digest", "f96b697d7cb7938d525a2f31aaf161d0"},
+    {"abcdefghijklmnopqrstuvwxyz", "c3fcd3d76192e4007dfb496cca67e13b"},
+    {"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+     "d174ab98d277d9f5a5611c2c9f419d9f"},
+    {"1234567890123456789012345678901234567890123456789012345678901234"
+     "5678901234567890",
+     "57edf4a22be3c955ac49da2e2107b67a"},
+};
+
+class Md5Rfc1321 : public ::testing::TestWithParam<Vector>
+{
+};
+
+TEST_P(Md5Rfc1321, MatchesReferenceDigest)
+{
+    EXPECT_EQ(md5Hex(GetParam().message), GetParam().digest);
+}
+
+INSTANTIATE_TEST_SUITE_P(Vectors, Md5Rfc1321,
+                         ::testing::ValuesIn(kRfc1321));
+
+TEST(Md5Test, IncrementalEqualsOneShot)
+{
+    // Feed a message in awkward pieces; digest must match one-shot.
+    Rng rng(3);
+    std::vector<std::uint8_t> msg(1000);
+    for (auto &b : msg)
+        b = static_cast<std::uint8_t>(rng.next());
+
+    const Hash128 oneshot = Md5::digest(msg);
+
+    for (std::size_t piece : {1u, 3u, 63u, 64u, 65u, 127u, 999u}) {
+        Md5 ctx;
+        std::size_t pos = 0;
+        while (pos < msg.size()) {
+            const std::size_t take = std::min(piece, msg.size() - pos);
+            ctx.update({msg.data() + pos, take});
+            pos += take;
+        }
+        EXPECT_EQ(ctx.finish(), oneshot) << "piece size " << piece;
+    }
+}
+
+TEST(Md5Test, BlockBoundaryLengths)
+{
+    // Lengths straddling the 64-byte block and 56-byte padding
+    // boundaries exercise both padding branches.
+    for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u,
+                            128u}) {
+        std::vector<std::uint8_t> msg(len, 'x');
+        const Hash128 a = Md5::digest(msg);
+        Md5 ctx;
+        ctx.update(msg);
+        EXPECT_EQ(ctx.finish(), a) << "len " << len;
+    }
+}
+
+TEST(Md5Test, ResetAllowsReuse)
+{
+    Md5 ctx;
+    ctx.update({reinterpret_cast<const std::uint8_t *>("abc"), 3});
+    (void)ctx.finish();
+    ctx.reset();
+    ctx.update({reinterpret_cast<const std::uint8_t *>("abc"), 3});
+    EXPECT_EQ(toHex(ctx.finish()), "900150983cd24fb0d6963f7d28e17f72");
+}
+
+TEST(Md5Test, SingleBitChangesDigest)
+{
+    std::vector<std::uint8_t> msg(64, 0);
+    const Hash128 base = Md5::digest(msg);
+    for (int bit = 0; bit < 64 * 8; bit += 37) {
+        auto tampered = msg;
+        tampered[bit / 8] ^= 1u << (bit % 8);
+        EXPECT_NE(Md5::digest(tampered), base) << "bit " << bit;
+    }
+}
+
+} // namespace
+} // namespace cmt

@@ -1,0 +1,84 @@
+/** @file SHA-1 against the FIPS 180-1 / RFC 3174 test vectors. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "crypto/sha1.h"
+#include "support/hex.h"
+
+namespace cmt
+{
+namespace
+{
+
+std::string
+sha1Hex(const std::string &msg)
+{
+    const auto d = Sha1::digest(
+        {reinterpret_cast<const std::uint8_t *>(msg.data()), msg.size()});
+    return toHex(d);
+}
+
+TEST(Sha1Test, FipsVectorAbc)
+{
+    EXPECT_EQ(sha1Hex("abc"), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1Test, FipsVectorTwoBlocks)
+{
+    EXPECT_EQ(
+        sha1Hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+        "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1Test, EmptyMessage)
+{
+    EXPECT_EQ(sha1Hex(""), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1Test, MillionAs)
+{
+    Sha1 ctx;
+    const std::string chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i) {
+        ctx.update({reinterpret_cast<const std::uint8_t *>(chunk.data()),
+                    chunk.size()});
+    }
+    EXPECT_EQ(toHex(ctx.finish()),
+              "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1Test, IncrementalEqualsOneShot)
+{
+    const std::string msg(333, 'q');
+    const auto span = std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t *>(msg.data()), msg.size());
+    const Hash160 oneshot = Sha1::digest(span);
+    for (std::size_t piece : {1u, 7u, 64u, 100u}) {
+        Sha1 ctx;
+        std::size_t pos = 0;
+        while (pos < msg.size()) {
+            const std::size_t take = std::min(piece, msg.size() - pos);
+            ctx.update(span.subspan(pos, take));
+            pos += take;
+        }
+        EXPECT_EQ(ctx.finish(), oneshot) << "piece " << piece;
+    }
+}
+
+TEST(Sha1Test, PaddingBoundaries)
+{
+    for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u}) {
+        std::vector<std::uint8_t> msg(len, 'z');
+        Sha1 a, b;
+        a.update(msg);
+        b.update(std::span<const std::uint8_t>(msg).first(len / 2));
+        b.update(std::span<const std::uint8_t>(msg).subspan(len / 2));
+        EXPECT_EQ(a.finish(), b.finish()) << "len " << len;
+    }
+}
+
+} // namespace
+} // namespace cmt

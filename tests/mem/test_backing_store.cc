@@ -1,0 +1,116 @@
+/** @file Sparse backing-store unit tests. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/backing_store.h"
+#include "support/random.h"
+
+namespace cmt
+{
+namespace
+{
+
+TEST(BackingStoreTest, ReadsZeroWithoutAllocating)
+{
+    BackingStore store;
+    std::vector<std::uint8_t> buf(256, 0xff);
+    store.read(1ULL << 40, buf);
+    for (auto b : buf)
+        EXPECT_EQ(b, 0);
+    EXPECT_EQ(store.pageCount(), 0u);
+}
+
+TEST(BackingStoreTest, WriteReadRoundTrip)
+{
+    BackingStore store;
+    const std::vector<std::uint8_t> data{1, 2, 3, 4, 5};
+    store.write(100, data);
+    std::vector<std::uint8_t> out(5);
+    store.read(100, out);
+    EXPECT_EQ(out, data);
+    EXPECT_EQ(store.pageCount(), 1u);
+}
+
+TEST(BackingStoreTest, CrossPageAccess)
+{
+    BackingStore store;
+    const std::uint64_t addr = BackingStore::kPageSize - 3;
+    const std::vector<std::uint8_t> data{10, 20, 30, 40, 50, 60};
+    store.write(addr, data);
+    EXPECT_EQ(store.pageCount(), 2u);
+    std::vector<std::uint8_t> out(6);
+    store.read(addr, out);
+    EXPECT_EQ(out, data);
+}
+
+TEST(BackingStoreTest, SparseFarApartWrites)
+{
+    BackingStore store;
+    const std::uint8_t a = 0xaa, b = 0xbb;
+    store.write(0, {&a, 1});
+    store.write(1ULL << 42, {&b, 1});
+    EXPECT_EQ(store.pageCount(), 2u);
+    std::uint8_t out;
+    store.read(0, {&out, 1});
+    EXPECT_EQ(out, 0xaa);
+    store.read(1ULL << 42, {&out, 1});
+    EXPECT_EQ(out, 0xbb);
+}
+
+TEST(BackingStoreTest, PartialPageOverwrite)
+{
+    BackingStore store;
+    std::vector<std::uint8_t> big(100, 1);
+    store.write(50, big);
+    std::vector<std::uint8_t> small(10, 2);
+    store.write(60, small);
+    std::vector<std::uint8_t> out(100);
+    store.read(50, out);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(out[i], (i >= 10 && i < 20) ? 2 : 1) << i;
+}
+
+TEST(BackingStoreTest, RandomisedAgainstFlatReference)
+{
+    // Property: BackingStore behaves identically to one big array.
+    constexpr std::uint64_t kSpan = 3 * BackingStore::kPageSize;
+    BackingStore store;
+    std::vector<std::uint8_t> reference(kSpan, 0);
+    Rng rng(99);
+
+    for (int op = 0; op < 2000; ++op) {
+        const std::uint64_t addr = rng.below(kSpan - 64);
+        const std::size_t len = 1 + rng.below(64);
+        if (rng.chance(0.5)) {
+            std::vector<std::uint8_t> data(len);
+            for (auto &b : data)
+                b = static_cast<std::uint8_t>(rng.next());
+            store.write(addr, data);
+            std::copy(data.begin(), data.end(),
+                      reference.begin() + addr);
+        } else {
+            std::vector<std::uint8_t> got(len);
+            store.read(addr, got);
+            const std::vector<std::uint8_t> want(
+                reference.begin() + addr, reference.begin() + addr + len);
+            ASSERT_EQ(got, want) << "op " << op;
+        }
+    }
+}
+
+TEST(BackingStoreTest, TamperIsVisible)
+{
+    BackingStore store;
+    const std::uint8_t orig = 7;
+    store.write(10, {&orig, 1});
+    const std::uint8_t evil = 13;
+    store.tamper(10, {&evil, 1});
+    std::uint8_t out;
+    store.read(10, {&out, 1});
+    EXPECT_EQ(out, 13);
+}
+
+} // namespace
+} // namespace cmt

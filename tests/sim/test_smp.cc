@@ -1,0 +1,98 @@
+/** @file Multiprogrammed-SMP extension tests. */
+
+#include <gtest/gtest.h>
+
+#include "sim/smp.h"
+
+namespace cmt
+{
+namespace
+{
+
+SmpConfig
+quickConfig(std::vector<std::string> benchmarks, Scheme scheme)
+{
+    SmpConfig cfg;
+    cfg.benchmarks = std::move(benchmarks);
+    cfg.warmupInstructions = 30'000;
+    cfg.measureInstructions = 80'000;
+    cfg.l2.scheme = scheme;
+    return cfg;
+}
+
+TEST(SmpTest, TwoCoresRunCleanly)
+{
+    SmpSystem smp(quickConfig({"gzip", "twolf"}, Scheme::kCached));
+    const SmpResult r = smp.run();
+    ASSERT_EQ(r.perCore.size(), 2u);
+    EXPECT_GE(r.perCore[0].instructions, 80'000u);
+    EXPECT_GE(r.perCore[1].instructions, 80'000u);
+    EXPECT_EQ(r.integrityFailures, 0u);
+    EXPECT_GT(r.aggregateIpc, 0.0);
+}
+
+TEST(SmpTest, Deterministic)
+{
+    const SmpResult a =
+        SmpSystem(quickConfig({"gcc", "vpr"}, Scheme::kCached)).run();
+    const SmpResult b =
+        SmpSystem(quickConfig({"gcc", "vpr"}, Scheme::kCached)).run();
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_DOUBLE_EQ(a.aggregateIpc, b.aggregateIpc);
+}
+
+TEST(SmpTest, SharedMachineSlowsEachProgram)
+{
+    // A program running alongside a bandwidth hog must be slower than
+    // running alone on the same machine.
+    SmpConfig solo = quickConfig({"twolf"}, Scheme::kCached);
+    SmpConfig pair = quickConfig({"twolf", "swim"}, Scheme::kCached);
+    const SmpResult alone = SmpSystem(solo).run();
+    const SmpResult shared = SmpSystem(pair).run();
+    EXPECT_LT(shared.perCore[0].ipc, alone.perCore[0].ipc)
+        << "bus/hash contention must be visible";
+}
+
+TEST(SmpTest, FourCoreTreeStaysConsistent)
+{
+    SmpSystem smp(quickConfig({"gzip", "twolf", "vpr", "gcc"},
+                              Scheme::kCached));
+    (void)smp.run();
+    smp.l2().flushAllDirty();
+    while (!smp.events().empty())
+        smp.events().runUntil(smp.events().nextEventTime());
+    EXPECT_EQ(smp.l2().integrityFailures(), 0u);
+    EXPECT_TRUE(smp.l2().verifyTreeConsistency());
+}
+
+TEST(SmpTest, TamperInOneSliceDetected)
+{
+    SmpConfig cfg = quickConfig({"twolf", "vpr"}, Scheme::kCached);
+    SmpSystem smp(cfg);
+    auto &events = smp.events();
+    Cycle cycle = 0;
+    auto run_to = [&](std::uint64_t per_core) {
+        while (smp.core(0).committed() < per_core ||
+               smp.core(1).committed() < per_core) {
+            events.runUntil(cycle);
+            smp.core(0).tick();
+            smp.core(1).tick();
+            ++cycle;
+        }
+    };
+    run_to(30'000);
+    // Corrupt core 1's slice (second 4 GB) in its hot random region.
+    const auto &layout = smp.l2().layout();
+    for (std::uint64_t a = 0; a < (128 << 10); a += 2048) {
+        std::uint8_t poison[8] = {0xBA, 0xD0};
+        smp.ram().write(
+            layout.dataToRam(SmpSystem::sliceOffset(1) +
+                             (64ULL << 20) + a),
+            poison);
+    }
+    run_to(200'000);
+    EXPECT_GT(smp.l2().integrityFailures(), 0u);
+}
+
+} // namespace
+} // namespace cmt

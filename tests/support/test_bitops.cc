@@ -1,0 +1,90 @@
+/** @file Unit tests for bit-manipulation helpers. */
+
+#include <gtest/gtest.h>
+
+#include "support/bitops.h"
+
+namespace cmt
+{
+namespace
+{
+
+TEST(BitopsTest, IsPow2)
+{
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_TRUE(isPow2(64));
+    EXPECT_FALSE(isPow2(65));
+    EXPECT_TRUE(isPow2(1ULL << 63));
+    EXPECT_FALSE(isPow2((1ULL << 63) + 1));
+}
+
+TEST(BitopsTest, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4), 2u);
+    EXPECT_EQ(floorLog2(1023), 9u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(floorLog2(1ULL << 63), 63u);
+}
+
+TEST(BitopsTest, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(4), 2u);
+    EXPECT_EQ(ceilLog2(5), 3u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+}
+
+TEST(BitopsTest, AlignDownUp)
+{
+    EXPECT_EQ(alignDown(100, 64), 64u);
+    EXPECT_EQ(alignDown(64, 64), 64u);
+    EXPECT_EQ(alignDown(63, 64), 0u);
+    EXPECT_EQ(alignUp(100, 64), 128u);
+    EXPECT_EQ(alignUp(64, 64), 64u);
+    EXPECT_EQ(alignUp(0, 64), 0u);
+    EXPECT_EQ(alignUp(1, 64), 64u);
+}
+
+TEST(BitopsTest, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 4), 0u);
+    EXPECT_EQ(divCeil(1, 4), 1u);
+    EXPECT_EQ(divCeil(4, 4), 1u);
+    EXPECT_EQ(divCeil(5, 4), 2u);
+    EXPECT_EQ(divCeil(8, 4), 2u);
+}
+
+/** Property sweep: align identities hold for all powers of two. */
+class BitopsAlignProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(BitopsAlignProperty, Identities)
+{
+    const std::uint64_t align = 1ULL << GetParam();
+    for (std::uint64_t v : {0ULL, 1ULL, 63ULL, 64ULL, 12345ULL,
+                            (1ULL << 40) + 17}) {
+        const std::uint64_t down = alignDown(v, align);
+        const std::uint64_t up = alignUp(v, align);
+        EXPECT_LE(down, v);
+        EXPECT_GE(up, v);
+        EXPECT_EQ(down % align, 0u);
+        EXPECT_EQ(up % align, 0u);
+        EXPECT_LT(v - down, align);
+        EXPECT_LT(up - v, align);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlignments, BitopsAlignProperty,
+                         ::testing::Values(0u, 1u, 3u, 6u, 7u, 12u, 20u));
+
+} // namespace
+} // namespace cmt

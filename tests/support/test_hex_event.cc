@@ -1,0 +1,77 @@
+/** @file Hex codec and event-queue edge-case tests. */
+
+#include <gtest/gtest.h>
+
+#include "support/event.h"
+#include "support/hex.h"
+
+namespace cmt
+{
+namespace
+{
+
+TEST(HexTest, RoundTrip)
+{
+    const std::vector<std::uint8_t> bytes{0x00, 0x01, 0xab, 0xff, 0x7e};
+    EXPECT_EQ(toHex(bytes), "0001abff7e");
+    EXPECT_EQ(fromHex("0001abff7e"), bytes);
+    EXPECT_EQ(fromHex("0001ABFF7E"), bytes) << "upper case accepted";
+}
+
+TEST(HexTest, Empty)
+{
+    EXPECT_EQ(toHex({}), "");
+    EXPECT_TRUE(fromHex("").empty());
+}
+
+TEST(HexTest, AllByteValues)
+{
+    std::vector<std::uint8_t> all(256);
+    for (int i = 0; i < 256; ++i)
+        all[i] = static_cast<std::uint8_t>(i);
+    EXPECT_EQ(fromHex(toHex(all)), all);
+}
+
+TEST(EventQueueTest, RunUntilWithNoEventsAdvancesTime)
+{
+    EventQueue q;
+    q.runUntil(100);
+    EXPECT_EQ(q.now(), 100u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, NestedSchedulingAtSameCycle)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&] {
+        order.push_back(1);
+        q.scheduleIn(0, [&] { order.push_back(2); });
+    });
+    q.runUntil(5);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}))
+        << "same-cycle follow-ups run within the same runUntil";
+}
+
+TEST(EventQueueTest, NextEventTime)
+{
+    EventQueue q;
+    q.schedule(42, [] {});
+    EXPECT_EQ(q.nextEventTime(), 42u);
+}
+
+TEST(EventQueueTest, InterleavedDelaysRunInOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(10, [&] { order.push_back(10); });
+    q.schedule(3, [&] {
+        order.push_back(3);
+        q.scheduleIn(4, [&] { order.push_back(7); });
+    });
+    q.runUntil(20);
+    EXPECT_EQ(order, (std::vector<int>{3, 7, 10}));
+}
+
+} // namespace
+} // namespace cmt

@@ -1,0 +1,86 @@
+/** @file Unit tests for the deterministic PRNG. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/random.h"
+
+namespace cmt
+{
+namespace
+{
+
+TEST(RngTest, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(RngTest, RangeInclusive)
+{
+    Rng rng(7);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.range(3, 7);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u) << "all five values should appear";
+}
+
+TEST(RngTest, RealInUnitInterval)
+{
+    Rng rng(99);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.real();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+        sum += v;
+    }
+    // Mean of U[0,1) over 10k draws should be close to 0.5.
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, ChanceRoughlyCalibrated)
+{
+    Rng rng(5);
+    int hits = 0;
+    for (int i = 0; i < 100000; ++i)
+        hits += rng.chance(0.25);
+    EXPECT_NEAR(hits / 100000.0, 0.25, 0.01);
+}
+
+TEST(RngTest, BelowIsRoughlyUniform)
+{
+    Rng rng(11);
+    constexpr int kBuckets = 8;
+    int counts[kBuckets] = {};
+    constexpr int kDraws = 80000;
+    for (int i = 0; i < kDraws; ++i)
+        ++counts[rng.below(kBuckets)];
+    for (int c : counts)
+        EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+}
+
+} // namespace
+} // namespace cmt

@@ -1,0 +1,76 @@
+/** @file Unit tests for the statistics registry. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/stats.h"
+
+namespace cmt
+{
+namespace
+{
+
+TEST(StatsTest, CounterBasics)
+{
+    StatGroup group;
+    Counter c(group, "unit.hits", "number of hits");
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 4;
+    EXPECT_EQ(c.value(), 5u);
+    EXPECT_EQ(group.counterValue("unit.hits"), 5u);
+    EXPECT_EQ(group.counterValue("unit.misses"), 0u);
+}
+
+TEST(StatsTest, ResetAllClearsEverything)
+{
+    StatGroup group;
+    Counter c(group, "a", "");
+    Distribution d(group, "b", "");
+    c += 10;
+    d.sample(3.0);
+    group.resetAll();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.mean(), 0.0);
+}
+
+TEST(StatsTest, DistributionMoments)
+{
+    StatGroup group;
+    Distribution d(group, "lat", "latency");
+    d.sample(10);
+    d.sample(20);
+    d.sample(30);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.mean(), 20.0);
+    EXPECT_DOUBLE_EQ(d.min(), 10.0);
+    EXPECT_DOUBLE_EQ(d.max(), 30.0);
+}
+
+TEST(StatsTest, DistributionSingleSample)
+{
+    StatGroup group;
+    Distribution d(group, "x", "");
+    d.sample(-5);
+    EXPECT_DOUBLE_EQ(d.min(), -5.0);
+    EXPECT_DOUBLE_EQ(d.max(), -5.0);
+    EXPECT_DOUBLE_EQ(d.mean(), -5.0);
+}
+
+TEST(StatsTest, DumpContainsNamesAndValues)
+{
+    StatGroup group;
+    Counter c(group, "l2.misses", "L2 misses");
+    c += 123;
+    std::ostringstream os;
+    group.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("l2.misses"), std::string::npos);
+    EXPECT_NE(out.find("123"), std::string::npos);
+    EXPECT_NE(out.find("L2 misses"), std::string::npos);
+}
+
+} // namespace
+} // namespace cmt

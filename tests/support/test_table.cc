@@ -1,0 +1,47 @@
+/** @file Unit tests for the table formatter. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/table.h"
+
+namespace cmt
+{
+namespace
+{
+
+TEST(TableTest, AlignsColumns)
+{
+    Table t("Figure X");
+    t.header({"bench", "base", "c"});
+    t.row({"gcc", "1.234", "1.200"});
+    t.row({"swim", "0.800", "0.790"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("Figure X"), std::string::npos);
+    EXPECT_NE(out.find("bench"), std::string::npos);
+    EXPECT_NE(out.find("gcc"), std::string::npos);
+    // Every line in the body should be the same length (alignment).
+    std::istringstream is(out);
+    std::string line;
+    std::getline(is, line); // title
+    std::size_t len = 0;
+    while (std::getline(is, line)) {
+        if (len == 0)
+            len = line.size();
+        EXPECT_EQ(line.size(), len) << "misaligned line: " << line;
+    }
+}
+
+TEST(TableTest, NumFormatting)
+{
+    EXPECT_EQ(Table::num(1.23456, 3), "1.235");
+    EXPECT_EQ(Table::num(2.0, 1), "2.0");
+    EXPECT_EQ(Table::pct(0.05, 1), "5.0%");
+    EXPECT_EQ(Table::pct(1.0, 0), "100%");
+}
+
+} // namespace
+} // namespace cmt

@@ -1,0 +1,140 @@
+/** @file Trace-file round-trip and generator-behaviour tests. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "trace/specgen.h"
+#include "trace/trace_file.h"
+
+namespace cmt
+{
+namespace
+{
+
+std::string
+tempPath(const char *tag)
+{
+    return std::string(::testing::TempDir()) + "/cmt_trace_" + tag +
+           ".cmtt";
+}
+
+TEST(TraceFileTest, RoundTripPreservesEveryField)
+{
+    const std::string path = tempPath("roundtrip");
+    SpecGen gen(profileFor("mcf"), 11);
+
+    std::vector<TraceInstr> original(5000);
+    {
+        TraceWriter writer(path);
+        for (auto &instr : original) {
+            gen.next(instr);
+            writer.append(instr);
+        }
+        EXPECT_EQ(writer.written(), original.size());
+    }
+
+    FileTrace replay(path);
+    TraceInstr got;
+    for (const auto &want : original) {
+        ASSERT_TRUE(replay.next(got));
+        EXPECT_EQ(static_cast<int>(got.type),
+                  static_cast<int>(want.type));
+        EXPECT_EQ(got.srcDist[0], want.srcDist[0]);
+        EXPECT_EQ(got.srcDist[1], want.srcDist[1]);
+        EXPECT_EQ(got.pc, want.pc);
+        EXPECT_EQ(got.addr, want.addr);
+        EXPECT_EQ(got.storeValue, want.storeValue);
+        EXPECT_EQ(got.taken, want.taken);
+    }
+    EXPECT_FALSE(replay.next(got)) << "exactly the written records";
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileTest, EmptyTraceEndsImmediately)
+{
+    const std::string path = tempPath("empty");
+    { TraceWriter writer(path); }
+    FileTrace replay(path);
+    TraceInstr instr;
+    EXPECT_FALSE(replay.next(instr));
+    std::remove(path.c_str());
+}
+
+TEST(SpecGenBehaviour, BranchPcsHaveStableBiases)
+{
+    // The same static branch must lean the same way across visits -
+    // this is what makes the 2-bit counters effective.
+    SpecGen gen(profileFor("gzip"), 5);
+    std::map<std::uint64_t, std::pair<int, int>> outcomes; // taken/total
+    TraceInstr instr;
+    for (int i = 0; i < 300'000; ++i) {
+        gen.next(instr);
+        if (instr.type == InstrType::kBranch) {
+            auto &o = outcomes[instr.pc];
+            o.first += instr.taken;
+            o.second += 1;
+        }
+    }
+    int biased = 0, popular = 0;
+    for (const auto &[pc, o] : outcomes) {
+        if (o.second < 50)
+            continue;
+        ++popular;
+        const double rate = static_cast<double>(o.first) / o.second;
+        biased += (rate < 0.25 || rate > 0.75);
+    }
+    ASSERT_GT(popular, 10);
+    EXPECT_GT(static_cast<double>(biased) / popular, 0.7)
+        << "most hot branches should be strongly biased";
+}
+
+TEST(SpecGenBehaviour, PcStreamReusesLoopBodies)
+{
+    // Loop back-edges must revisit identical PCs, giving the I-cache
+    // and predictor something to hold on to.
+    SpecGen gen(profileFor("twolf"), 9);
+    std::map<std::uint64_t, int> visits;
+    TraceInstr instr;
+    for (int i = 0; i < 100'000; ++i) {
+        gen.next(instr);
+        ++visits[instr.pc];
+    }
+    std::uint64_t hot_visits = 0;
+    for (const auto &[pc, n] : visits) {
+        if (n >= 16)
+            hot_visits += n;
+    }
+    EXPECT_GT(hot_visits, 100'000u / 2)
+        << "at least half of fetches should hit well-reused PCs";
+}
+
+TEST(SpecGenBehaviour, StreamsAreSequential)
+{
+    SpecGen gen(profileFor("swim"), 3);
+    TraceInstr instr;
+    std::map<std::uint64_t, std::uint64_t> last_by_region;
+    int sequential = 0, stream_accesses = 0;
+    for (int i = 0; i < 200'000; ++i) {
+        gen.next(instr);
+        if (instr.type != InstrType::kLoad &&
+            instr.type != InstrType::kStore)
+            continue;
+        if (instr.addr < (2ULL << 30))
+            continue; // not the stream region
+        const std::uint64_t region = instr.addr >> 24;
+        auto it = last_by_region.find(region);
+        if (it != last_by_region.end()) {
+            ++stream_accesses;
+            sequential += (instr.addr == it->second + 8);
+        }
+        last_by_region[region] = instr.addr;
+    }
+    ASSERT_GT(stream_accesses, 1000);
+    EXPECT_GT(static_cast<double>(sequential) / stream_accesses, 0.8)
+        << "stream regions must be walked sequentially";
+}
+
+} // namespace
+} // namespace cmt

@@ -1,0 +1,132 @@
+/** @file Lazily-materialising chunk store tests. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/backing_store.h"
+#include "tree/chunk_store.h"
+
+namespace cmt
+{
+namespace
+{
+
+struct Fixture
+{
+    BackingStore base;
+    TreeLayout layout{64, 4096}; // arity 4, 3 levels, 84 chunks
+    Key128 key{};
+    Authenticator auth{Authenticator::Kind::kMd5, key, 64};
+    ChunkStore store{base, layout, auth};
+};
+
+TEST(ChunkStoreTest, VirginDataChunkReadsZero)
+{
+    Fixture f;
+    const auto bytes = f.store.readChunk(f.layout.firstDataChunk());
+    for (auto b : bytes)
+        EXPECT_EQ(b, 0);
+    EXPECT_EQ(f.base.pageCount(), 0u) << "reads must stay lazy";
+}
+
+TEST(ChunkStoreTest, VirginHashChunkHoldsCanonicalSlots)
+{
+    Fixture f;
+    // A virgin level-2 hash chunk holds 4 canonical leaf (level-3)
+    // authenticators; a virgin leaf hashes to that value.
+    const std::vector<std::uint8_t> zero_leaf(64, 0);
+    const Slot leaf_slot = Md5::digest(zero_leaf);
+    EXPECT_EQ(f.store.canonicalSlot(3), leaf_slot);
+
+    const std::uint64_t level2_chunk = f.layout.arity(); // first at L2
+    const auto bytes = f.store.readChunk(level2_chunk);
+    for (std::uint64_t s = 0; s < 4; ++s) {
+        Slot got;
+        std::copy(bytes.begin() + s * 16, bytes.begin() + s * 16 + 16,
+                  got.begin());
+        EXPECT_EQ(got, leaf_slot) << "slot " << s;
+    }
+}
+
+TEST(ChunkStoreTest, CanonicalChainIsSelfConsistent)
+{
+    Fixture f;
+    // Hash of a virgin level-k chunk must equal canonicalSlot(k).
+    for (unsigned level = 1; level <= f.layout.levels(); ++level) {
+        // Find some chunk at this level.
+        std::uint64_t chunk = 0;
+        while (f.layout.levelOf(chunk) != level)
+            ++chunk;
+        const auto bytes = f.store.readChunk(chunk);
+        EXPECT_EQ(Md5::digest(bytes), f.store.canonicalSlot(level))
+            << "level " << level;
+    }
+}
+
+TEST(ChunkStoreTest, WriteMaterialisesAndPersists)
+{
+    Fixture f;
+    const std::uint64_t chunk = f.layout.firstDataChunk() + 3;
+    const std::uint64_t addr = f.layout.chunkAddr(chunk) + 10;
+    const std::vector<std::uint8_t> data{9, 8, 7};
+    EXPECT_FALSE(f.store.touched(chunk));
+    f.store.write(addr, data);
+    EXPECT_TRUE(f.store.touched(chunk));
+
+    std::vector<std::uint8_t> out(3);
+    f.store.read(addr, out);
+    EXPECT_EQ(out, data);
+
+    // The rest of the chunk materialised as its canonical zeros.
+    std::uint8_t head;
+    f.store.read(f.layout.chunkAddr(chunk), {&head, 1});
+    EXPECT_EQ(head, 0);
+}
+
+TEST(ChunkStoreTest, PartialWriteToHashChunkKeepsCanonicalRest)
+{
+    Fixture f;
+    const std::uint64_t chunk = 1; // level-1 hash chunk
+    const Slot value{0xde, 0xad};
+    f.store.writeSlot(chunk, 2, value);
+    EXPECT_EQ(f.store.readSlot(chunk, 2), value);
+    // Untouched slots keep the canonical level-2 authenticator.
+    EXPECT_EQ(f.store.readSlot(chunk, 0), f.store.canonicalSlot(2));
+}
+
+TEST(ChunkStoreTest, CrossChunkAccess)
+{
+    Fixture f;
+    const std::uint64_t chunk = f.layout.firstDataChunk();
+    const std::uint64_t addr = f.layout.chunkAddr(chunk) + 60;
+    const std::vector<std::uint8_t> data{1, 2, 3, 4, 5, 6, 7, 8};
+    f.store.write(addr, data);
+    EXPECT_TRUE(f.store.touched(chunk));
+    EXPECT_TRUE(f.store.touched(chunk + 1));
+    std::vector<std::uint8_t> out(8);
+    f.store.read(addr, out);
+    EXPECT_EQ(out, data);
+}
+
+TEST(ChunkStoreTest, XorMacCanonicalSlotsVerify)
+{
+    BackingStore base;
+    TreeLayout layout(64, 4096);
+    Key128 key;
+    key.fill(3);
+    Authenticator auth(Authenticator::Kind::kXorMac, key, 64);
+    ChunkStore store(base, layout, auth);
+
+    for (unsigned level = 1; level <= layout.levels(); ++level) {
+        std::uint64_t chunk = 0;
+        while (layout.levelOf(chunk) != level)
+            ++chunk;
+        const auto bytes = store.readChunk(chunk);
+        EXPECT_TRUE(auth.verify(bytes, store.canonicalSlot(level)))
+            << "level " << level;
+    }
+}
+
+} // namespace
+} // namespace cmt

@@ -1,0 +1,101 @@
+/** @file Hash-engine timing model tests (Table 1 / Figure 6 basis). */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tree/hash_engine.h"
+
+namespace cmt
+{
+namespace
+{
+
+struct Fixture
+{
+    explicit Fixture(double throughput = 3.2, unsigned latency = 80)
+    {
+        params.throughputBytesPerCycle = throughput;
+        params.latency = latency;
+        engine = std::make_unique<HashEngine>(events, params, stats);
+    }
+
+    EventQueue events;
+    StatGroup stats;
+    HashEngineParams params;
+    std::unique_ptr<HashEngine> engine;
+};
+
+TEST(HashEngineTest, SingleJobLatency)
+{
+    Fixture f;
+    Cycle done = 0;
+    f.engine->hash(64, [&] { done = f.events.now(); });
+    f.events.runUntil(1000);
+    // 64 bytes / 3.2 B/cyc = 20 cycles occupancy + 80 latency.
+    EXPECT_EQ(done, 100u);
+}
+
+TEST(HashEngineTest, PipelinedJobsInitiateAtThroughput)
+{
+    // Back-to-back 64-byte jobs must complete 20 cycles apart (one
+    // hash per 20 cycles = 3.2 GB/s at 1 GHz - the Table 1 figure).
+    Fixture f;
+    std::vector<Cycle> done;
+    for (int i = 0; i < 5; ++i)
+        f.engine->hash(64, [&] { done.push_back(f.events.now()); });
+    f.events.runUntil(10'000);
+    ASSERT_EQ(done.size(), 5u);
+    EXPECT_EQ(done[0], 100u);
+    for (int i = 1; i < 5; ++i)
+        EXPECT_EQ(done[i] - done[i - 1], 20u);
+}
+
+TEST(HashEngineTest, ThroughputScalesOccupancy)
+{
+    // 6.4 GB/s = one 64-byte hash per 10 cycles (Figure 6's note).
+    Fixture f(6.4);
+    std::vector<Cycle> done;
+    for (int i = 0; i < 3; ++i)
+        f.engine->hash(64, [&] { done.push_back(f.events.now()); });
+    f.events.runUntil(10'000);
+    ASSERT_EQ(done.size(), 3u);
+    EXPECT_EQ(done[1] - done[0], 10u);
+    EXPECT_EQ(done[2] - done[1], 10u);
+}
+
+TEST(HashEngineTest, BiggerJobsOccupyLonger)
+{
+    Fixture f;
+    std::vector<Cycle> done;
+    f.engine->hash(128, [&] { done.push_back(f.events.now()); });
+    f.engine->hash(64, [&] { done.push_back(f.events.now()); });
+    f.events.runUntil(10'000);
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_EQ(done[0], 40u + 80u); // 128/3.2 = 40
+    EXPECT_EQ(done[1], 40u + 20u + 80u);
+}
+
+TEST(HashEngineTest, IdleEngineAcceptsImmediately)
+{
+    Fixture f;
+    f.events.runUntil(500); // long idle gap
+    Cycle done = 0;
+    f.engine->hash(64, [&] { done = f.events.now(); });
+    f.events.runUntil(10'000);
+    EXPECT_EQ(done, 600u);
+}
+
+TEST(HashEngineTest, StatsAccumulate)
+{
+    Fixture f;
+    f.engine->hash(64, [] {});
+    f.engine->hash(128, [] {});
+    f.events.runUntil(10'000);
+    EXPECT_EQ(f.engine->stat_jobs.value(), 2u);
+    EXPECT_EQ(f.engine->stat_bytes.value(), 192u);
+    EXPECT_EQ(f.engine->busyCycles(), 60u);
+}
+
+} // namespace
+} // namespace cmt

@@ -1,0 +1,171 @@
+/** @file Tree layout (Section 5.6) geometry tests. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tree/layout.h"
+
+namespace cmt
+{
+namespace
+{
+
+TEST(TreeLayoutTest, SmallTreeGeometry)
+{
+    // 64B chunks -> 16B slots -> arity 4; protect 1 KiB -> 16 leaves
+    // -> levels: 4 + 16 = 2 levels, 20 chunks total.
+    TreeLayout layout(64, 1024);
+    EXPECT_EQ(layout.arity(), 4u);
+    EXPECT_EQ(layout.levels(), 2u);
+    EXPECT_EQ(layout.dataChunks(), 16u);
+    EXPECT_EQ(layout.totalChunks(), 20u);
+    EXPECT_EQ(layout.firstDataChunk(), 4u);
+    EXPECT_EQ(layout.dataBytes(), 1024u);
+    EXPECT_EQ(layout.hashBytes(), 4u * 64u);
+}
+
+TEST(TreeLayoutTest, PaperParentFormula)
+{
+    TreeLayout layout(64, 4096); // arity 4, 3 levels
+    // Chunk i's hash is at slot i%m of chunk i/m - 1.
+    EXPECT_EQ(layout.parentOf(0), -1);
+    EXPECT_EQ(layout.parentOf(3), -1);
+    EXPECT_EQ(layout.parentOf(4), 0);
+    EXPECT_EQ(layout.parentOf(7), 0);
+    EXPECT_EQ(layout.parentOf(8), 1);
+    EXPECT_EQ(layout.slotIndexOf(4), 0u);
+    EXPECT_EQ(layout.slotIndexOf(7), 3u);
+    EXPECT_EQ(layout.slotIndexOf(8), 0u);
+}
+
+TEST(TreeLayoutTest, ChildInvertsParent)
+{
+    TreeLayout layout(64, 64 * 1024);
+    for (std::uint64_t c = 0; c < layout.totalChunks(); ++c) {
+        const std::int64_t p = layout.parentOf(c);
+        if (p < 0)
+            continue;
+        EXPECT_EQ(layout.childOf(static_cast<std::uint64_t>(p),
+                                 layout.slotIndexOf(c)),
+                  c);
+    }
+}
+
+TEST(TreeLayoutTest, LeavesAreContiguousAtTheEnd)
+{
+    TreeLayout layout(64, 4096);
+    for (std::uint64_t c = 0; c < layout.totalChunks(); ++c) {
+        EXPECT_EQ(layout.isHashChunk(c), c < layout.firstDataChunk());
+    }
+}
+
+TEST(TreeLayoutTest, LevelsPartitionChunks)
+{
+    TreeLayout layout(64, 16384); // arity 4 -> leaves 256, levels 4
+    EXPECT_EQ(layout.levels(), 4u);
+    std::uint64_t count_per_level[5] = {};
+    for (std::uint64_t c = 0; c < layout.totalChunks(); ++c)
+        ++count_per_level[layout.levelOf(c)];
+    EXPECT_EQ(count_per_level[1], 4u);
+    EXPECT_EQ(count_per_level[2], 16u);
+    EXPECT_EQ(count_per_level[3], 64u);
+    EXPECT_EQ(count_per_level[4], 256u);
+}
+
+TEST(TreeLayoutTest, ParentIsOneLevelUp)
+{
+    TreeLayout layout(128, 1 << 20); // arity 8
+    for (std::uint64_t c = layout.arity(); c < layout.totalChunks();
+         c += 37) {
+        const auto p = static_cast<std::uint64_t>(layout.parentOf(c));
+        EXPECT_EQ(layout.levelOf(p) + 1, layout.levelOf(c));
+    }
+}
+
+TEST(TreeLayoutTest, DataRamTranslationRoundTrip)
+{
+    TreeLayout layout(64, 8192);
+    for (std::uint64_t a : {0ULL, 63ULL, 64ULL, 8191ULL}) {
+        const std::uint64_t ram = layout.dataToRam(a);
+        EXPECT_FALSE(layout.isHashChunk(layout.chunkOf(ram)));
+        EXPECT_EQ(layout.ramToData(ram), a);
+    }
+}
+
+TEST(TreeLayoutTest, MemoryOverheadApproachesOneOverArityMinusOne)
+{
+    // Section 5.1: an m-ary tree costs 1/(m-1) extra memory.
+    TreeLayout l4(64, 1ULL << 30);
+    const double overhead4 =
+        static_cast<double>(l4.hashBytes()) / l4.dataBytes();
+    EXPECT_NEAR(overhead4, 1.0 / 3.0, 0.01);
+
+    TreeLayout l8(128, 1ULL << 30);
+    const double overhead8 =
+        static_cast<double>(l8.hashBytes()) / l8.dataBytes();
+    EXPECT_NEAR(overhead8, 1.0 / 7.0, 0.01);
+}
+
+TEST(TreeLayoutTest, AncestorDepthMatchesPaperScale)
+{
+    // 4 GB protected with 64-B chunks: the naive scheme pays ~12-13
+    // extra accesses per miss (the paper reports 13 for its layout).
+    TreeLayout layout(64, 4ULL << 30);
+    EXPECT_EQ(layout.ancestorDepth(), 12u);
+}
+
+TEST(TreeLayoutTest, AncestorWalkTerminatesAtRoot)
+{
+    TreeLayout layout(64, 1ULL << 24);
+    const std::uint64_t leaf = layout.firstDataChunk() + 12345;
+    std::set<std::uint64_t> seen;
+    std::int64_t cur = static_cast<std::int64_t>(leaf);
+    unsigned steps = 0;
+    while (cur >= 0) {
+        EXPECT_TRUE(seen.insert(static_cast<std::uint64_t>(cur)).second)
+            << "cycle in parent chain";
+        cur = layout.parentOf(static_cast<std::uint64_t>(cur));
+        ++steps;
+        ASSERT_LT(steps, 64u);
+    }
+    EXPECT_EQ(steps, layout.levels());
+}
+
+/** Geometry invariants across a parameter sweep. */
+class LayoutProperty
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint64_t, std::uint64_t>>
+{
+};
+
+TEST_P(LayoutProperty, Invariants)
+{
+    const auto [chunk_size, protected_size] = GetParam();
+    TreeLayout layout(chunk_size, protected_size);
+
+    EXPECT_GE(layout.dataBytes(), protected_size);
+    EXPECT_EQ(layout.arity(), chunk_size / TreeLayout::kSlotSize);
+    EXPECT_EQ(layout.totalChunks(),
+              layout.firstDataChunk() + layout.dataChunks());
+
+    // Every non-root chunk's slot fits inside its parent.
+    for (std::uint64_t c = 0; c < layout.totalChunks();
+         c += 1 + layout.totalChunks() / 500) {
+        const std::int64_t p = layout.parentOf(c);
+        if (p >= 0) {
+            EXPECT_LT(layout.slotIndexOf(c), layout.arity());
+            EXPECT_TRUE(
+                layout.isHashChunk(static_cast<std::uint64_t>(p)));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LayoutProperty,
+    ::testing::Combine(::testing::Values(32u, 64u, 128u, 256u),
+                       ::testing::Values(1ULL << 10, 1ULL << 16,
+                                         1ULL << 20, 1ULL << 26)));
+
+} // namespace
+} // namespace cmt

@@ -1,0 +1,149 @@
+/** @file Certified execution (Section 4.1) protocol tests. */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "mem/backing_store.h"
+#include "verify/adversary.h"
+#include "verify/certified.h"
+
+namespace cmt
+{
+namespace
+{
+
+Key128
+manufacturerSecret()
+{
+    Key128 k;
+    k.fill(0x1f);
+    return k;
+}
+
+std::vector<std::uint8_t>
+programImage(const char *text)
+{
+    return std::vector<std::uint8_t>(text, text + std::strlen(text));
+}
+
+MerkleConfig
+smallConfig()
+{
+    MerkleConfig cfg;
+    cfg.chunkSize = 64;
+    cfg.protectedSize = 8192;
+    cfg.cacheChunks = 32;
+    return cfg;
+}
+
+/** Alice's program: sum an array it first writes to memory. */
+std::vector<std::uint8_t>
+sumProgram(MerkleMemory &mem)
+{
+    std::uint64_t sum = 0;
+    for (std::uint64_t i = 0; i < 64; ++i)
+        mem.store64(8 * i, i * i);
+    for (std::uint64_t i = 0; i < 64; ++i)
+        sum += mem.load64(8 * i);
+    std::vector<std::uint8_t> out(8);
+    for (int i = 0; i < 8; ++i)
+        out[i] = static_cast<std::uint8_t>(sum >> (8 * i));
+    return out;
+}
+
+TEST(CertifiedTest, HonestRunProducesVerifiableCertificate)
+{
+    SecureProcessor cpu(manufacturerSecret());
+    BackingStore ram;
+    const auto image = programImage("alice-sum-v1");
+
+    const auto cert =
+        cpu.runCertified(image, sumProgram, ram, smallConfig());
+    ASSERT_TRUE(cert.has_value());
+
+    // 0^2 + 1^2 + ... + 63^2 = 85344.
+    std::uint64_t result = 0;
+    for (int i = 7; i >= 0; --i)
+        result = (result << 8) | cert->result[i];
+    EXPECT_EQ(result, 85344u);
+
+    const Key128 vk = cpu.verificationKeyFor(image);
+    EXPECT_TRUE(SecureProcessor::verifyCertificate(vk, *cert));
+}
+
+TEST(CertifiedTest, WrongProgramKeyRejectsCertificate)
+{
+    SecureProcessor cpu(manufacturerSecret());
+    BackingStore ram;
+    const auto image = programImage("alice-sum-v1");
+    const auto cert =
+        cpu.runCertified(image, sumProgram, ram, smallConfig());
+    ASSERT_TRUE(cert.has_value());
+
+    // Bob claims the result came from a different program.
+    const Key128 other = cpu.verificationKeyFor(programImage("evil"));
+    EXPECT_FALSE(SecureProcessor::verifyCertificate(other, *cert));
+}
+
+TEST(CertifiedTest, DifferentProcessorsYieldDifferentKeys)
+{
+    Key128 s2;
+    s2.fill(0x2e);
+    SecureProcessor a(manufacturerSecret()), b(s2);
+    const auto image = programImage("prog");
+    EXPECT_NE(a.verificationKeyFor(image), b.verificationKeyFor(image));
+}
+
+TEST(CertifiedTest, ForgedResultRejected)
+{
+    SecureProcessor cpu(manufacturerSecret());
+    BackingStore ram;
+    const auto image = programImage("alice-sum-v1");
+    auto cert = cpu.runCertified(image, sumProgram, ram, smallConfig());
+    ASSERT_TRUE(cert.has_value());
+
+    cert->result[0] ^= 1; // Bob edits the answer
+    const Key128 vk = cpu.verificationKeyFor(image);
+    EXPECT_FALSE(SecureProcessor::verifyCertificate(vk, *cert));
+}
+
+TEST(CertifiedTest, MemoryTamperingDuringRunYieldsNoCertificate)
+{
+    SecureProcessor cpu(manufacturerSecret());
+    BackingStore ram;
+    Adversary adv(ram);
+    const auto image = programImage("alice-sum-v1");
+
+    // Bob tampers with RAM while the program runs: corrupt a value
+    // between the write and read phases.
+    auto tampered_body =
+        [&](MerkleMemory &mem) -> std::vector<std::uint8_t> {
+        for (std::uint64_t i = 0; i < 64; ++i)
+            mem.store64(8 * i, i * i);
+        mem.flush();
+        mem.clearCache();
+        adv.flipBit(mem.layout().dataToRam(8), 0);
+        std::uint64_t sum = 0;
+        for (std::uint64_t i = 0; i < 64; ++i)
+            sum += mem.load64(8 * i);
+        return std::vector<std::uint8_t>(8, 0);
+    };
+
+    const auto cert =
+        cpu.runCertified(image, tampered_body, ram, smallConfig());
+    EXPECT_FALSE(cert.has_value())
+        << "tampering must destroy the program's ability to certify";
+}
+
+TEST(CertifiedTest, SameProgramSameProcessorDeterministicKey)
+{
+    SecureProcessor cpu(manufacturerSecret());
+    const auto image = programImage("p");
+    EXPECT_EQ(cpu.verificationKeyFor(image),
+              cpu.verificationKeyFor(image));
+}
+
+} // namespace
+} // namespace cmt

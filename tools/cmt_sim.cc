@@ -1,0 +1,147 @@
+/**
+ * @file
+ * cmt_sim: command-line front end to the secure-processor simulator.
+ *
+ *   cmt_sim [options]
+ *     --bench <name>      one of the nine specgen benchmarks (gcc...)
+ *     --trace <file>      drive the core from a CMT trace file instead
+ *     --scheme <s>        base | naive | cached | incremental
+ *     --l2-size <bytes>   L2 capacity            (default 1048576)
+ *     --l2-block <bytes>  L2 line size           (default 64)
+ *     --chunk <bytes>     tree chunk size        (default = block)
+ *     --buffers <n>       hash read/write buffer entries (default 16)
+ *     --hash-gbps <f>     hash throughput        (default 3.2)
+ *     --no-spec           block until checks complete (ablation)
+ *     --encrypt           enable the privacy extension
+ *     --warmup <n>        warmup instructions    (default 250000)
+ *     --instr <n>         measured instructions  (default 600000)
+ *     --seed <n>          workload seed          (default 1)
+ *     --stats             dump every counter after the run
+ */
+
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "sim/system.h"
+#include "trace/trace_file.h"
+
+using namespace cmt;
+
+namespace
+{
+
+[[noreturn]] void
+usage()
+{
+    std::cerr << "usage: cmt_sim [--bench NAME | --trace FILE] "
+                 "[--scheme base|naive|cached|incremental]\n"
+                 "  [--l2-size N] [--l2-block N] [--chunk N] "
+                 "[--buffers N] [--hash-gbps F]\n"
+                 "  [--no-spec] [--encrypt] [--warmup N] [--instr N] "
+                 "[--seed N] [--stats]\n";
+    std::exit(2);
+}
+
+Scheme
+parseScheme(const std::string &s)
+{
+    if (s == "base")
+        return Scheme::kBase;
+    if (s == "naive")
+        return Scheme::kNaive;
+    if (s == "cached" || s == "c" || s == "m")
+        return Scheme::kCached;
+    if (s == "incremental" || s == "i")
+        return Scheme::kIncremental;
+    cmt_fatal("unknown scheme '%s'", s.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    SystemConfig cfg;
+    std::string trace_path;
+    bool dump_stats = false;
+    bool chunk_set = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--bench") {
+            cfg.benchmark = value();
+        } else if (arg == "--trace") {
+            trace_path = value();
+        } else if (arg == "--scheme") {
+            cfg.l2.scheme = parseScheme(value());
+        } else if (arg == "--l2-size") {
+            cfg.l2.sizeBytes = std::stoull(value());
+        } else if (arg == "--l2-block") {
+            cfg.l2.blockSize = static_cast<unsigned>(std::stoul(value()));
+        } else if (arg == "--chunk") {
+            cfg.l2.chunkSize = std::stoull(value());
+            chunk_set = true;
+        } else if (arg == "--buffers") {
+            cfg.l2.readBufferEntries =
+                static_cast<unsigned>(std::stoul(value()));
+            cfg.l2.writeBufferEntries = cfg.l2.readBufferEntries;
+        } else if (arg == "--hash-gbps") {
+            cfg.hash.throughputBytesPerCycle = std::stod(value());
+        } else if (arg == "--no-spec") {
+            cfg.l2.speculativeChecks = false;
+        } else if (arg == "--encrypt") {
+            cfg.l2.encryptData = true;
+        } else if (arg == "--warmup") {
+            cfg.warmupInstructions = std::stoull(value());
+        } else if (arg == "--instr") {
+            cfg.measureInstructions = std::stoull(value());
+        } else if (arg == "--seed") {
+            cfg.seed = std::stoull(value());
+        } else if (arg == "--stats") {
+            dump_stats = true;
+        } else {
+            usage();
+        }
+    }
+    if (!chunk_set)
+        cfg.l2.chunkSize = cfg.l2.blockSize;
+
+    printConfigTable(std::cout, cfg);
+
+    SimResult r;
+    std::unique_ptr<System> system;
+    if (trace_path.empty()) {
+        system = std::make_unique<System>(cfg);
+    } else {
+        system = std::make_unique<System>(
+            cfg, std::make_unique<FileTrace>(trace_path));
+    }
+    r = system->run();
+
+    std::cout << "\nbenchmark            : " << r.benchmark << " ("
+              << schemeName(r.scheme) << ")\n"
+              << "instructions         : " << r.instructions << "\n"
+              << "cycles               : " << r.cycles << "\n"
+              << "IPC                  : " << r.ipc << "\n"
+              << "L2 data miss-rate    : " << r.l2DataMissRate << "\n"
+              << "extra reads per miss : " << r.extraReadsPerMiss << "\n"
+              << "DRAM bytes/cycle     : " << r.bandwidthBytesPerCycle
+              << "\n"
+              << "branch mispredicts   : " << r.branchMispredictRate
+              << "\n"
+              << "buffer stalls        : " << r.bufferStalls << "\n"
+              << "integrity failures   : " << r.integrityFailures
+              << "\n";
+    if (dump_stats && system) {
+        std::cout << "\n--- full statistics ---\n";
+        system->dumpStats(std::cout);
+    }
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * cmt_tracegen: dump a specgen benchmark to a CMT trace file, so runs
+ * can be replayed exactly (or inspected / transformed by other
+ * tooling).
+ *
+ *   cmt_tracegen --bench mcf --instr 1000000 --seed 1 --out mcf.cmtt
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "support/logging.h"
+#include "trace/specgen.h"
+#include "trace/trace_file.h"
+
+using namespace cmt;
+
+int
+main(int argc, char **argv)
+{
+    std::string bench = "gcc", out;
+    std::uint64_t instructions = 1'000'000, seed = 1;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                cmt_fatal("missing value for %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--bench")
+            bench = value();
+        else if (arg == "--instr")
+            instructions = std::stoull(value());
+        else if (arg == "--seed")
+            seed = std::stoull(value());
+        else if (arg == "--out")
+            out = value();
+        else
+            cmt_fatal("unknown option '%s'", arg.c_str());
+    }
+    if (out.empty())
+        cmt_fatal("--out FILE is required");
+
+    SpecGen gen(profileFor(bench), seed);
+    TraceWriter writer(out);
+    TraceInstr instr;
+    for (std::uint64_t i = 0; i < instructions; ++i) {
+        gen.next(instr);
+        writer.append(instr);
+    }
+    std::printf("wrote %llu instructions of '%s' (seed %llu) to %s\n",
+                static_cast<unsigned long long>(writer.written()),
+                bench.c_str(), static_cast<unsigned long long>(seed),
+                out.c_str());
+    return 0;
+}
