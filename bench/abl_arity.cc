@@ -14,8 +14,11 @@ using namespace cmt;
 using namespace cmt::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const Options opt = parseArgs(argc, argv, "abl_arity");
+    const auto benches = benchmarks(opt);
+
     SystemConfig show = baseConfig("swim", Scheme::kCached);
     header("Ablation", "chunk size / tree arity sweep (m scheme)",
            show);
@@ -35,16 +38,23 @@ main()
     g.print(std::cout);
     std::cout << "\n";
 
-    Table t("IPC by chunk size (64B blocks, cached scheme)");
-    t.header({"bench", "64B", "128B", "256B"});
-    for (const auto &bench : specBenchmarks()) {
-        std::vector<std::string> row{bench};
+    Sweep sweep(opt);
+    for (const auto &bench : benches) {
         for (const std::uint64_t chunk : chunks) {
             SystemConfig cfg = baseConfig(bench, Scheme::kCached);
             cfg.l2.chunkSize = chunk;
-            row.push_back(Table::num(
-                run(cfg, bench + "/chunk" + std::to_string(chunk))
-                    .ipc));
+            sweep.add(bench + "/chunk" + std::to_string(chunk), cfg);
+        }
+    }
+    sweep.run();
+
+    Table t("IPC by chunk size (64B blocks, cached scheme)");
+    t.header({"bench", "64B", "128B", "256B"});
+    for (const auto &bench : benches) {
+        std::vector<std::string> row{bench};
+        for (const std::uint64_t chunk : chunks) {
+            (void)chunk;
+            row.push_back(Table::num(sweep.take().ipc));
         }
         t.row(std::move(row));
     }
@@ -53,5 +63,6 @@ main()
         << "\nLarger chunks: fewer tree levels and less RAM overhead,\n"
         << "but every miss moves and hashes more data and write-backs\n"
         << "involve whole chunks - the Section 6.7 tension.\n";
+    sweep.writeJson();
     return 0;
 }

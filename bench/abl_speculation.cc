@@ -15,20 +15,30 @@ using namespace cmt;
 using namespace cmt::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const Options opt = parseArgs(argc, argv, "abl_speculation");
+    const auto benches = benchmarks(opt);
+
     SystemConfig show = baseConfig("twolf", Scheme::kCached);
     header("Ablation", "speculative vs blocking integrity checks",
            show);
 
-    Table t("c scheme IPC: speculative vs blocking checks");
-    t.header({"bench", "speculative", "blocking", "loss"});
-    for (const auto &bench : specBenchmarks()) {
+    Sweep sweep(opt);
+    for (const auto &bench : benches) {
         SystemConfig spec = baseConfig(bench, Scheme::kCached);
         SystemConfig block = spec;
         block.l2.speculativeChecks = false;
-        const double a = run(spec, bench + "/speculative").ipc;
-        const double b = run(block, bench + "/blocking").ipc;
+        sweep.add(bench + "/speculative", spec);
+        sweep.add(bench + "/blocking", block);
+    }
+    sweep.run();
+
+    Table t("c scheme IPC: speculative vs blocking checks");
+    t.header({"bench", "speculative", "blocking", "loss"});
+    for (const auto &bench : benches) {
+        const double a = sweep.take().ipc;
+        const double b = sweep.take().ipc;
         t.row({bench, Table::num(a), Table::num(b),
                Table::pct(1.0 - b / a)});
     }
@@ -38,5 +48,6 @@ main()
         << "latency) to every L2 miss: memory-bound benchmarks lose\n"
         << "substantially, confirming why Section 5.8 allows\n"
         << "imprecise integrity exceptions.\n";
+    sweep.writeJson();
     return 0;
 }

@@ -15,21 +15,31 @@ using namespace cmt;
 using namespace cmt::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const Options opt = parseArgs(argc, argv, "abl_writealloc");
+    const auto benches = benchmarks(opt);
+
     SystemConfig show = baseConfig("swim", Scheme::kCached);
     header("Ablation", "Section 5.3 write-allocate-without-fetch",
            show);
 
-    Table t("c scheme: with vs without the no-fetch optimisation");
-    t.header({"bench", "no-fetch IPC", "fetch IPC", "gain",
-              "no-fetch BW", "fetch BW"});
-    for (const auto &bench : specBenchmarks()) {
+    Sweep sweep(opt);
+    for (const auto &bench : benches) {
         SystemConfig with = baseConfig(bench, Scheme::kCached);
         SystemConfig without = with;
         without.l2.writeAllocNoFetch = false;
-        const SimResult a = run(with, bench + "/no-fetch");
-        const SimResult b = run(without, bench + "/fetch");
+        sweep.add(bench + "/no-fetch", with);
+        sweep.add(bench + "/fetch", without);
+    }
+    sweep.run();
+
+    Table t("c scheme: with vs without the no-fetch optimisation");
+    t.header({"bench", "no-fetch IPC", "fetch IPC", "gain",
+              "no-fetch BW", "fetch BW"});
+    for (const auto &bench : benches) {
+        const SimResult a = sweep.take();
+        const SimResult b = sweep.take();
         t.row({bench, Table::num(a.ipc), Table::num(b.ipc),
                Table::pct(a.ipc / b.ipc - 1.0),
                Table::num(a.bandwidthBytesPerCycle, 2),
@@ -45,5 +55,6 @@ main()
         << "motivates the optimisation for chunks that are entirely\n"
         << "overwritten - streaming writers - where the saved read\n"
         << "and check are pure profit.\n";
+    sweep.writeJson();
     return 0;
 }

@@ -14,23 +14,34 @@ using namespace cmt;
 using namespace cmt::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const Options opt = parseArgs(argc, argv, "ext_privacy");
+    const auto benches = benchmarks(opt);
+
     SystemConfig show = baseConfig("swim", Scheme::kCached);
     header("Extension", "privacy (off-chip encryption) on top of c",
            show);
 
-    Table t("IPC: base vs c vs c+encryption (40-cycle decrypt)");
-    t.header({"bench", "base", "c", "c+enc", "integrity cost",
-              "privacy adds"});
-    for (const auto &bench : specBenchmarks()) {
+    Sweep sweep(opt);
+    for (const auto &bench : benches) {
         SystemConfig b = baseConfig(bench, Scheme::kBase);
         SystemConfig c = baseConfig(bench, Scheme::kCached);
         SystemConfig e = c;
         e.l2.encryptData = true;
-        const double ipc_b = run(b, bench + "/base").ipc;
-        const double ipc_c = run(c, bench + "/c").ipc;
-        const double ipc_e = run(e, bench + "/c+enc").ipc;
+        sweep.add(bench + "/base", b);
+        sweep.add(bench + "/c", c);
+        sweep.add(bench + "/c+enc", e);
+    }
+    sweep.run();
+
+    Table t("IPC: base vs c vs c+encryption (40-cycle decrypt)");
+    t.header({"bench", "base", "c", "c+enc", "integrity cost",
+              "privacy adds"});
+    for (const auto &bench : benches) {
+        const double ipc_b = sweep.take().ipc;
+        const double ipc_c = sweep.take().ipc;
+        const double ipc_e = sweep.take().ipc;
         t.row({bench, Table::num(ipc_b), Table::num(ipc_c),
                Table::num(ipc_e), Table::pct(1 - ipc_c / ipc_b),
                Table::pct(1 - ipc_e / ipc_c)});
@@ -40,5 +51,6 @@ main()
         << "\nCounter-mode pads overlap decryption with the DRAM\n"
         << "access, so privacy costs a latency adder, not bandwidth -\n"
         << "cheap next to verification for bandwidth-bound workloads.\n";
+    sweep.writeJson();
     return 0;
 }

@@ -7,6 +7,11 @@
  * tree to SMP systems. This harness runs 1, 2 and 4 programs over one
  * shared verified L2 and reports how the c scheme's cost composes
  * with inter-program contention for the bus and the hash engine.
+ *
+ * The runs go through the shared Sweep engine with a custom executor
+ * per job (an SMP mix is not a single SystemConfig, so the engine's
+ * config memoization is bypassed); the full SmpResult is kept in a
+ * side table indexed by submission order.
  */
 
 #include "bench/common.h"
@@ -18,8 +23,8 @@ using namespace cmt::bench;
 namespace
 {
 
-SmpResult
-runMix(const std::vector<std::string> &mix, Scheme scheme)
+SmpConfig
+mixConfig(const std::vector<std::string> &mix, Scheme scheme)
 {
     SmpConfig cfg;
     cfg.benchmarks = mix;
@@ -34,53 +39,97 @@ runMix(const std::vector<std::string> &mix, Scheme scheme)
     // L1s are hottest on, and every back-invalidation feeds the loop).
     cfg.l2.sizeBytes = 4 << 20;
     cfg.l2.assoc = 8;
-    std::string label = schemeName(scheme);
-    for (const auto &b : mix)
-        label += ":" + b;
-    std::fprintf(stderr, "  [run] %-36s ...", label.c_str());
-    std::fflush(stderr);
-    SmpSystem smp(cfg);
-    const SmpResult r = smp.run();
-    std::fprintf(stderr, " agg ipc=%.3f\n", r.aggregateIpc);
-    return r;
+    return cfg;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const Options opt = parseArgs(argc, argv, "ext_smp");
+
     SystemConfig show = baseConfig("twolf", Scheme::kCached);
     header("Extension", "multiprogrammed SMP over one verified L2",
            show);
 
-    const std::vector<std::vector<std::string>> mixes = {
+    const std::vector<std::vector<std::string>> all_mixes = {
         {"twolf"},
         {"twolf", "gzip"},
         {"twolf", "swim"},
         {"twolf", "gzip", "vpr", "swim"},
     };
+    std::vector<std::vector<std::string>> mixes;
+    for (const auto &mix : all_mixes) {
+        bool match = opt.filter.empty();
+        for (const auto &b : mix)
+            match = match || b.find(opt.filter) != std::string::npos;
+        if (match)
+            mixes.push_back(mix);
+    }
+    if (mixes.empty())
+        cmt_fatal("--filter '%s' matches no mix", opt.filter.c_str());
+
+    const Scheme schemes[2] = {Scheme::kBase, Scheme::kCached};
+    std::vector<SmpResult> smp(mixes.size() * 2);
+
+    Sweep sweep(opt);
+    std::size_t slot = 0;
+    for (const auto &mix : mixes) {
+        for (const Scheme scheme : schemes) {
+            std::string label = schemeName(scheme);
+            for (const auto &b : mix)
+                label += ":" + b;
+            // Mirror the mix in the config so error rows and JSON
+            // stay identifiable; the thunk does the real work.
+            SystemConfig tag = baseConfig(mix.front(), scheme);
+            SmpResult *out = &smp[slot++];
+            sweep.add(label, tag,
+                      [mix, scheme, out](const SystemConfig &) {
+                          SmpSystem system(mixConfig(mix, scheme));
+                          *out = system.run();
+                          SimResult r;
+                          r.benchmark = "mix";
+                          r.scheme = scheme;
+                          r.ipc = out->aggregateIpc;
+                          r.cycles = out->cycles;
+                          r.integrityFailures = out->integrityFailures;
+                          r.bandwidthBytesPerCycle =
+                              out->bandwidthBytesPerCycle;
+                          return r;
+                      });
+        }
+    }
+    sweep.run();
 
     Table t("aggregate and per-program IPC, base vs c (shared 4MB L2)");
     t.header({"mix", "base agg", "c agg", "agg cost", "twolf base",
               "twolf c", "twolf cost"});
+    slot = 0;
     for (const auto &mix : mixes) {
-        const SmpResult base = runMix(mix, Scheme::kBase);
-        const SmpResult c = runMix(mix, Scheme::kCached);
+        sweep.take();
+        sweep.take();
+        const SmpResult &base = smp[slot];
+        const SmpResult &c = smp[slot + 1];
+        slot += 2;
         std::string name;
         for (const auto &b : mix)
             name += (name.empty() ? "" : "+") + b;
+        // Error rows leave perCore empty; keep the table alive.
+        const double base0 =
+            base.perCore.empty() ? 0.0 : base.perCore[0].ipc;
+        const double c0 = c.perCore.empty() ? 0.0 : c.perCore[0].ipc;
         t.row({name, Table::num(base.aggregateIpc),
                Table::num(c.aggregateIpc),
                Table::pct(1 - c.aggregateIpc / base.aggregateIpc),
-               Table::num(base.perCore[0].ipc),
-               Table::num(c.perCore[0].ipc),
-               Table::pct(1 - c.perCore[0].ipc / base.perCore[0].ipc)});
+               Table::num(base0), Table::num(c0),
+               Table::pct(base0 ? 1 - c0 / base0 : 0.0)});
     }
     t.print(std::cout);
     std::cout
         << "\nOne tree and one hash engine verify every program's\n"
         << "traffic; contention compounds with verification, hitting\n"
         << "hardest when a bandwidth hog (swim) shares the machine.\n";
+    sweep.writeJson();
     return 0;
 }

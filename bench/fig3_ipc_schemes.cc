@@ -12,8 +12,11 @@ using namespace cmt;
 using namespace cmt::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const Options opt = parseArgs(argc, argv, "fig3_ipc_schemes");
+    const auto benches = benchmarks(opt);
+
     const std::uint64_t sizes[] = {256 << 10, 1 << 20, 4 << 20};
     const unsigned blocks[] = {64, 128};
     const Scheme schemes[] = {Scheme::kBase, Scheme::kCached,
@@ -22,6 +25,26 @@ main()
     SystemConfig show = baseConfig("gcc", Scheme::kCached);
     header("Figure 3", "IPC of base/c/naive across L2 configurations",
            show);
+
+    Sweep sweep(opt);
+    for (const unsigned block : blocks) {
+        for (const std::uint64_t size : sizes) {
+            for (const auto &bench : benches) {
+                for (int s = 0; s < 3; ++s) {
+                    SystemConfig cfg = baseConfig(bench, schemes[s]);
+                    cfg.l2.sizeBytes = size;
+                    cfg.l2.blockSize = block;
+                    cfg.l2.chunkSize = block; // c scheme: chunk==block
+                    const std::string label =
+                        bench + "/" + schemeName(schemes[s]) + "/" +
+                        std::to_string(size >> 10) + "K/" +
+                        std::to_string(block) + "B";
+                    sweep.add(label, cfg);
+                }
+            }
+        }
+    }
+    sweep.run();
 
     double worst_cached_overhead = 0;
     std::string worst_cached_at;
@@ -34,19 +57,10 @@ main()
                     std::to_string(block) + "B blocks) - IPC");
             t.header({"bench", "base", "c", "naive", "c/base",
                       "naive/base"});
-            for (const auto &bench : specBenchmarks()) {
+            for (const auto &bench : benches) {
                 double ipc[3] = {};
-                for (int s = 0; s < 3; ++s) {
-                    SystemConfig cfg = baseConfig(bench, schemes[s]);
-                    cfg.l2.sizeBytes = size;
-                    cfg.l2.blockSize = block;
-                    cfg.l2.chunkSize = block; // c scheme: chunk==block
-                    const std::string label =
-                        bench + "/" + schemeName(schemes[s]) + "/" +
-                        std::to_string(size >> 10) + "K/" +
-                        std::to_string(block) + "B";
-                    ipc[s] = run(cfg, label).ipc;
-                }
+                for (int s = 0; s < 3; ++s)
+                    ipc[s] = sweep.take().ipc;
                 t.row({bench, Table::num(ipc[0]), Table::num(ipc[1]),
                        Table::num(ipc[2]), Table::num(ipc[1] / ipc[0], 2),
                        Table::num(ipc[2] / ipc[0], 2)});
@@ -81,5 +95,6 @@ main()
               << Table::num(worst_naive_slowdown, 1) << "x (" <<
         worst_naive_at << ")\n"
               << "  paper: up to ~10x (swim, applu)\n";
+    sweep.writeJson();
     return 0;
 }

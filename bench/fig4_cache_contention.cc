@@ -14,29 +14,41 @@ using namespace cmt;
 using namespace cmt::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const Options opt = parseArgs(argc, argv, "fig4_cache_contention");
+    const auto benches = benchmarks(opt);
+
     SystemConfig show = baseConfig("twolf", Scheme::kCached);
     show.l2.sizeBytes = 256 << 10;
     header("Figure 4", "L2 data miss-rate: base vs c (hash caching)",
            show);
 
-    for (const std::uint64_t size :
-         {std::uint64_t{256 << 10}, std::uint64_t{4 << 20}}) {
-        Table t("Figure 4 (" + std::to_string(size >> 10) +
-                "KB L2, 64B blocks) - program-data miss-rate");
-        t.header({"bench", "base", "c", "delta"});
-        for (const auto &bench : specBenchmarks()) {
-            double rate[2] = {};
-            const Scheme schemes[2] = {Scheme::kBase, Scheme::kCached};
+    const std::uint64_t sizes[] = {256 << 10, 4 << 20};
+    const Scheme schemes[2] = {Scheme::kBase, Scheme::kCached};
+
+    Sweep sweep(opt);
+    for (const std::uint64_t size : sizes) {
+        for (const auto &bench : benches) {
             for (int s = 0; s < 2; ++s) {
                 SystemConfig cfg = baseConfig(bench, schemes[s]);
                 cfg.l2.sizeBytes = size;
-                rate[s] = run(cfg, bench + "/" +
-                                       schemeName(schemes[s]) + "/" +
-                                       std::to_string(size >> 10) + "K")
-                              .l2DataMissRate;
+                sweep.add(bench + "/" + schemeName(schemes[s]) + "/" +
+                              std::to_string(size >> 10) + "K",
+                          cfg);
             }
+        }
+    }
+    sweep.run();
+
+    for (const std::uint64_t size : sizes) {
+        Table t("Figure 4 (" + std::to_string(size >> 10) +
+                "KB L2, 64B blocks) - program-data miss-rate");
+        t.header({"bench", "base", "c", "delta"});
+        for (const auto &bench : benches) {
+            double rate[2] = {};
+            for (int s = 0; s < 2; ++s)
+                rate[s] = sweep.take().l2DataMissRate;
             t.row({bench, Table::pct(rate[0]), Table::pct(rate[1]),
                    Table::pct(rate[1] - rate[0])});
         }
@@ -47,5 +59,6 @@ main()
     std::cout
         << "Expected shape (paper): noticeable miss-rate increase at\n"
         << "256KB (worst for twolf/vortex/vpr); negligible at 4MB.\n";
+    sweep.writeJson();
     return 0;
 }

@@ -11,11 +11,25 @@ using namespace cmt;
 using namespace cmt::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const Options opt = parseArgs(argc, argv, "fig5_bandwidth");
+    const auto benches = benchmarks(opt);
+
     SystemConfig show = baseConfig("swim", Scheme::kCached);
     header("Figure 5", "bandwidth pollution: c vs naive (1MB, 64B)",
            show);
+
+    const Scheme schemes[2] = {Scheme::kCached, Scheme::kNaive};
+
+    Sweep sweep(opt);
+    for (const auto &bench : benches) {
+        sweep.add(bench + "/base", baseConfig(bench, Scheme::kBase));
+        for (int s = 0; s < 2; ++s)
+            sweep.add(bench + "/" + schemeName(schemes[s]),
+                      baseConfig(bench, schemes[s]));
+    }
+    sweep.run();
 
     Table ta("Figure 5(a) - additional loads from memory per L2 miss");
     ta.header({"bench", "c", "naive", "tree depth"});
@@ -24,24 +38,19 @@ main()
     tb.header({"bench", "base B/cyc", "c B/cyc", "naive B/cyc",
                "c/base", "naive/base"});
 
-    for (const auto &bench : specBenchmarks()) {
+    for (const auto &bench : benches) {
         double extra[2] = {}, bw[3] = {};
         unsigned depth = 0;
 
-        {
-            SystemConfig cfg = baseConfig(bench, Scheme::kBase);
-            bw[0] = run(cfg, bench + "/base").bandwidthBytesPerCycle;
-        }
-        const Scheme schemes[2] = {Scheme::kCached, Scheme::kNaive};
+        bw[0] = sweep.take().bandwidthBytesPerCycle;
         std::uint64_t misses = 0;
         for (int s = 0; s < 2; ++s) {
-            SystemConfig cfg = baseConfig(bench, schemes[s]);
-            const SimResult r =
-                run(cfg, bench + "/" + schemeName(schemes[s]));
+            const SimResult &r = sweep.take();
             extra[s] = r.extraReadsPerMiss;
             bw[s + 1] = r.bandwidthBytesPerCycle;
             if (s == 0)
                 misses = r.l2DemandMisses;
+            const SystemConfig cfg = baseConfig(bench, schemes[s]);
             depth = TreeLayout(cfg.l2.chunkSize, cfg.l2.protectedSize)
                         .ancestorDepth();
         }
@@ -64,5 +73,6 @@ main()
         << "\nExpected shape (paper): naive adds ~tree-depth (about 13)\n"
         << "reads per miss; c adds < 1 for every benchmark. Bandwidth\n"
         << "pollution matters mainly for mcf, applu, art, swim.\n";
+    sweep.writeJson();
     return 0;
 }

@@ -11,24 +11,34 @@ using namespace cmt;
 using namespace cmt::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const Options opt = parseArgs(argc, argv, "fig6_hash_throughput");
+    const auto benches = benchmarks(opt);
+
     SystemConfig show = baseConfig("swim", Scheme::kCached);
     header("Figure 6", "IPC vs hash throughput (c scheme, 1MB, 64B)",
            show);
 
     const double throughputs[] = {6.4, 3.2, 1.6, 0.8};
 
-    Table t("Figure 6 - IPC by hash throughput (GB/s)");
-    t.header({"bench", "6.4", "3.2", "1.6", "0.8", "0.8/6.4"});
-    for (const auto &bench : specBenchmarks()) {
-        std::vector<std::string> row{bench};
-        double first = 0, last = 0;
+    Sweep sweep(opt);
+    for (const auto &bench : benches) {
         for (const double gbps : throughputs) {
             SystemConfig cfg = baseConfig(bench, Scheme::kCached);
             cfg.hash.throughputBytesPerCycle = gbps;
-            const double ipc =
-                run(cfg, bench + "/" + std::to_string(gbps)).ipc;
+            sweep.add(bench + "/" + std::to_string(gbps), cfg);
+        }
+    }
+    sweep.run();
+
+    Table t("Figure 6 - IPC by hash throughput (GB/s)");
+    t.header({"bench", "6.4", "3.2", "1.6", "0.8", "0.8/6.4"});
+    for (const auto &bench : benches) {
+        std::vector<std::string> row{bench};
+        double first = 0, last = 0;
+        for (const double gbps : throughputs) {
+            const double ipc = sweep.take().ipc;
             row.push_back(Table::num(ipc));
             if (gbps == throughputs[0])
                 first = ipc;
@@ -43,5 +53,6 @@ main()
         << "at 1.6 GB/s; large degradation at 0.8 GB/s for the high-\n"
         << "bandwidth benchmarks (mcf, applu, art, swim) because the\n"
         << "hash unit then throttles effective memory bandwidth.\n";
+    sweep.writeJson();
     return 0;
 }

@@ -10,12 +10,26 @@ using namespace cmt;
 using namespace cmt::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const Options opt = parseArgs(argc, argv, "fig7_buffer_size");
+    const auto benches = benchmarks(opt);
+
     SystemConfig show = baseConfig("swim", Scheme::kCached);
     header("Figure 7", "IPC vs hash buffer entries (c scheme)", show);
 
     const unsigned sizes[] = {1, 2, 4, 8, 16, 32, 64};
+
+    Sweep sweep(opt);
+    for (const auto &bench : benches) {
+        for (const unsigned n : sizes) {
+            SystemConfig cfg = baseConfig(bench, Scheme::kCached);
+            cfg.l2.readBufferEntries = n;
+            cfg.l2.writeBufferEntries = n;
+            sweep.add(bench + "/buf" + std::to_string(n), cfg);
+        }
+    }
+    sweep.run();
 
     Table t("Figure 7 - IPC by read/write buffer entries");
     {
@@ -24,14 +38,11 @@ main()
             cols.push_back(std::to_string(n));
         t.header(std::move(cols));
     }
-    for (const auto &bench : specBenchmarks()) {
+    for (const auto &bench : benches) {
         std::vector<std::string> row{bench};
         for (const unsigned n : sizes) {
-            SystemConfig cfg = baseConfig(bench, Scheme::kCached);
-            cfg.l2.readBufferEntries = n;
-            cfg.l2.writeBufferEntries = n;
-            row.push_back(Table::num(
-                run(cfg, bench + "/buf" + std::to_string(n)).ipc));
+            (void)n;
+            row.push_back(Table::num(sweep.take().ipc));
         }
         t.row(std::move(row));
     }
@@ -40,5 +51,6 @@ main()
         << "\nExpected shape (paper): because hash throughput exceeds\n"
         << "memory bandwidth, the buffer size barely matters beyond a\n"
         << "few entries; only very small buffers serialise misses.\n";
+    sweep.writeJson();
     return 0;
 }

@@ -27,8 +27,11 @@ struct Variant
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const Options opt = parseArgs(argc, argv, "fig8_chunk_schemes");
+    const auto benches = benchmarks(opt);
+
     SystemConfig show = baseConfig("swim", Scheme::kCached);
     header("Figure 8", "m and i schemes with two blocks per chunk",
            show);
@@ -40,23 +43,31 @@ main()
         {"i-64B", Scheme::kIncremental, 64, 128},
     };
 
+    Sweep sweep(opt);
+    for (const auto &bench : benches) {
+        for (const Variant &v : variants) {
+            SystemConfig cfg = baseConfig(bench, v.scheme);
+            cfg.l2.blockSize = v.blockSize;
+            cfg.l2.chunkSize = v.chunkSize;
+            sweep.add(bench + "/" + v.name, cfg);
+        }
+    }
+    sweep.run();
+
     Table t("Figure 8 - IPC (1MB L2)");
     t.header({"bench", "c-64B", "c-128B", "m-64B", "i-64B"});
     Table o("RAM overhead of each scheme");
     o.header({"scheme", "hash bytes / data byte"});
     bool overhead_done = false;
 
-    for (const auto &bench : specBenchmarks()) {
+    for (const auto &bench : benches) {
         std::vector<std::string> row{bench};
         for (const Variant &v : variants) {
-            SystemConfig cfg = baseConfig(bench, v.scheme);
-            cfg.l2.blockSize = v.blockSize;
-            cfg.l2.chunkSize = v.chunkSize;
-            row.push_back(Table::num(
-                run(cfg, bench + "/" + v.name).ipc));
+            row.push_back(Table::num(sweep.take().ipc));
             if (!overhead_done) {
-                const TreeLayout layout(v.chunkSize,
-                                        cfg.l2.protectedSize);
+                const TreeLayout layout(
+                    v.chunkSize, baseConfig(bench, v.scheme)
+                                     .l2.protectedSize);
                 o.row({v.name,
                        Table::num(static_cast<double>(
                                       layout.hashBytes()) /
@@ -75,5 +86,6 @@ main()
         << "c-128B performs best (but costs baseline performance via\n"
         << "larger lines), i-64B beats m-64B and tracks c-64B except\n"
         << "on the highest-bandwidth benchmarks.\n";
+    sweep.writeJson();
     return 0;
 }

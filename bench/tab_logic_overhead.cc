@@ -7,11 +7,15 @@
  * the fully-unrolled datapath is on the order of 50,000 one-bit
  * gates - then divides the area by 2-3 by choosing a throughput of
  * one hash per 20 cycles. This table recomputes those counts from the
- * round structure of each algorithm (no simulation involved).
+ * round structure of each algorithm (no simulation involved - the
+ * shared flags are accepted for sweep-script uniformity, and --json
+ * writes the recomputed counts).
  */
 
+#include <fstream>
 #include <iostream>
 
+#include "bench/common.h"
 #include "support/table.h"
 
 using namespace cmt;
@@ -31,8 +35,11 @@ struct LogicCount
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::Options opt =
+        bench::parseArgs(argc, argv, "tab_logic_overhead");
+
     std::cout
         << "Section 6.2: hash logic overhead (recomputed from the\n"
         << "round structure; compare with the paper's estimate of\n"
@@ -77,5 +84,31 @@ main()
         << "\nPaper: 'on the order of 50,000 1-bit gates altogether',\n"
         << "divided by 2-3 via round sharing at one hash per 20\n"
         << "cycles (3.2 GB/s at 1 GHz).\n";
+
+    if (!opt.jsonPath.empty()) {
+        Json doc = Json::object();
+        doc.set("figure", opt.figure);
+        Json units = Json::array();
+        for (const auto &c : counts) {
+            Json u = Json::object();
+            u.set("unit", c.unit);
+            u.set("md5", c.md5);
+            u.set("sha1", c.sha1);
+            u.set("gates_per_bit", c.gatesPerBit);
+            units.push(std::move(u));
+        }
+        doc.set("units", std::move(units));
+        Json gates = Json::object();
+        gates.set("md5_unrolled", md5_gates);
+        gates.set("sha1_unrolled", sha1_gates);
+        gates.set("md5_shared", md5_gates / 3);
+        gates.set("sha1_shared", sha1_gates / 3);
+        doc.set("gate_counts", std::move(gates));
+
+        std::ofstream os(opt.jsonPath);
+        if (!os)
+            cmt_fatal("cannot write %s", opt.jsonPath.c_str());
+        doc.write(os, 2);
+    }
     return 0;
 }

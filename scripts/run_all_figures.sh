@@ -1,16 +1,22 @@
 #!/bin/sh
 # Regenerate every figure/table/ablation into results/.
-# Usage: scripts/run_all_figures.sh [REPRO_SCALE]
+# Usage: scripts/run_all_figures.sh [REPRO_SCALE] [JOBS]
+#
+# Each harness runs its sweep on JOBS worker threads (default: all
+# cores) and writes both the paper-style text table (results/<b>.txt)
+# and the machine-readable sweep (results/<b>.json).
 set -e
 cd "$(dirname "$0")/.."
 scale="${1:-1}"
+jobs="${2:-0}"
 mkdir -p results
 for b in fig3_ipc_schemes fig4_cache_contention fig5_bandwidth \
          fig6_hash_throughput fig7_buffer_size fig8_chunk_schemes \
          tab_logic_overhead abl_speculation abl_writealloc abl_arity \
          ext_privacy ext_smp; do
-    echo "== $b (REPRO_SCALE=$scale) =="
+    echo "== $b (REPRO_SCALE=$scale, jobs=$jobs) =="
     REPRO_SCALE="$scale" ./build/bench/"$b" \
+        --jobs "$jobs" --json "results/$b.json" \
         > "results/$b.txt" 2> "results/$b.log"
 done
-echo "done; see results/*.txt"
+echo "done; see results/*.txt and results/*.json"

@@ -1,6 +1,7 @@
 #include "sim/system.h"
 
 #include <cstdlib>
+#include <mutex>
 
 #include "support/logging.h"
 
@@ -10,13 +11,21 @@ namespace cmt
 double
 reproScale()
 {
-    if (const char *env = std::getenv("REPRO_SCALE")) {
-        const double v = std::atof(env);
-        if (v > 0)
-            return v;
-        warn("ignoring invalid REPRO_SCALE='%s'", env);
-    }
-    return 1.0;
+    // Parsed once: sweeps call this per configuration, possibly from
+    // many worker threads, and getenv is not guaranteed thread-safe
+    // against itself on all platforms.
+    static std::once_flag once;
+    static double scale = 1.0;
+    std::call_once(once, [] {
+        if (const char *env = std::getenv("REPRO_SCALE")) {
+            const double v = std::atof(env);
+            if (v > 0)
+                scale = v;
+            else
+                warn("ignoring invalid REPRO_SCALE='%s'", env);
+        }
+    });
+    return scale;
 }
 
 void

@@ -72,6 +72,9 @@ class System
     /** Dump every registered statistic (post-run diagnostics). */
     void dumpStats(std::ostream &os) const;
 
+    /** Registered statistics (serializers). */
+    const StatGroup &stats() const { return stats_; }
+
     SecureL2 &l2() { return *l2_; }
     Core &core() { return *core_; }
     ChunkStore &ram() { return *ram_; }

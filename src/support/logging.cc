@@ -1,5 +1,6 @@
 #include "support/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -8,69 +9,113 @@ namespace cmt
 
 namespace
 {
-bool quietFlag = false;
+
+std::atomic<bool> quietFlag{false};
+
+/** Depth of ScopedThrowOnError guards held by this thread. */
+thread_local int throwOnErrorDepth = 0;
+
+/**
+ * Format one complete diagnostic line. Emitting it with a single
+ * stdio call keeps concurrent sweep workers from interleaving
+ * fragments of each other's messages.
+ */
+std::string
+formatLine(const char *prefix, const char *fmt, va_list args,
+           const char *file, int line)
+{
+    va_list copy;
+    va_copy(copy, args);
+    const int n = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    std::string msg(n > 0 ? static_cast<std::size_t>(n) : 0, '\0');
+    if (n > 0)
+        std::vsnprintf(msg.data(), msg.size() + 1, fmt, args);
+
+    std::string out = prefix + msg;
+    if (file) {
+        char loc[256];
+        std::snprintf(loc, sizeof loc, "\n  @ %s:%d", file, line);
+        out += loc;
+    }
+    out += '\n';
+    return out;
+}
+
 } // namespace
+
+ScopedThrowOnError::ScopedThrowOnError()
+{
+    ++throwOnErrorDepth;
+}
+
+ScopedThrowOnError::~ScopedThrowOnError()
+{
+    --throwOnErrorDepth;
+}
 
 void
 setQuiet(bool q)
 {
-    quietFlag = q;
+    quietFlag.store(q, std::memory_order_relaxed);
 }
 
 bool
 quiet()
 {
-    return quietFlag;
+    return quietFlag.load(std::memory_order_relaxed);
 }
 
 void
 panicImpl(const char *file, int line, const char *fmt, ...)
 {
-    std::fprintf(stderr, "panic: ");
     va_list args;
     va_start(args, fmt);
-    std::vfprintf(stderr, fmt, args);
+    const std::string out =
+        formatLine("panic: ", fmt, args, file, line);
     va_end(args);
-    std::fprintf(stderr, "\n  @ %s:%d\n", file, line);
+    if (throwOnErrorDepth > 0)
+        throw SimError(out.substr(0, out.find('\n')));
+    std::fputs(out.c_str(), stderr);
     std::abort();
 }
 
 void
 fatalImpl(const char *file, int line, const char *fmt, ...)
 {
-    std::fprintf(stderr, "fatal: ");
     va_list args;
     va_start(args, fmt);
-    std::vfprintf(stderr, fmt, args);
+    const std::string out =
+        formatLine("fatal: ", fmt, args, file, line);
     va_end(args);
-    std::fprintf(stderr, "\n  @ %s:%d\n", file, line);
+    if (throwOnErrorDepth > 0)
+        throw SimError(out.substr(0, out.find('\n')));
+    std::fputs(out.c_str(), stderr);
     std::exit(1);
 }
 
 void
 warn(const char *fmt, ...)
 {
-    if (quietFlag)
+    if (quiet())
         return;
-    std::fprintf(stderr, "warn: ");
     va_list args;
     va_start(args, fmt);
-    std::vfprintf(stderr, fmt, args);
+    const std::string out = formatLine("warn: ", fmt, args, nullptr, 0);
     va_end(args);
-    std::fprintf(stderr, "\n");
+    std::fputs(out.c_str(), stderr);
 }
 
 void
 inform(const char *fmt, ...)
 {
-    if (quietFlag)
+    if (quiet())
         return;
-    std::fprintf(stderr, "info: ");
     va_list args;
     va_start(args, fmt);
-    std::vfprintf(stderr, fmt, args);
+    const std::string out = formatLine("info: ", fmt, args, nullptr, 0);
     va_end(args);
-    std::fprintf(stderr, "\n");
+    std::fputs(out.c_str(), stderr);
 }
 
 } // namespace cmt

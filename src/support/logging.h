@@ -14,10 +14,37 @@
 #define CMT_SUPPORT_LOGGING_H
 
 #include <cstdarg>
+#include <stdexcept>
 #include <string>
 
 namespace cmt
 {
+
+/**
+ * Thrown instead of aborting/exiting by panic()/fatal() raised on a
+ * thread that holds a ScopedThrowOnError guard. Lets a sweep isolate
+ * one broken configuration to an error row instead of killing the
+ * whole run.
+ */
+class SimError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * RAII guard: while alive on this thread, panic()/fatal() throw
+ * SimError rather than terminating the process. Nests; thread-local,
+ * so guarded worker threads never change behaviour elsewhere.
+ */
+class ScopedThrowOnError
+{
+  public:
+    ScopedThrowOnError();
+    ~ScopedThrowOnError();
+    ScopedThrowOnError(const ScopedThrowOnError &) = delete;
+    ScopedThrowOnError &operator=(const ScopedThrowOnError &) = delete;
+};
 
 /** Print a formatted panic message with location info and abort. */
 [[noreturn]] void panicImpl(const char *file, int line, const char *fmt,

@@ -65,6 +65,22 @@ StatGroup::resetAll()
 }
 
 void
+StatGroup::forEachCounter(
+    const std::function<void(const Counter &)> &fn) const
+{
+    for (const Counter *c : counters_)
+        fn(*c);
+}
+
+void
+StatGroup::forEachDistribution(
+    const std::function<void(const Distribution &)> &fn) const
+{
+    for (const Distribution *d : distributions_)
+        fn(*d);
+}
+
+void
 StatGroup::dump(std::ostream &os) const
 {
     for (const Counter *c : counters_) {

@@ -11,6 +11,7 @@
 #define CMT_SUPPORT_STATS_H
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <ostream>
 #include <string>
@@ -85,6 +86,12 @@ class StatGroup
 
     /** Reset every registered statistic. */
     void resetAll();
+
+    /** Visit every statistic in registration order (serializers). */
+    void forEachCounter(
+        const std::function<void(const Counter &)> &fn) const;
+    void forEachDistribution(
+        const std::function<void(const Distribution &)> &fn) const;
 
     /** Write "name value  # desc" lines for everything registered. */
     void dump(std::ostream &os) const;

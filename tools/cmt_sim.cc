@@ -17,13 +17,21 @@
  *     --instr <n>         measured instructions  (default 600000)
  *     --seed <n>          workload seed          (default 1)
  *     --stats             dump every counter after the run
+ *     --json <path>       write config/result/stats as JSON
+ *
+ * The run goes through the shared SweepRunner (a sweep of one), so a
+ * panicking configuration reports an error and exits non-zero
+ * instead of aborting mid-simulation.
  */
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 
+#include "sim/runner.h"
 #include "sim/system.h"
 #include "trace/trace_file.h"
 
@@ -40,7 +48,7 @@ usage()
                  "  [--l2-size N] [--l2-block N] [--chunk N] "
                  "[--buffers N] [--hash-gbps F]\n"
                  "  [--no-spec] [--encrypt] [--warmup N] [--instr N] "
-                 "[--seed N] [--stats]\n";
+                 "[--seed N] [--stats] [--json PATH]\n";
     std::exit(2);
 }
 
@@ -65,6 +73,7 @@ main(int argc, char **argv)
 {
     SystemConfig cfg;
     std::string trace_path;
+    std::string json_path;
     bool dump_stats = false;
     bool chunk_set = false;
 
@@ -106,6 +115,8 @@ main(int argc, char **argv)
             cfg.seed = std::stoull(value());
         } else if (arg == "--stats") {
             dump_stats = true;
+        } else if (arg == "--json") {
+            json_path = value();
         } else {
             usage();
         }
@@ -115,16 +126,55 @@ main(int argc, char **argv)
 
     printConfigTable(std::cout, cfg);
 
-    SimResult r;
-    std::unique_ptr<System> system;
-    if (trace_path.empty()) {
-        system = std::make_unique<System>(cfg);
-    } else {
-        system = std::make_unique<System>(
-            cfg, std::make_unique<FileTrace>(trace_path));
-    }
-    r = system->run();
+    // Side channel out of the single-job sweep: the runner only
+    // returns SimResult, but --stats/--json want the full registry.
+    std::string stats_text;
+    Json stats_json;
 
+    SweepRunner::Options ropt;
+    ropt.jobs = 1;
+    ropt.simulateFn = [&](const SystemConfig &c) {
+        std::unique_ptr<System> system;
+        if (trace_path.empty()) {
+            system = std::make_unique<System>(c);
+        } else {
+            system = std::make_unique<System>(
+                c, std::make_unique<FileTrace>(trace_path));
+        }
+        const SimResult r = system->run();
+        if (dump_stats) {
+            std::ostringstream os;
+            system->dumpStats(os);
+            stats_text = os.str();
+        }
+        if (!json_path.empty())
+            stats_json = toJson(system->stats());
+        return r;
+    };
+    SweepRunner runner(std::move(ropt));
+    runner.add(cfg.benchmark + "/" + schemeName(cfg.l2.scheme), cfg);
+    const SweepEntry &entry = runner.run().front();
+
+    if (!json_path.empty()) {
+        Json doc = Json::object();
+        doc.set("config", toJson(cfg));
+        doc.set("ok", entry.ok);
+        if (!entry.ok)
+            doc.set("error", entry.error);
+        doc.set("result", toJson(entry.result));
+        doc.set("stats", stats_json);
+        std::ofstream os(json_path);
+        if (!os)
+            cmt_fatal("cannot write %s", json_path.c_str());
+        doc.write(os, 2);
+    }
+
+    if (!entry.ok) {
+        std::cerr << "error: " << entry.error << "\n";
+        return 1;
+    }
+
+    const SimResult &r = entry.result;
     std::cout << "\nbenchmark            : " << r.benchmark << " ("
               << schemeName(r.scheme) << ")\n"
               << "instructions         : " << r.instructions << "\n"
@@ -139,9 +189,9 @@ main(int argc, char **argv)
               << "buffer stalls        : " << r.bufferStalls << "\n"
               << "integrity failures   : " << r.integrityFailures
               << "\n";
-    if (dump_stats && system) {
+    if (dump_stats) {
         std::cout << "\n--- full statistics ---\n";
-        system->dumpStats(std::cout);
+        std::cout << stats_text;
     }
     return 0;
 }
