@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/memo_cache.h"
 #include "sim/runner.h"
 #include "sim/system.h"
 #include "support/table.h"
@@ -46,6 +47,12 @@ struct Options
     std::string jsonPath;
     /** Substring filter over benchmark names (--filter). */
     std::string filter;
+    /**
+     * Persistent memo cache directory (--memo-dir, empty via
+     * --no-memo). Fingerprint-identical runs from earlier processes
+     * are served from here instead of simulating.
+     */
+    std::string memoDir = "results/.memo";
 };
 
 /** Parse the shared flags; exits on --help or unknown arguments. */
@@ -74,14 +81,21 @@ parseArgs(int argc, char **argv, const char *figure)
             opt.jsonPath = value();
         } else if (arg == "--filter") {
             opt.filter = value();
+        } else if (arg == "--memo-dir") {
+            opt.memoDir = value();
+        } else if (arg == "--no-memo") {
+            opt.memoDir.clear();
         } else if (arg == "--help" || arg == "-h") {
             std::printf("usage: %s [--jobs N] [--json PATH] "
-                        "[--filter BENCH]\n"
+                        "[--filter BENCH] [--memo-dir DIR | --no-memo]\n"
                         "  --jobs N      worker threads (default: all "
                         "cores)\n"
                         "  --json PATH   also write results as JSON\n"
                         "  --filter S    only benchmarks whose name "
                         "contains S\n"
+                        "  --memo-dir D  persistent result cache "
+                        "(default: results/.memo)\n"
+                        "  --no-memo     disable the persistent cache\n"
                         "REPRO_SCALE scales the simulation windows "
                         "(e.g. 0.05 for a smoke run).\n",
                         figure);
@@ -134,6 +148,10 @@ class Sweep
     {
         SweepRunner::Options ropt;
         ropt.jobs = opt.jobs;
+        if (!opt_.memoDir.empty()) {
+            memo_ = std::make_unique<MemoCache>(opt_.memoDir);
+            ropt.memoCache = memo_.get();
+        }
         // One complete line per finished run: atomic under
         // concurrency, and each line names its run so interleaved
         // completions stay readable.
@@ -144,11 +162,12 @@ class Sweep
                 std::snprintf(line, sizeof line,
                               "  [%3zu/%3zu] %-28s ERROR: %s\n", done,
                               total, e.label.c_str(), e.error.c_str());
-            } else if (e.memoized) {
+            } else if (e.memoized || e.fromCache) {
                 std::snprintf(line, sizeof line,
-                              "  [%3zu/%3zu] %-28s ipc=%.3f (cached)\n",
+                              "  [%3zu/%3zu] %-28s ipc=%.3f (%s)\n",
                               done, total, e.label.c_str(),
-                              e.result.ipc);
+                              e.result.ipc,
+                              e.memoized ? "cached" : "disk");
             } else {
                 std::snprintf(line, sizeof line,
                               "  [%3zu/%3zu] %-28s ipc=%.3f\n", done,
@@ -166,15 +185,21 @@ class Sweep
         runner_->add(label, cfg);
     }
 
-    /** Enqueue a run with a custom executor (SMP mixes). */
+    /**
+     * Enqueue a run with a custom executor (SMP mixes). Passing
+     * @p fingerprint (a key covering everything the executor's
+     * result depends on) opts the job into memoization.
+     */
     void
     add(const std::string &label, const SystemConfig &cfg,
-        std::function<SimResult(const SystemConfig &)> fn)
+        std::function<SimResult(const SystemConfig &)> fn,
+        std::optional<std::uint64_t> fingerprint = std::nullopt)
     {
         SweepJob job;
         job.label = label;
         job.config = cfg;
         job.simulate = std::move(fn);
+        job.fingerprint = fingerprint;
         runner_->add(std::move(job));
     }
 
@@ -192,6 +217,13 @@ class Sweep
                      runner_->jobCount(), unique,
                      runner_->effectiveJobs());
         runner_->run();
+        // CI greps executed= to prove a warm cache re-runs nothing.
+        if (memo_)
+            std::fprintf(stderr,
+                         "  [memo] dir=%s loaded=%zu hits=%zu "
+                         "executed=%zu\n",
+                         memo_->dir().c_str(), memo_->loadedFiles(),
+                         runner_->diskHits(), runner_->executedJobs());
     }
 
     /** Next entry in submission order. */
@@ -235,6 +267,8 @@ class Sweep
 
   private:
     Options opt_;
+    /** Declared before runner_: the runner holds a raw pointer. */
+    std::unique_ptr<MemoCache> memo_;
     std::unique_ptr<SweepRunner> runner_;
     std::size_t next_ = 0;
 };

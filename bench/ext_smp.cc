@@ -9,9 +9,10 @@
  * with inter-program contention for the bus and the hash engine.
  *
  * The runs go through the shared Sweep engine with a custom executor
- * per job (an SMP mix is not a single SystemConfig, so the engine's
- * config memoization is bypassed); the full SmpResult is kept in a
- * side table indexed by submission order.
+ * per job (an SMP mix is not a single SystemConfig). Each job carries
+ * an explicit SmpConfig fingerprint and packs per-core IPCs into
+ * SimResult::perCoreIpc, so SMP rows memoize - in-process and across
+ * processes via --memo-dir - exactly like single-core rows.
  */
 
 #include "bench/common.h"
@@ -71,33 +72,37 @@ main(int argc, char **argv)
         cmt_fatal("--filter '%s' matches no mix", opt.filter.c_str());
 
     const Scheme schemes[2] = {Scheme::kBase, Scheme::kCached};
-    std::vector<SmpResult> smp(mixes.size() * 2);
 
     Sweep sweep(opt);
-    std::size_t slot = 0;
     for (const auto &mix : mixes) {
         for (const Scheme scheme : schemes) {
             std::string label = schemeName(scheme);
             for (const auto &b : mix)
                 label += ":" + b;
             // Mirror the mix in the config so error rows and JSON
-            // stay identifiable; the thunk does the real work.
+            // stay identifiable; the thunk does the real work. The
+            // SmpConfig fingerprint keys the memo cache, and the
+            // returned row carries everything the table needs.
             SystemConfig tag = baseConfig(mix.front(), scheme);
-            SmpResult *out = &smp[slot++];
-            sweep.add(label, tag,
-                      [mix, scheme, out](const SystemConfig &) {
-                          SmpSystem system(mixConfig(mix, scheme));
-                          *out = system.run();
-                          SimResult r;
-                          r.benchmark = "mix";
-                          r.scheme = scheme;
-                          r.ipc = out->aggregateIpc;
-                          r.cycles = out->cycles;
-                          r.integrityFailures = out->integrityFailures;
-                          r.bandwidthBytesPerCycle =
-                              out->bandwidthBytesPerCycle;
-                          return r;
-                      });
+            const SmpConfig mixCfg = mixConfig(mix, scheme);
+            sweep.add(
+                label, tag,
+                [mixCfg, scheme](const SystemConfig &) {
+                    SmpSystem system(mixCfg);
+                    const SmpResult smp = system.run();
+                    SimResult r;
+                    r.benchmark = "mix";
+                    r.scheme = scheme;
+                    r.ipc = smp.aggregateIpc;
+                    r.cycles = smp.cycles;
+                    r.integrityFailures = smp.integrityFailures;
+                    r.bandwidthBytesPerCycle =
+                        smp.bandwidthBytesPerCycle;
+                    for (const SimResult &core : smp.perCore)
+                        r.perCoreIpc.push_back(core.ipc);
+                    return r;
+                },
+                configFingerprint(mixCfg));
         }
     }
     sweep.run();
@@ -105,25 +110,19 @@ main(int argc, char **argv)
     Table t("aggregate and per-program IPC, base vs c (shared 4MB L2)");
     t.header({"mix", "base agg", "c agg", "agg cost", "twolf base",
               "twolf c", "twolf cost"});
-    slot = 0;
     for (const auto &mix : mixes) {
-        sweep.take();
-        sweep.take();
-        const SmpResult &base = smp[slot];
-        const SmpResult &c = smp[slot + 1];
-        slot += 2;
+        const SimResult &base = sweep.take();
+        const SimResult &c = sweep.take();
         std::string name;
         for (const auto &b : mix)
             name += (name.empty() ? "" : "+") + b;
-        // Error rows leave perCore empty; keep the table alive.
+        // Error rows leave perCoreIpc empty; keep the table alive.
         const double base0 =
-            base.perCore.empty() ? 0.0 : base.perCore[0].ipc;
-        const double c0 = c.perCore.empty() ? 0.0 : c.perCore[0].ipc;
-        t.row({name, Table::num(base.aggregateIpc),
-               Table::num(c.aggregateIpc),
-               Table::pct(1 - c.aggregateIpc / base.aggregateIpc),
-               Table::num(base0), Table::num(c0),
-               Table::pct(base0 ? 1 - c0 / base0 : 0.0)});
+            base.perCoreIpc.empty() ? 0.0 : base.perCoreIpc[0];
+        const double c0 = c.perCoreIpc.empty() ? 0.0 : c.perCoreIpc[0];
+        t.row({name, Table::num(base.ipc), Table::num(c.ipc),
+               Table::pct(1 - c.ipc / base.ipc), Table::num(base0),
+               Table::num(c0), Table::pct(base0 ? 1 - c0 / base0 : 0.0)});
     }
     t.print(std::cout);
     std::cout

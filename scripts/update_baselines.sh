@@ -1,0 +1,35 @@
+#!/bin/sh
+# Regenerate the committed regression baselines in results/baselines/.
+# Usage: scripts/update_baselines.sh [OUTDIR]
+#
+# Baselines are small fixed-scale sweeps (REPRO_SCALE=0.02, a subset
+# of benchmarks) so they run in seconds yet still exercise every
+# scheme, the bandwidth path, and the SMP extension. The simulator is
+# deterministic, so these JSON files are byte-stable across machines;
+# cmt_regress compares fresh runs against them and fails the build on
+# any drift.
+#
+# After an intentional behaviour change: re-run this script with no
+# arguments, inspect `git diff results/baselines/`, and commit the
+# update alongside the change that caused it.
+#
+# CI uses the OUTDIR argument to regenerate the same sweeps into a
+# scratch directory and compare them against the committed ones.
+set -e
+cd "$(dirname "$0")/.."
+outdir="${1:-results/baselines}"
+scale="0.02"
+mkdir -p "$outdir"
+
+run() {
+    bin="$1"; shift
+    echo "== $bin =="
+    REPRO_SCALE="$scale" ./build/bench/"$bin" --jobs 2 --no-memo \
+        --json "$outdir/$bin.json" "$@" > /dev/null
+}
+
+run fig3_ipc_schemes --filter gcc
+run fig5_bandwidth --filter swim
+run ext_smp
+
+echo "baselines written to $outdir (REPRO_SCALE=$scale)"

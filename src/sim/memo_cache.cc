@@ -1,0 +1,281 @@
+#include "sim/memo_cache.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "support/logging.h"
+
+#ifdef _WIN32
+#include <process.h>
+#define cmt_getpid _getpid
+#else
+#include <unistd.h>
+#define cmt_getpid getpid
+#endif
+
+namespace fs = std::filesystem;
+
+namespace cmt
+{
+
+namespace
+{
+
+std::string
+hexFingerprint(std::uint64_t fp)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "0x%016llx",
+                  static_cast<unsigned long long>(fp));
+    return buf;
+}
+
+bool
+parseHexFingerprint(const std::string &s, std::uint64_t *out)
+{
+    if (s.size() < 3 || s[0] != '0' || (s[1] != 'x' && s[1] != 'X'))
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(s.c_str() + 2, &end, 16);
+    if (errno != 0 || end != s.c_str() + s.size())
+        return false;
+    *out = static_cast<std::uint64_t>(v);
+    return true;
+}
+
+/** Numeric member or failure; rejects wrong-typed members. */
+bool
+getNumber(const Json &obj, const char *key, double *out)
+{
+    const Json *v = obj.find(key);
+    if (!v || !v->isNumber())
+        return false;
+    *out = v->asNumber();
+    return true;
+}
+
+bool
+getU64(const Json &obj, const char *key, std::uint64_t *out)
+{
+    double d = 0;
+    if (!getNumber(obj, key, &d) || d < 0)
+        return false;
+    *out = static_cast<std::uint64_t>(d);
+    return true;
+}
+
+} // namespace
+
+bool
+simResultFromJson(const Json &json, SimResult *out)
+{
+    if (!json.isObject())
+        return false;
+    SimResult r;
+    const Json *bench = json.find("benchmark");
+    const Json *scheme = json.find("scheme");
+    if (!bench || !bench->isString() || !scheme || !scheme->isString())
+        return false;
+    r.benchmark = bench->asString();
+    if (!schemeFromName(scheme->asString(), &r.scheme))
+        return false;
+    if (!getU64(json, "instructions", &r.instructions) ||
+        !getU64(json, "cycles", &r.cycles) ||
+        !getNumber(json, "ipc", &r.ipc) ||
+        !getNumber(json, "l2_data_miss_rate", &r.l2DataMissRate) ||
+        !getNumber(json, "extra_reads_per_miss",
+                   &r.extraReadsPerMiss) ||
+        !getNumber(json, "bandwidth_bytes_per_cycle",
+                   &r.bandwidthBytesPerCycle) ||
+        !getU64(json, "l2_demand_accesses", &r.l2DemandAccesses) ||
+        !getU64(json, "l2_demand_misses", &r.l2DemandMisses) ||
+        !getU64(json, "integrity_failures", &r.integrityFailures) ||
+        !getU64(json, "buffer_stalls", &r.bufferStalls) ||
+        !getNumber(json, "branch_mispredict_rate",
+                   &r.branchMispredictRate))
+        return false;
+    if (const Json *per = json.find("per_core_ipc")) {
+        if (!per->isArray())
+            return false;
+        for (std::size_t i = 0; i < per->size(); ++i) {
+            if (!per->at(i).isNumber())
+                return false;
+            r.perCoreIpc.push_back(per->at(i).asNumber());
+        }
+    }
+    *out = std::move(r);
+    return true;
+}
+
+Json
+MemoCache::rowToJson(const Row &row)
+{
+    Json obj = Json::object();
+    obj.set("fingerprint", hexFingerprint(row.fingerprint));
+    obj.set("host_seconds", row.hostSeconds);
+    obj.set("result", toJson(row.result));
+    return obj;
+}
+
+bool
+MemoCache::rowFromJson(const Json &json, Row *out)
+{
+    if (!json.isObject())
+        return false;
+    Row row;
+    const Json *fp = json.find("fingerprint");
+    if (!fp || !fp->isString() ||
+        !parseHexFingerprint(fp->asString(), &row.fingerprint))
+        return false;
+    if (!getNumber(json, "host_seconds", &row.hostSeconds))
+        return false;
+    const Json *result = json.find("result");
+    if (!result || !simResultFromJson(*result, &row.result))
+        return false;
+    *out = std::move(row);
+    return true;
+}
+
+MemoCache::MemoCache(std::string dir) : dir_(std::move(dir))
+{
+    std::error_code ec;
+    if (!fs::is_directory(dir_, ec))
+        return; // empty cache; append() creates the directory
+    std::vector<std::string> shards;
+    for (const auto &entry : fs::directory_iterator(dir_, ec)) {
+        if (entry.is_regular_file(ec) &&
+            entry.path().extension() == ".json")
+            shards.push_back(entry.path().string());
+    }
+    // Deterministic merge order: later (lexicographically) shards win
+    // on duplicate fingerprints. Duplicates only arise from parallel
+    // runners racing on the same config, whose rows agree anyway.
+    std::sort(shards.begin(), shards.end());
+    for (const std::string &path : shards)
+        loadShard(path);
+}
+
+void
+MemoCache::loadShard(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        ++skippedFiles_;
+        return;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+
+    Json doc;
+    std::string error;
+    if (!Json::parse(buf.str(), &doc, &error) || !doc.isObject()) {
+        ++skippedFiles_;
+        return;
+    }
+    const Json *version = doc.find("memo_schema");
+    if (!version || !version->isNumber() ||
+        version->asNumber() !=
+            static_cast<double>(kSchemaVersion)) {
+        ++skippedFiles_;
+        return;
+    }
+    const Json *rows = doc.find("rows");
+    if (!rows || !rows->isArray()) {
+        ++skippedFiles_;
+        return;
+    }
+    for (std::size_t i = 0; i < rows->size(); ++i) {
+        Row row;
+        if (rowFromJson(rows->at(i), &row))
+            rows_[row.fingerprint] = std::move(row);
+        // Malformed rows are dropped individually: one truncated or
+        // hand-edited entry must not discard its healthy neighbours.
+    }
+    ++loadedFiles_;
+}
+
+const MemoCache::Row *
+MemoCache::find(std::uint64_t fingerprint) const
+{
+    const auto it = rows_.find(fingerprint);
+    return it == rows_.end() ? nullptr : &it->second;
+}
+
+bool
+MemoCache::append(const std::vector<Row> &rows)
+{
+    if (rows.empty())
+        return true;
+
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec) {
+        warn("memo cache: cannot create %s: %s", dir_.c_str(),
+             ec.message().c_str());
+        return false;
+    }
+
+    Json doc = Json::object();
+    doc.set("memo_schema", kSchemaVersion);
+    Json arr = Json::array();
+    for (const Row &row : rows)
+        arr.push(rowToJson(row));
+    doc.set("rows", std::move(arr));
+
+    // One freshly named shard per append: never rewrite an existing
+    // file, so concurrent runners cannot clobber each other's rows.
+    // pid separates processes; the atomic counter separates runners
+    // inside one process; the existence probe covers pid reuse.
+    static std::atomic<unsigned> ordinal{0};
+    const long pid = static_cast<long>(cmt_getpid());
+    fs::path target;
+    for (int seq = 0;; ++seq) {
+        char name[96];
+        std::snprintf(name, sizeof name, "memo-%ld-%u-%d.json", pid,
+                      ordinal.fetch_add(1), seq);
+        target = fs::path(dir_) / name;
+        if (!fs::exists(target, ec))
+            break;
+        if (seq > 1'000'000) {
+            warn("memo cache: cannot pick a shard name in %s",
+                 dir_.c_str());
+            return false;
+        }
+    }
+
+    const fs::path tmp = target.string() + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os) {
+            warn("memo cache: cannot write %s", tmp.c_str());
+            return false;
+        }
+        doc.write(os, 2);
+        os.flush();
+        if (!os) {
+            warn("memo cache: short write to %s", tmp.c_str());
+            fs::remove(tmp, ec);
+            return false;
+        }
+    }
+    fs::rename(tmp, target, ec);
+    if (ec) {
+        warn("memo cache: rename %s failed: %s", tmp.c_str(),
+             ec.message().c_str());
+        fs::remove(tmp, ec);
+        return false;
+    }
+
+    for (const Row &row : rows)
+        rows_[row.fingerprint] = row;
+    return true;
+}
+
+} // namespace cmt

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Persistent cross-process sweep memoization.
+ *
+ * A MemoCache maps configFingerprint() keys to finished SimResults on
+ * disk, so re-running a figure harness after an unrelated change (new
+ * workload, doc edit, different --filter) skips every configuration
+ * that has already been simulated. The cache is a directory of JSON
+ * shard files:
+ *
+ *   results/.memo/memo-<pid>-<seq>.json
+ *     { "memo_schema": 1,
+ *       "rows": [ { "fingerprint": "0x...", "host_seconds": f,
+ *                   "result": { ...SimResult fields... } }, ... ] }
+ *
+ * Robustness rules, in priority order:
+ *  - A damaged cache can only cost time, never correctness: any file
+ *    or row that fails to parse or validate degrades to a cache miss.
+ *    Loading never panics and never exits.
+ *  - Writers never modify existing files. Each append() writes one
+ *    new shard via write-to-temp + atomic rename, so concurrent
+ *    runners sharing a directory merge cleanly and a reader can never
+ *    observe a half-written shard under POSIX rename semantics.
+ *  - Shards carry a schema version; bumping kSchemaVersion after a
+ *    SimResult/fingerprint change invalidates every old shard at once.
+ */
+
+#ifndef CMT_SIM_MEMO_CACHE_H
+#define CMT_SIM_MEMO_CACHE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/system.h"
+#include "support/json.h"
+
+namespace cmt
+{
+
+/** Fingerprint-keyed persistent store of finished sweep rows. */
+class MemoCache
+{
+  public:
+    /**
+     * Bump when the fingerprint algorithm or the serialized SimResult
+     * shape changes meaning; shards with any other version (or none)
+     * are ignored wholesale.
+     */
+    static constexpr std::int64_t kSchemaVersion = 1;
+
+    /** One cached run. */
+    struct Row
+    {
+        std::uint64_t fingerprint = 0;
+        /** Wall-clock of the original execution, restored on a hit so
+         *  cached re-runs emit byte-identical JSON. */
+        double hostSeconds = 0;
+        SimResult result;
+    };
+
+    /**
+     * Open a cache rooted at @p dir and load every readable shard.
+     * A missing directory is an empty cache; it is created lazily by
+     * the first append().
+     */
+    explicit MemoCache(std::string dir);
+
+    /** @return the cached row for @p fingerprint, or nullptr. */
+    const Row *find(std::uint64_t fingerprint) const;
+
+    /** Rows currently loaded (post-merge). */
+    std::size_t size() const { return rows_.size(); }
+
+    /** Shard files successfully loaded by the constructor. */
+    std::size_t loadedFiles() const { return loadedFiles_; }
+
+    /** Shard files skipped as corrupt/foreign during load. */
+    std::size_t skippedFiles() const { return skippedFiles_; }
+
+    const std::string &dir() const { return dir_; }
+
+    /**
+     * Persist @p rows as one new shard file (no-op for an empty
+     * vector) and merge them into the in-memory index.
+     * @return false on I/O failure (reported via warn(), not fatal).
+     */
+    bool append(const std::vector<Row> &rows);
+
+    /** Serialize one row (exposed for tests and tools). */
+    static Json rowToJson(const Row &row);
+    /** @return false if @p json is not a well-formed row. */
+    static bool rowFromJson(const Json &json, Row *out);
+
+  private:
+    void loadShard(const std::string &path);
+
+    std::string dir_;
+    std::map<std::uint64_t, Row> rows_;
+    std::size_t loadedFiles_ = 0;
+    std::size_t skippedFiles_ = 0;
+};
+
+/** Measured metrics as a flat JSON object (defined in runner.cc). */
+Json toJson(const SimResult &result);
+
+/**
+ * Inverse of toJson(SimResult): strict field-checked parse.
+ * @return false (leaving @p out unspecified) when any expected member
+ *         is missing or has the wrong type.
+ */
+bool simResultFromJson(const Json &json, SimResult *out);
+
+} // namespace cmt
+
+#endif // CMT_SIM_MEMO_CACHE_H

@@ -6,6 +6,8 @@
 #include <cstring>
 #include <thread>
 
+#include "sim/memo_cache.h"
+#include "sim/smp.h"
 #include "support/logging.h"
 
 namespace cmt
@@ -69,20 +71,15 @@ authKindName(Authenticator::Kind kind)
     return "?";
 }
 
-} // namespace
+// Shared parameter-block folds: SystemConfig and SmpConfig embed the
+// same four structs, so both fingerprints fold them through one
+// helper each and new fields only need adding in one place. Every
+// field is preceded by a tag so adjacent same-width fields cannot
+// cancel by transposition.
 
-std::uint64_t
-configFingerprint(const SystemConfig &config)
+void
+foldCore(Fingerprint &fp, const CoreParams &c)
 {
-    Fingerprint fp;
-    // Every field, in declaration order, each preceded by a tag so
-    // adjacent same-width fields cannot cancel by transposition.
-    fp.u64(1).str(config.benchmark);
-    fp.u64(2).u64(config.seed);
-    fp.u64(3).u64(config.warmupInstructions);
-    fp.u64(4).u64(config.measureInstructions);
-
-    const CoreParams &c = config.core;
     fp.u64(10).u64(c.fetchWidth);
     fp.u64(11).u64(c.issueWidth);
     fp.u64(12).u64(c.commitWidth);
@@ -102,8 +99,11 @@ configFingerprint(const SystemConfig &config)
     fp.u64(26).u64(c.tlbEntries);
     fp.u64(27).u64(c.tlbAssoc);
     fp.u64(28).u64(c.tlbMissPenalty);
+}
 
-    const SecureL2Params &l2 = config.l2;
+void
+foldL2(Fingerprint &fp, const SecureL2Params &l2)
+{
     fp.u64(40).u64(static_cast<std::uint64_t>(l2.scheme));
     fp.u64(41).u64(l2.sizeBytes);
     fp.u64(42).u64(l2.assoc);
@@ -120,16 +120,57 @@ configFingerprint(const SystemConfig &config)
     fp.u64(53).u64(l2.encryptData ? 1 : 0);
     fp.u64(54).u64(l2.decryptLatency);
     fp.u64(55).bytes(l2.key.data(), l2.key.size());
+}
 
-    const MemTimingParams &mem = config.mem;
+void
+foldMem(Fingerprint &fp, const MemTimingParams &mem)
+{
     fp.u64(70).u64(mem.cpuCyclesPerBusCycle);
     fp.u64(71).u64(mem.busWidthBytes);
     fp.u64(72).u64(mem.dramLatency);
+}
 
-    const HashEngineParams &hash = config.hash;
+void
+foldHash(Fingerprint &fp, const HashEngineParams &hash)
+{
     fp.u64(80).u64(hash.latency);
     fp.u64(81).f64(hash.throughputBytesPerCycle);
+}
 
+} // namespace
+
+std::uint64_t
+configFingerprint(const SystemConfig &config)
+{
+    Fingerprint fp;
+    fp.u64(1).str(config.benchmark);
+    fp.u64(2).u64(config.seed);
+    fp.u64(3).u64(config.warmupInstructions);
+    fp.u64(4).u64(config.measureInstructions);
+    foldCore(fp, config.core);
+    foldL2(fp, config.l2);
+    foldMem(fp, config.mem);
+    foldHash(fp, config.hash);
+    return fp.value();
+}
+
+std::uint64_t
+configFingerprint(const SmpConfig &config)
+{
+    Fingerprint fp;
+    // Domain tag: an SmpConfig key must never collide with a
+    // SystemConfig key that happens to share field values.
+    fp.u64(0x534d5021); // "SMP!"
+    fp.u64(1).u64(config.benchmarks.size());
+    for (const std::string &bench : config.benchmarks)
+        fp.str(bench);
+    fp.u64(2).u64(config.seed);
+    fp.u64(3).u64(config.warmupInstructions);
+    fp.u64(4).u64(config.measureInstructions);
+    foldCore(fp, config.core);
+    foldL2(fp, config.l2);
+    foldMem(fp, config.mem);
+    foldHash(fp, config.hash);
     return fp.value();
 }
 
@@ -178,7 +219,25 @@ struct MemoGroup
 {
     std::size_t leader;
     std::vector<std::size_t> followers;
+    /** Memoization key; absent for non-memoizable (thunk) jobs. */
+    std::optional<std::uint64_t> key;
 };
+
+/**
+ * The job's memoization key: an explicit fingerprint when supplied,
+ * the config fingerprint for plain jobs, nothing for custom thunks
+ * without one (those never memoize - the config alone does not
+ * describe their work).
+ */
+std::optional<std::uint64_t>
+memoKey(const SweepJob &job)
+{
+    if (job.fingerprint)
+        return job.fingerprint;
+    if (job.simulate)
+        return std::nullopt;
+    return configFingerprint(job.config);
+}
 
 } // namespace
 
@@ -190,16 +249,16 @@ SweepRunner::uniqueJobs() const
     std::vector<std::uint64_t> seen;
     std::size_t unique = 0;
     for (const SweepJob &job : jobs_) {
-        if (job.simulate) {
-            ++unique; // custom thunks never memoize
+        const std::optional<std::uint64_t> fp = memoKey(job);
+        if (!fp) {
+            ++unique;
             continue;
         }
-        const std::uint64_t fp = configFingerprint(job.config);
         bool found = false;
         for (const std::uint64_t s : seen)
-            found = found || s == fp;
+            found = found || s == *fp;
         if (!found) {
-            seen.push_back(fp);
+            seen.push_back(*fp);
             ++unique;
         }
     }
@@ -220,12 +279,11 @@ SweepRunner::run()
     {
         std::vector<std::pair<std::uint64_t, std::size_t>> index;
         for (std::size_t i = 0; i < jobs_.size(); ++i) {
-            if (options_.memoize && !jobs_[i].simulate) {
-                const std::uint64_t fp =
-                    configFingerprint(jobs_[i].config);
+            std::optional<std::uint64_t> fp;
+            if (options_.memoize && (fp = memoKey(jobs_[i]))) {
                 bool merged = false;
                 for (const auto &[seen_fp, group] : index) {
-                    if (seen_fp == fp) {
+                    if (seen_fp == *fp) {
                         groups[group].followers.push_back(i);
                         merged = true;
                         break;
@@ -233,41 +291,59 @@ SweepRunner::run()
                 }
                 if (merged)
                     continue;
-                index.emplace_back(fp, groups.size());
+                index.emplace_back(*fp, groups.size());
             }
-            groups.push_back(MemoGroup{i, {}});
+            groups.push_back(MemoGroup{i, {}, fp});
         }
     }
 
     const std::size_t total = jobs_.size();
     std::atomic<std::size_t> nextGroup{0};
     std::atomic<std::size_t> done{0};
+    std::atomic<std::size_t> executed{0};
+    std::atomic<std::size_t> diskHits{0};
 
     const auto runGroup = [&](std::size_t g) {
         const MemoGroup &group = groups[g];
         const SweepJob &job = jobs_[group.leader];
         SweepEntry entry;
         entry.label = job.label;
-        const auto start = std::chrono::steady_clock::now();
-        try {
-            // Panics/fatals inside the simulator surface as SimError
-            // here instead of terminating the whole sweep.
-            ScopedThrowOnError guard;
-            entry.result = job.simulate
-                               ? job.simulate(job.config)
-                               : options_.simulateFn(job.config);
-        } catch (const std::exception &e) {
-            entry.ok = false;
-            entry.error = e.what();
-            // Keep the row identifiable in tables and JSON.
-            entry.result = SimResult{};
-            entry.result.benchmark = job.config.benchmark;
-            entry.result.scheme = job.config.l2.scheme;
+
+        // Persistent cache first: a hit restores the original result
+        // and wall-clock, so a fully cached re-run writes the same
+        // bytes the executing run did.
+        const MemoCache::Row *cached =
+            options_.memoCache && group.key
+                ? options_.memoCache->find(*group.key)
+                : nullptr;
+        if (cached) {
+            entry.result = cached->result;
+            entry.hostSeconds = cached->hostSeconds;
+            entry.fromCache = true;
+            diskHits.fetch_add(1);
+        } else {
+            const auto start = std::chrono::steady_clock::now();
+            try {
+                // Panics/fatals inside the simulator surface as
+                // SimError here instead of terminating the sweep.
+                ScopedThrowOnError guard;
+                entry.result = job.simulate
+                                   ? job.simulate(job.config)
+                                   : options_.simulateFn(job.config);
+            } catch (const std::exception &e) {
+                entry.ok = false;
+                entry.error = e.what();
+                // Keep the row identifiable in tables and JSON.
+                entry.result = SimResult{};
+                entry.result.benchmark = job.config.benchmark;
+                entry.result.scheme = job.config.l2.scheme;
+            }
+            entry.hostSeconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            executed.fetch_add(1);
         }
-        entry.hostSeconds =
-            std::chrono::duration<double>(
-                std::chrono::steady_clock::now() - start)
-                .count();
 
         entries_[group.leader] = entry;
         if (options_.progress)
@@ -306,6 +382,26 @@ SweepRunner::run()
         for (std::thread &t : pool)
             t.join();
     }
+    executed_ = executed.load();
+    diskHits_ = diskHits.load();
+
+    // Persist this sweep's fresh work: every keyed leader that
+    // executed successfully becomes one cache row. Error rows are
+    // never cached - a fixed simulator must re-run them.
+    if (options_.memoCache && executed_ > 0) {
+        std::vector<MemoCache::Row> fresh;
+        for (const MemoGroup &group : groups) {
+            const SweepEntry &entry = entries_[group.leader];
+            if (!group.key || !entry.ok || entry.fromCache)
+                continue;
+            MemoCache::Row row;
+            row.fingerprint = *group.key;
+            row.hostSeconds = entry.hostSeconds;
+            row.result = entry.result;
+            fresh.push_back(std::move(row));
+        }
+        options_.memoCache->append(fresh);
+    }
     return entries_;
 }
 
@@ -341,6 +437,12 @@ toJson(const SimResult &result)
     obj.set("integrity_failures", result.integrityFailures);
     obj.set("buffer_stalls", result.bufferStalls);
     obj.set("branch_mispredict_rate", result.branchMispredictRate);
+    if (!result.perCoreIpc.empty()) {
+        Json per = Json::array();
+        for (const double ipc : result.perCoreIpc)
+            per.push(ipc);
+        obj.set("per_core_ipc", std::move(per));
+    }
     return obj;
 }
 

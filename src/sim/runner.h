@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,9 @@
 
 namespace cmt
 {
+
+class MemoCache;
+struct SmpConfig;
 
 /**
  * Order-independent 64-bit digest over every SystemConfig field.
@@ -34,6 +38,14 @@ namespace cmt
  */
 std::uint64_t configFingerprint(const SystemConfig &config);
 
+/**
+ * Memoization key for a multiprogrammed SMP mix. Folds every
+ * SmpConfig field under a distinct domain tag, so an SmpConfig can
+ * never alias a SystemConfig (or vice versa) even where the structs
+ * share parameter blocks.
+ */
+std::uint64_t configFingerprint(const SmpConfig &config);
+
 /** One unit of work in a sweep. */
 struct SweepJob
 {
@@ -41,11 +53,20 @@ struct SweepJob
     SystemConfig config;
     /**
      * Optional per-job simulation override (multiprogrammed mixes,
-     * test instrumentation). Jobs with an override are executed
-     * unconditionally - the fingerprint only describes the config,
-     * so memoizing against it would alias distinct workloads.
+     * test instrumentation). Without @ref fingerprint, jobs with an
+     * override are executed unconditionally - the config fingerprint
+     * only describes the config, so memoizing against it would alias
+     * distinct workloads.
      */
     std::function<SimResult(const SystemConfig &)> simulate;
+    /**
+     * Explicit memoization key for jobs whose work is not described
+     * by @ref config (e.g. an SMP mix fingerprinted over its
+     * SmpConfig). Supplying it opts a custom-thunk job back into
+     * memoization; the caller guarantees the key covers everything
+     * that can change the returned SimResult.
+     */
+    std::optional<std::uint64_t> fingerprint;
 };
 
 /** Outcome of one job, in submission order. */
@@ -55,8 +76,16 @@ struct SweepEntry
     SimResult result;
     /** False when the run panicked/threw; see @ref error. */
     bool ok = true;
-    /** True when the result was copied from an identical config. */
+    /** True when the result was copied from an identical config
+     *  earlier in this sweep. */
     bool memoized = false;
+    /**
+     * True when the result was served by the persistent MemoCache
+     * instead of executing. Deliberately not serialized: a disk hit
+     * restores the original hostSeconds, keeping re-run JSON
+     * byte-identical to the first run.
+     */
+    bool fromCache = false;
     std::string error;
     /** Host wall-clock seconds for the run (0 when memoized). */
     double hostSeconds = 0;
@@ -83,6 +112,13 @@ class SweepRunner
         /** Simulation function (default cmt::simulate). Tests inject
          *  counting or throwing stand-ins here. */
         std::function<SimResult(const SystemConfig &)> simulateFn;
+        /**
+         * Optional persistent cross-process memo store (non-owning;
+         * must outlive run()). Fingerprint hits skip execution and
+         * restore the cached result + host seconds; rows executed
+         * successfully in this sweep are appended on completion.
+         */
+        MemoCache *memoCache = nullptr;
     };
 
     SweepRunner() : SweepRunner(Options()) {}
@@ -111,10 +147,18 @@ class SweepRunner
     const SweepEntry &entry(std::size_t i) const;
     const SweepJob &job(std::size_t i) const;
 
+    /** Jobs actually simulated by run() (not memoized, not served
+     *  from the persistent cache). */
+    std::size_t executedJobs() const { return executed_; }
+    /** Jobs served by the persistent MemoCache during run(). */
+    std::size_t diskHits() const { return diskHits_; }
+
   private:
     Options options_;
     std::vector<SweepJob> jobs_;
     std::vector<SweepEntry> entries_;
+    std::size_t executed_ = 0;
+    std::size_t diskHits_ = 0;
     bool ran_ = false;
 };
 

@@ -11,6 +11,7 @@
 
 #include <memory>
 #include <ostream>
+#include <vector>
 
 #include "cpu/core.h"
 #include "mem/backing_store.h"
@@ -50,6 +51,13 @@ struct SimResult
     std::uint64_t integrityFailures = 0;
     std::uint64_t bufferStalls = 0;
     double branchMispredictRate = 0;
+
+    /**
+     * Per-core IPC for multiprogrammed (SMP) runs; empty for
+     * single-core runs. Lives in SimResult so SMP sweep rows are
+     * self-contained (memoizable/serializable) without a side table.
+     */
+    std::vector<double> perCoreIpc;
 };
 
 /** One complete simulated machine. */

@@ -27,6 +27,19 @@ schemeName(Scheme scheme)
     return "?";
 }
 
+bool
+schemeFromName(const std::string &name, Scheme *out)
+{
+    for (const Scheme s : {Scheme::kBase, Scheme::kNaive,
+                           Scheme::kCached, Scheme::kIncremental}) {
+        if (name == schemeName(s)) {
+            *out = s;
+            return true;
+        }
+    }
+    return false;
+}
+
 SecureL2::SecureL2(EventQueue &events, MainMemory &memory,
                    ChunkStore &ram, HashEngine &hasher,
                    const TreeLayout &layout, const Authenticator &auth,

@@ -40,6 +40,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cache/cache_array.h"
@@ -65,6 +66,12 @@ enum class Scheme
 
 /** Human-readable scheme name for reports. */
 const char *schemeName(Scheme scheme);
+
+/**
+ * Inverse of schemeName(): parse a report/JSON scheme name.
+ * @return false (leaving @p out untouched) for unknown names.
+ */
+bool schemeFromName(const std::string &name, Scheme *out);
 
 /** SecureL2 parameters (defaults follow Table 1). */
 struct SecureL2Params

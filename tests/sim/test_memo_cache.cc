@@ -1,0 +1,379 @@
+/**
+ * @file
+ * MemoCache unit tests: round-trip persistence, every corruption
+ * failure mode degrading to a miss (never a crash), concurrent
+ * appends merging cleanly, and the SweepRunner integration that makes
+ * a warm re-run execute zero jobs with byte-identical output.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "sim/memo_cache.h"
+#include "sim/runner.h"
+
+namespace fs = std::filesystem;
+
+namespace cmt
+{
+namespace
+{
+
+/** Fresh empty directory under the gtest temp root. */
+std::string
+freshDir(const std::string &name)
+{
+    const fs::path dir =
+        fs::path(::testing::TempDir()) / ("memo_cache_" + name);
+    fs::remove_all(dir);
+    return dir.string();
+}
+
+SimResult
+sampleResult(const std::string &bench, double ipc)
+{
+    SimResult r;
+    r.benchmark = bench;
+    r.scheme = Scheme::kCached;
+    r.instructions = 1'000'000;
+    r.cycles = 2'500'000;
+    r.ipc = ipc;
+    r.l2DataMissRate = 0.125;
+    r.extraReadsPerMiss = 0.4375;
+    r.bandwidthBytesPerCycle = 1.0 / 3.0;
+    r.l2DemandAccesses = 40'000;
+    r.l2DemandMisses = 5'000;
+    r.integrityFailures = 0;
+    r.bufferStalls = 123;
+    r.branchMispredictRate = 0.0625;
+    return r;
+}
+
+MemoCache::Row
+sampleRow(std::uint64_t fp, const std::string &bench, double ipc)
+{
+    MemoCache::Row row;
+    row.fingerprint = fp;
+    row.hostSeconds = 0.25;
+    row.result = sampleResult(bench, ipc);
+    return row;
+}
+
+void
+writeFile(const std::string &dir, const std::string &name,
+          const std::string &content)
+{
+    fs::create_directories(dir);
+    std::ofstream os(fs::path(dir) / name, std::ios::binary);
+    os << content;
+}
+
+TEST(MemoCache, MissingDirectoryIsEmptyCache)
+{
+    MemoCache cache(freshDir("missing"));
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.loadedFiles(), 0u);
+    EXPECT_EQ(cache.find(42), nullptr);
+}
+
+TEST(MemoCache, RoundTripAcrossInstances)
+{
+    const std::string dir = freshDir("roundtrip");
+    {
+        MemoCache cache(dir);
+        MemoCache::Row row = sampleRow(0xdeadbeef, "gcc", 0.625);
+        row.result.perCoreIpc = {0.5, 0.125, 1.0 / 3.0};
+        ASSERT_TRUE(cache.append({row, sampleRow(7, "swim", 0.25)}));
+        // The appending instance also serves its own rows.
+        ASSERT_NE(cache.find(7), nullptr);
+    }
+    MemoCache reloaded(dir);
+    EXPECT_EQ(reloaded.size(), 2u);
+    EXPECT_EQ(reloaded.loadedFiles(), 1u);
+    const MemoCache::Row *row = reloaded.find(0xdeadbeef);
+    ASSERT_NE(row, nullptr);
+    EXPECT_EQ(row->hostSeconds, 0.25);
+    EXPECT_EQ(row->result.benchmark, "gcc");
+    EXPECT_EQ(row->result.scheme, Scheme::kCached);
+    EXPECT_EQ(row->result.ipc, 0.625);
+    EXPECT_EQ(row->result.bandwidthBytesPerCycle, 1.0 / 3.0);
+    EXPECT_EQ(row->result.bufferStalls, 123u);
+    ASSERT_EQ(row->result.perCoreIpc.size(), 3u);
+    EXPECT_EQ(row->result.perCoreIpc[2], 1.0 / 3.0);
+    EXPECT_EQ(reloaded.find(1), nullptr);
+}
+
+TEST(MemoCache, AppendEmptyWritesNothing)
+{
+    const std::string dir = freshDir("append_empty");
+    MemoCache cache(dir);
+    EXPECT_TRUE(cache.append({}));
+    EXPECT_FALSE(fs::exists(dir));
+}
+
+TEST(MemoCache, TruncatedShardDegradesToMiss)
+{
+    const std::string dir = freshDir("truncated");
+    {
+        MemoCache cache(dir);
+        ASSERT_TRUE(cache.append({sampleRow(11, "gcc", 0.5)}));
+    }
+    // Chop the shard mid-document.
+    fs::path shard;
+    for (const auto &entry : fs::directory_iterator(dir))
+        shard = entry.path();
+    ASSERT_FALSE(shard.empty());
+    const auto size = fs::file_size(shard);
+    fs::resize_file(shard, size / 2);
+
+    MemoCache cache(dir);
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.find(11), nullptr);
+    EXPECT_EQ(cache.skippedFiles(), 1u);
+}
+
+TEST(MemoCache, GarbageShardDegradesToMiss)
+{
+    const std::string dir = freshDir("garbage");
+    writeFile(dir, "junk.json", "this is not { json at all ]]");
+    writeFile(dir, "empty.json", "");
+    MemoCache cache(dir);
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.skippedFiles(), 2u);
+}
+
+TEST(MemoCache, WrongSchemaVersionIsIgnoredWholesale)
+{
+    const std::string dir = freshDir("schema");
+    Json doc = Json::object();
+    doc.set("memo_schema", MemoCache::kSchemaVersion + 1);
+    Json rows = Json::array();
+    rows.push(MemoCache::rowToJson(sampleRow(5, "gcc", 0.5)));
+    doc.set("rows", std::move(rows));
+    writeFile(dir, "future.json", doc.dump(2));
+
+    MemoCache cache(dir);
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.find(5), nullptr);
+    EXPECT_EQ(cache.skippedFiles(), 1u);
+}
+
+TEST(MemoCache, MalformedRowIsSkippedNeighboursSurvive)
+{
+    const std::string dir = freshDir("bad_row");
+    Json doc = Json::object();
+    doc.set("memo_schema", MemoCache::kSchemaVersion);
+    Json rows = Json::array();
+    rows.push(MemoCache::rowToJson(sampleRow(1, "gcc", 0.5)));
+    Json noFingerprint =
+        MemoCache::rowToJson(sampleRow(2, "swim", 0.25));
+    noFingerprint.set("fingerprint", "not-hex");
+    rows.push(std::move(noFingerprint));
+    Json badScheme = MemoCache::rowToJson(sampleRow(3, "vpr", 0.75));
+    Json result = badScheme.at("result");
+    result.set("scheme", "no-such-scheme");
+    badScheme.set("result", std::move(result));
+    rows.push(std::move(badScheme));
+    rows.push(Json("not an object"));
+    doc.set("rows", std::move(rows));
+    writeFile(dir, "mixed.json", doc.dump(2));
+
+    MemoCache cache(dir);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_NE(cache.find(1), nullptr);
+    EXPECT_EQ(cache.find(2), nullptr);
+    EXPECT_EQ(cache.find(3), nullptr);
+    EXPECT_EQ(cache.loadedFiles(), 1u);
+}
+
+TEST(MemoCache, ConcurrentAppendsMergeCleanly)
+{
+    const std::string dir = freshDir("concurrent");
+    constexpr int kWriters = 4;
+    constexpr int kRowsPerWriter = 8;
+
+    std::vector<std::thread> writers;
+    std::atomic<int> failures{0};
+    for (int w = 0; w < kWriters; ++w) {
+        writers.emplace_back([&, w] {
+            // Each writer simulates an independent runner: its own
+            // MemoCache instance over the shared directory.
+            MemoCache cache(dir);
+            std::vector<MemoCache::Row> rows;
+            for (int i = 0; i < kRowsPerWriter; ++i)
+                rows.push_back(sampleRow(
+                    static_cast<std::uint64_t>(w * 100 + i), "gcc",
+                    0.5 + w));
+            if (!cache.append(rows))
+                failures.fetch_add(1);
+        });
+    }
+    for (std::thread &t : writers)
+        t.join();
+    EXPECT_EQ(failures.load(), 0);
+
+    MemoCache merged(dir);
+    EXPECT_EQ(merged.size(),
+              static_cast<std::size_t>(kWriters * kRowsPerWriter));
+    EXPECT_EQ(merged.loadedFiles(),
+              static_cast<std::size_t>(kWriters));
+    for (int w = 0; w < kWriters; ++w)
+        for (int i = 0; i < kRowsPerWriter; ++i)
+            EXPECT_NE(merged.find(static_cast<std::uint64_t>(
+                          w * 100 + i)),
+                      nullptr);
+    // No leftover temp files from the atomic rename protocol.
+    for (const auto &entry : fs::directory_iterator(dir))
+        EXPECT_EQ(entry.path().extension(), ".json");
+}
+
+// ---------------------------------------------------------------------
+// SweepRunner integration: the property the CI job leans on.
+// ---------------------------------------------------------------------
+
+SystemConfig
+tinyConfig(const std::string &bench, Scheme scheme)
+{
+    SystemConfig cfg;
+    cfg.benchmark = bench;
+    cfg.warmupInstructions = 1'000;
+    cfg.measureInstructions = 3'000;
+    cfg.l2.scheme = scheme;
+    return cfg;
+}
+
+std::string
+sweepDump(SweepRunner &runner)
+{
+    std::string out;
+    for (std::size_t i = 0; i < runner.jobCount(); ++i)
+        out += toJson(runner.job(i), runner.entry(i)).dump(2);
+    return out;
+}
+
+TEST(MemoCacheRunner, WarmRerunExecutesNothingAndMatchesBytes)
+{
+    const std::string dir = freshDir("runner");
+    auto calls = std::make_shared<std::atomic<int>>(0);
+    const auto countingSim = [calls](const SystemConfig &cfg) {
+        calls->fetch_add(1);
+        return simulate(cfg);
+    };
+    const auto buildRunner = [&](MemoCache &cache) {
+        SweepRunner::Options opt;
+        opt.jobs = 2;
+        opt.memoCache = &cache;
+        opt.simulateFn = countingSim;
+        auto runner = std::make_unique<SweepRunner>(std::move(opt));
+        for (const char *bench : {"gcc", "swim"})
+            for (const Scheme scheme : {Scheme::kBase, Scheme::kCached})
+                runner->add(std::string(bench) + "/" +
+                                schemeName(scheme),
+                            tinyConfig(bench, scheme));
+        // An in-sweep duplicate: must stay "memoized", not "disk".
+        runner->add("dup", tinyConfig("gcc", Scheme::kBase));
+        return runner;
+    };
+
+    MemoCache cold(dir);
+    auto first = buildRunner(cold);
+    first->run();
+    EXPECT_EQ(calls->load(), 4);
+    EXPECT_EQ(first->executedJobs(), 4u);
+    EXPECT_EQ(first->diskHits(), 0u);
+    EXPECT_TRUE(first->entry(4).memoized);
+
+    MemoCache warm(dir);
+    EXPECT_EQ(warm.size(), 4u);
+    auto second = buildRunner(warm);
+    second->run();
+    EXPECT_EQ(calls->load(), 4) << "warm re-run must not simulate";
+    EXPECT_EQ(second->executedJobs(), 0u);
+    EXPECT_EQ(second->diskHits(), 4u);
+    EXPECT_TRUE(second->entry(0).fromCache);
+    EXPECT_FALSE(second->entry(0).memoized);
+    EXPECT_TRUE(second->entry(4).memoized);
+
+    // Byte-identical serialized sweep, host_seconds included.
+    EXPECT_EQ(sweepDump(*first), sweepDump(*second));
+}
+
+TEST(MemoCacheRunner, ErrorRowsAreNeverCached)
+{
+    const std::string dir = freshDir("errors");
+    const auto failingSim = [](const SystemConfig &cfg) -> SimResult {
+        if (cfg.benchmark == "swim")
+            throw std::runtime_error("boom");
+        return SimResult{};
+    };
+    {
+        MemoCache cache(dir);
+        SweepRunner::Options opt;
+        opt.jobs = 1;
+        opt.memoCache = &cache;
+        opt.simulateFn = failingSim;
+        SweepRunner runner(std::move(opt));
+        runner.add("ok", tinyConfig("gcc", Scheme::kBase));
+        runner.add("bad", tinyConfig("swim", Scheme::kBase));
+        runner.run();
+        EXPECT_FALSE(runner.entry(1).ok);
+    }
+    MemoCache reloaded(dir);
+    EXPECT_EQ(reloaded.size(), 1u);
+    EXPECT_NE(
+        reloaded.find(configFingerprint(
+            tinyConfig("gcc", Scheme::kBase))),
+        nullptr);
+    EXPECT_EQ(
+        reloaded.find(configFingerprint(
+            tinyConfig("swim", Scheme::kBase))),
+        nullptr);
+}
+
+TEST(MemoCacheRunner, ThunkWithExplicitFingerprintHitsCache)
+{
+    const std::string dir = freshDir("thunk");
+    auto calls = std::make_shared<std::atomic<int>>(0);
+    const auto thunk = [calls](const SystemConfig &) {
+        calls->fetch_add(1);
+        SimResult r;
+        r.benchmark = "mix";
+        r.ipc = 1.5;
+        r.perCoreIpc = {0.75, 0.75};
+        return r;
+    };
+    const auto runOnce = [&](MemoCache &cache) {
+        SweepRunner::Options opt;
+        opt.jobs = 1;
+        opt.memoCache = &cache;
+        SweepRunner runner(std::move(opt));
+        SweepJob job;
+        job.label = "mix";
+        job.config = tinyConfig("gcc", Scheme::kBase);
+        job.simulate = thunk;
+        job.fingerprint = 0x12345678u;
+        runner.add(std::move(job));
+        runner.run();
+        return runner.entry(0);
+    };
+
+    MemoCache cold(dir);
+    const SweepEntry first = runOnce(cold);
+    EXPECT_EQ(calls->load(), 1);
+    EXPECT_FALSE(first.fromCache);
+
+    MemoCache warm(dir);
+    const SweepEntry second = runOnce(warm);
+    EXPECT_EQ(calls->load(), 1) << "fingerprinted thunk must memoize";
+    EXPECT_TRUE(second.fromCache);
+    ASSERT_EQ(second.result.perCoreIpc.size(), 2u);
+    EXPECT_EQ(second.result.perCoreIpc[0], 0.75);
+    EXPECT_EQ(second.hostSeconds, first.hostSeconds);
+}
+
+} // namespace
+} // namespace cmt

@@ -6,7 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <string>
+
 #include "support/json.h"
+#include "support/random.h"
 #include "support/stats.h"
 
 namespace cmt
@@ -143,6 +147,120 @@ TEST(Json, StatGroupSerialization)
     Json back;
     ASSERT_TRUE(Json::parse(obj.dump(2), &back));
     EXPECT_EQ(back.at("l2.hits").asNumber(), 10.0);
+}
+
+// ---------------------------------------------------------------------
+// Property tests: serialize -> parse -> serialize must be the identity
+// on bytes for any document the writer can produce. The persistent
+// memo cache and the regression harness both rely on this (dump()
+// equality is their definition of "same result").
+// ---------------------------------------------------------------------
+
+/** Random string over printables, escapes, and control characters. */
+std::string
+randomString(Rng &rng)
+{
+    static const char alphabet[] =
+        "abcXYZ 0123456789_/\\\"\n\t\r\b\f\x01\x1f{}[]:,\x7f";
+    std::string s;
+    const std::size_t len = rng.below(24);
+    for (std::size_t i = 0; i < len; ++i)
+        s += alphabet[rng.below(sizeof alphabet - 1)];
+    return s;
+}
+
+/** Random finite double spanning magnitudes and integer values. */
+double
+randomNumber(Rng &rng)
+{
+    switch (rng.below(5)) {
+    case 0:
+        return static_cast<double>(rng.next() >> 12) -
+               static_cast<double>(1ULL << 51); // large integers
+    case 1:
+        return static_cast<double>(
+            static_cast<std::int64_t>(rng.below(2000)) - 1000);
+    case 2:
+        return rng.real(); // [0, 1)
+    case 3:
+        return (rng.real() - 0.5) *
+               std::pow(10.0, static_cast<double>(rng.range(0, 300)) -
+                                  150.0); // extreme exponents
+    default:
+        return std::ldexp(rng.real() + 1.0,
+                          static_cast<int>(rng.range(0, 64)) - 32);
+    }
+}
+
+Json
+randomValue(Rng &rng, unsigned depth)
+{
+    const std::uint64_t kinds = depth == 0 ? 4 : 6;
+    switch (rng.below(kinds)) {
+    case 0: return Json();
+    case 1: return Json(rng.chance(0.5));
+    case 2: return Json(randomNumber(rng));
+    case 3: return Json(randomString(rng));
+    case 4: {
+        Json arr = Json::array();
+        const std::size_t n = rng.below(5);
+        for (std::size_t i = 0; i < n; ++i)
+            arr.push(randomValue(rng, depth - 1));
+        return arr;
+    }
+    default: {
+        Json obj = Json::object();
+        const std::size_t n = rng.below(5);
+        for (std::size_t i = 0; i < n; ++i)
+            obj.set(randomString(rng), randomValue(rng, depth - 1));
+        return obj;
+    }
+    }
+}
+
+TEST(JsonProperty, RandomDocumentsRoundTripByteIdentically)
+{
+    Rng rng(20030212); // deterministic: fixed seed, fixed doc count
+    for (int trial = 0; trial < 200; ++trial) {
+        const Json doc = randomValue(rng, 3);
+        const std::string first = doc.dump();
+
+        Json parsed;
+        std::string err;
+        ASSERT_TRUE(Json::parse(first, &parsed, &err))
+            << "trial " << trial << ": " << err << "\n" << first;
+        EXPECT_EQ(parsed.dump(), first) << "trial " << trial;
+
+        // Pretty-printing must not change the value either.
+        Json fromPretty;
+        ASSERT_TRUE(Json::parse(doc.dump(2), &fromPretty, &err))
+            << "trial " << trial << ": " << err;
+        EXPECT_EQ(fromPretty.dump(), first) << "trial " << trial;
+    }
+}
+
+TEST(JsonProperty, RandomNumbersRoundTripExactly)
+{
+    Rng rng(42);
+    for (int trial = 0; trial < 2000; ++trial) {
+        const double v = randomNumber(rng);
+        Json parsed;
+        ASSERT_TRUE(Json::parse(Json(v).dump(), &parsed))
+            << "value " << v;
+        EXPECT_EQ(parsed.asNumber(), v) << "value " << v;
+    }
+}
+
+TEST(JsonProperty, RandomStringsRoundTripExactly)
+{
+    Rng rng(7);
+    for (int trial = 0; trial < 2000; ++trial) {
+        const std::string s = randomString(rng);
+        Json parsed;
+        ASSERT_TRUE(Json::parse(Json(s).dump(), &parsed))
+            << "string " << Json(s).dump();
+        EXPECT_EQ(parsed.asString(), s);
+    }
 }
 
 } // namespace
