@@ -1,5 +1,6 @@
 #include "crypto/sha1.h"
 
+#include <bit>
 #include <cstring>
 
 namespace cmt
@@ -11,7 +12,9 @@ namespace
 std::uint32_t
 rotl(std::uint32_t x, int s)
 {
-    return (x << s) | (x >> (32 - s));
+    // std::rotl is defined for every shift count; the hand-rolled
+    // (x << s) | (x >> (32 - s)) is shift-by-width UB at s == 0.
+    return std::rotl(x, s);
 }
 
 } // namespace

@@ -158,6 +158,10 @@ MemoCache::MemoCache(std::string dir) : dir_(std::move(dir))
     // on duplicate fingerprints. Duplicates only arise from parallel
     // runners racing on the same config, whose rows agree anyway.
     std::sort(shards.begin(), shards.end());
+    // No concurrency during construction; the lock is for the
+    // thread-safety analysis (loadShard requires mu_) and costs one
+    // uncontended acquire.
+    MutexLock lock(mu_);
     for (const std::string &path : shards)
         loadShard(path);
 }
@@ -204,6 +208,9 @@ MemoCache::loadShard(const std::string &path)
 const MemoCache::Row *
 MemoCache::find(std::uint64_t fingerprint) const
 {
+    MutexLock lock(mu_);
+    // Escaping the pointer is safe: rows are insert-only and map
+    // nodes are reference-stable (see the header contract).
     const auto it = rows_.find(fingerprint);
     return it == rows_.end() ? nullptr : &it->second;
 }
@@ -273,8 +280,14 @@ MemoCache::append(const std::vector<Row> &rows)
         return false;
     }
 
-    for (const Row &row : rows)
-        rows_[row.fingerprint] = row;
+    {
+        MutexLock lock(mu_);
+        // emplace, not operator[]: find() hands out pointers into the
+        // map, so an existing row must keep its storage (and its
+        // agreeing contents) rather than be assigned over.
+        for (const Row &row : rows)
+            rows_.emplace(row.fingerprint, row);
+    }
     return true;
 }
 

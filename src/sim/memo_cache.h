@@ -35,6 +35,7 @@
 
 #include "sim/system.h"
 #include "support/json.h"
+#include "support/thread_annotations.h"
 
 namespace cmt
 {
@@ -67,11 +68,24 @@ class MemoCache
      */
     explicit MemoCache(std::string dir);
 
-    /** @return the cached row for @p fingerprint, or nullptr. */
-    const Row *find(std::uint64_t fingerprint) const;
+    /**
+     * @return the cached row for @p fingerprint, or nullptr.
+     *
+     * Safe to call from any thread, concurrently with append(): rows
+     * are only ever inserted (never erased or overwritten in place
+     * with different content), and std::map nodes are reference-
+     * stable, so a returned pointer stays valid for the cache's
+     * lifetime even while other threads append.
+     */
+    const Row *find(std::uint64_t fingerprint) const
+        CMT_EXCLUDES(mu_);
 
     /** Rows currently loaded (post-merge). */
-    std::size_t size() const { return rows_.size(); }
+    std::size_t size() const CMT_EXCLUDES(mu_)
+    {
+        MutexLock lock(mu_);
+        return rows_.size();
+    }
 
     /** Shard files successfully loaded by the constructor. */
     std::size_t loadedFiles() const { return loadedFiles_; }
@@ -83,10 +97,11 @@ class MemoCache
 
     /**
      * Persist @p rows as one new shard file (no-op for an empty
-     * vector) and merge them into the in-memory index.
+     * vector) and merge them into the in-memory index. Thread-safe
+     * against concurrent find()/append() on the same cache.
      * @return false on I/O failure (reported via warn(), not fatal).
      */
-    bool append(const std::vector<Row> &rows);
+    bool append(const std::vector<Row> &rows) CMT_EXCLUDES(mu_);
 
     /** Serialize one row (exposed for tests and tools). */
     static Json rowToJson(const Row &row);
@@ -94,10 +109,14 @@ class MemoCache
     static bool rowFromJson(const Json &json, Row *out);
 
   private:
-    void loadShard(const std::string &path);
+    void loadShard(const std::string &path) CMT_REQUIRES(mu_);
 
     std::string dir_;
-    std::map<std::uint64_t, Row> rows_;
+    /** Guards the in-memory index; disk shards need no lock (append
+     *  never rewrites a file). */
+    mutable Mutex mu_;
+    std::map<std::uint64_t, Row> rows_ CMT_GUARDED_BY(mu_);
+    /** Load tallies; written only by the constructor. */
     std::size_t loadedFiles_ = 0;
     std::size_t skippedFiles_ = 0;
 };

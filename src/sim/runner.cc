@@ -346,17 +346,13 @@ SweepRunner::run()
         }
 
         entries_[group.leader] = entry;
-        if (options_.progress)
-            options_.progress(entries_[group.leader],
-                              done.fetch_add(1) + 1, total);
+        notifyProgress(entries_[group.leader], done, total);
         for (const std::size_t f : group.followers) {
             entries_[f] = entry;
             entries_[f].label = jobs_[f].label;
             entries_[f].memoized = true;
             entries_[f].hostSeconds = 0;
-            if (options_.progress)
-                options_.progress(entries_[f], done.fetch_add(1) + 1,
-                                  total);
+            notifyProgress(entries_[f], done, total);
         }
     };
 
@@ -403,6 +399,20 @@ SweepRunner::run()
         options_.memoCache->append(fresh);
     }
     return entries_;
+}
+
+void
+SweepRunner::notifyProgress(const SweepEntry &entry,
+                            std::atomic<std::size_t> &done,
+                            std::size_t total)
+{
+    if (!options_.progress)
+        return;
+    // Claiming the counter inside the lock gives callbacks strictly
+    // increasing completion counts and spares them any locking of
+    // their own.
+    MutexLock lock(progressMu_);
+    options_.progress(entry, done.fetch_add(1) + 1, total);
 }
 
 const SweepEntry &

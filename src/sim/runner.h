@@ -14,6 +14,7 @@
 #ifndef CMT_SIM_RUNNER_H
 #define CMT_SIM_RUNNER_H
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -22,6 +23,7 @@
 
 #include "sim/system.h"
 #include "support/json.h"
+#include "support/thread_annotations.h"
 
 namespace cmt
 {
@@ -103,8 +105,10 @@ class SweepRunner
         bool memoize = true;
         /**
          * Invoked after each executed or memoized job with the entry
-         * and completion counts. Called from worker threads: must be
-         * thread-safe. Null disables progress reporting.
+         * and completion counts. Called from worker threads, but the
+         * runner serializes invocations under a mutex, so the
+         * callback never runs concurrently with itself and needs no
+         * internal locking. Null disables progress reporting.
          */
         std::function<void(const SweepEntry &, std::size_t done,
                            std::size_t total)>
@@ -154,12 +158,23 @@ class SweepRunner
     std::size_t diskHits() const { return diskHits_; }
 
   private:
+    /**
+     * Hand one finished entry to the user progress callback; the
+     * completion counter is claimed inside the lock so callback
+     * invocations observe strictly increasing `done` values.
+     */
+    void notifyProgress(const SweepEntry &entry,
+                        std::atomic<std::size_t> &done,
+                        std::size_t total) CMT_EXCLUDES(progressMu_);
+
     Options options_;
     std::vector<SweepJob> jobs_;
     std::vector<SweepEntry> entries_;
     std::size_t executed_ = 0;
     std::size_t diskHits_ = 0;
     bool ran_ = false;
+    /** Serializes Options::progress across worker threads. */
+    Mutex progressMu_;
 };
 
 /** Measured metrics as a flat JSON object. */

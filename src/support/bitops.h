@@ -21,10 +21,14 @@ isPow2(std::uint64_t v)
     return v != 0 && (v & (v - 1)) == 0;
 }
 
-/** Integer floor(log2(v)); @p v must be nonzero. */
+/**
+ * Integer floor(log2(v)); @p v must be nonzero (enforced - log2(0)
+ * would silently return 0 and corrupt address arithmetic).
+ */
 constexpr unsigned
 floorLog2(std::uint64_t v)
 {
+    cmt_assert(v != 0);
     unsigned l = 0;
     while (v >>= 1)
         ++l;
@@ -38,24 +42,35 @@ ceilLog2(std::uint64_t v)
     return isPow2(v) ? floorLog2(v) : floorLog2(v) + 1;
 }
 
-/** Round @p v down to a multiple of @p align (a power of two). */
+/**
+ * Round @p v down to a multiple of @p align, which must be a power
+ * of two (enforced - with a non-power `align - 1` is not a mask and
+ * the result is silently wrong, not UB, which makes it worse).
+ */
 constexpr std::uint64_t
 alignDown(std::uint64_t v, std::uint64_t align)
 {
+    cmt_assert(isPow2(align));
     return v & ~(align - 1);
 }
 
-/** Round @p v up to a multiple of @p align (a power of two). */
+/**
+ * Round @p v up to a multiple of @p align (a power of two).
+ * @p v + align must not overflow (enforced).
+ */
 constexpr std::uint64_t
 alignUp(std::uint64_t v, std::uint64_t align)
 {
+    cmt_assert(isPow2(align));
+    cmt_assert(v <= ~std::uint64_t{0} - (align - 1));
     return (v + align - 1) & ~(align - 1);
 }
 
-/** Integer ceil(a / b) for b > 0. */
+/** Integer ceil(a / b); @p b must be nonzero (enforced). */
 constexpr std::uint64_t
 divCeil(std::uint64_t a, std::uint64_t b)
 {
+    cmt_assert(b != 0);
     return (a + b - 1) / b;
 }
 

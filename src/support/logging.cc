@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "support/thread_annotations.h"
+
 namespace cmt
 {
 
@@ -14,6 +16,22 @@ std::atomic<bool> quietFlag{false};
 
 /** Depth of ScopedThrowOnError guards held by this thread. */
 thread_local int throwOnErrorDepth = 0;
+
+/**
+ * Serializes diagnostic emission. Each message is already a single
+ * fputs() call, which glibc keeps atomic per stream, but the standard
+ * does not promise that for every libc - the mutex makes line
+ * atomicity a property of this file instead of the platform.
+ */
+Mutex emitMutex;
+
+/** Write one already-formatted diagnostic line to stderr. */
+void
+emit(const std::string &line) CMT_EXCLUDES(emitMutex)
+{
+    MutexLock lock(emitMutex);
+    std::fputs(line.c_str(), stderr);
+}
 
 /**
  * Format one complete diagnostic line. Emitting it with a single
@@ -76,7 +94,7 @@ panicImpl(const char *file, int line, const char *fmt, ...)
     va_end(args);
     if (throwOnErrorDepth > 0)
         throw SimError(out.substr(0, out.find('\n')));
-    std::fputs(out.c_str(), stderr);
+    emit(out);
     std::abort();
 }
 
@@ -90,7 +108,7 @@ fatalImpl(const char *file, int line, const char *fmt, ...)
     va_end(args);
     if (throwOnErrorDepth > 0)
         throw SimError(out.substr(0, out.find('\n')));
-    std::fputs(out.c_str(), stderr);
+    emit(out);
     std::exit(1);
 }
 
@@ -103,7 +121,7 @@ warn(const char *fmt, ...)
     va_start(args, fmt);
     const std::string out = formatLine("warn: ", fmt, args, nullptr, 0);
     va_end(args);
-    std::fputs(out.c_str(), stderr);
+    emit(out);
 }
 
 void
@@ -115,7 +133,7 @@ inform(const char *fmt, ...)
     va_start(args, fmt);
     const std::string out = formatLine("info: ", fmt, args, nullptr, 0);
     va_end(args);
-    std::fputs(out.c_str(), stderr);
+    emit(out);
 }
 
 } // namespace cmt

@@ -10,6 +10,7 @@
 #ifndef CMT_SUPPORT_RANDOM_H
 #define CMT_SUPPORT_RANDOM_H
 
+#include <bit>
 #include <cstdint>
 
 namespace cmt
@@ -83,7 +84,9 @@ class Rng
     static std::uint64_t
     rotl(std::uint64_t x, int k)
     {
-        return (x << k) | (x >> (64 - k));
+        // Defined for every shift count, unlike the hand-rolled
+        // (x << k) | (x >> (64 - k)) form, which is UB at k == 0.
+        return std::rotl(x, k);
     }
 
     std::uint64_t state_[4];

@@ -36,19 +36,35 @@ Distribution::sample(double v)
 void
 StatGroup::registerCounter(Counter *c)
 {
+    MutexLock lock(mu_);
     counters_.push_back(c);
 }
 
 void
 StatGroup::registerDistribution(Distribution *d)
 {
+    MutexLock lock(mu_);
     distributions_.push_back(d);
+}
+
+std::vector<Counter *>
+StatGroup::counterSnapshot() const
+{
+    MutexLock lock(mu_);
+    return counters_;
+}
+
+std::vector<Distribution *>
+StatGroup::distributionSnapshot() const
+{
+    MutexLock lock(mu_);
+    return distributions_;
 }
 
 std::uint64_t
 StatGroup::counterValue(const std::string &name) const
 {
-    for (const Counter *c : counters_) {
+    for (const Counter *c : counterSnapshot()) {
         if (c->name() == name)
             return c->value();
     }
@@ -58,9 +74,9 @@ StatGroup::counterValue(const std::string &name) const
 void
 StatGroup::resetAll()
 {
-    for (Counter *c : counters_)
+    for (Counter *c : counterSnapshot())
         c->reset();
-    for (Distribution *d : distributions_)
+    for (Distribution *d : distributionSnapshot())
         d->reset();
 }
 
@@ -68,7 +84,7 @@ void
 StatGroup::forEachCounter(
     const std::function<void(const Counter &)> &fn) const
 {
-    for (const Counter *c : counters_)
+    for (const Counter *c : counterSnapshot())
         fn(*c);
 }
 
@@ -76,19 +92,19 @@ void
 StatGroup::forEachDistribution(
     const std::function<void(const Distribution &)> &fn) const
 {
-    for (const Distribution *d : distributions_)
+    for (const Distribution *d : distributionSnapshot())
         fn(*d);
 }
 
 void
 StatGroup::dump(std::ostream &os) const
 {
-    for (const Counter *c : counters_) {
+    for (const Counter *c : counterSnapshot()) {
         os << std::left << std::setw(36) << c->name() << " "
            << std::right << std::setw(16) << c->value()
            << "  # " << c->desc() << "\n";
     }
-    for (const Distribution *d : distributions_) {
+    for (const Distribution *d : distributionSnapshot()) {
         os << std::left << std::setw(36) << d->name() << " "
            << std::right << std::setw(16) << d->mean()
            << "  # mean of " << d->count() << " samples; " << d->desc()

@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "support/thread_annotations.h"
+
 namespace cmt
 {
 
@@ -74,31 +76,51 @@ class Distribution
 /**
  * Owner of a flat namespace of statistics. Components hold a reference
  * to one group and prefix their stat names ("l2.misses").
+ *
+ * Thread model: the registry (the pointer vectors) is mutex-guarded,
+ * so components on different threads may register with, reset, or
+ * read through a shared group. The Counter/Distribution values
+ * themselves are NOT synchronized - each statistic must still be
+ * written from one thread at a time (in practice every simulation
+ * owns its group and all its stats on one worker thread).
  */
 class StatGroup
 {
   public:
-    void registerCounter(Counter *c);
-    void registerDistribution(Distribution *d);
+    void registerCounter(Counter *c) CMT_EXCLUDES(mu_);
+    void registerDistribution(Distribution *d) CMT_EXCLUDES(mu_);
 
     /** Look up a counter value by exact name; 0 if absent. */
-    std::uint64_t counterValue(const std::string &name) const;
+    std::uint64_t counterValue(const std::string &name) const
+        CMT_EXCLUDES(mu_);
 
     /** Reset every registered statistic. */
-    void resetAll();
+    void resetAll() CMT_EXCLUDES(mu_);
 
-    /** Visit every statistic in registration order (serializers). */
+    /**
+     * Visit every statistic in registration order (serializers).
+     * @p fn runs outside the registry lock, so it may re-enter the
+     * group (e.g. registering while serializing is legal, if odd).
+     */
     void forEachCounter(
-        const std::function<void(const Counter &)> &fn) const;
+        const std::function<void(const Counter &)> &fn) const
+        CMT_EXCLUDES(mu_);
     void forEachDistribution(
-        const std::function<void(const Distribution &)> &fn) const;
+        const std::function<void(const Distribution &)> &fn) const
+        CMT_EXCLUDES(mu_);
 
     /** Write "name value  # desc" lines for everything registered. */
-    void dump(std::ostream &os) const;
+    void dump(std::ostream &os) const CMT_EXCLUDES(mu_);
 
   private:
-    std::vector<Counter *> counters_;
-    std::vector<Distribution *> distributions_;
+    /** Registration-order snapshots taken under @ref mu_. */
+    std::vector<Counter *> counterSnapshot() const CMT_EXCLUDES(mu_);
+    std::vector<Distribution *> distributionSnapshot() const
+        CMT_EXCLUDES(mu_);
+
+    mutable Mutex mu_;
+    std::vector<Counter *> counters_ CMT_GUARDED_BY(mu_);
+    std::vector<Distribution *> distributions_ CMT_GUARDED_BY(mu_);
 };
 
 } // namespace cmt

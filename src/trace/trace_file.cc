@@ -21,6 +21,13 @@ put64(std::uint8_t *out, std::uint64_t v)
         out[i] = static_cast<std::uint8_t>(v >> (8 * i));
 }
 
+void
+put32(std::uint8_t *out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
 std::uint64_t
 get64(const std::uint8_t *in)
 {
@@ -39,9 +46,12 @@ TraceWriter::TraceWriter(const std::string &path)
         cmt_fatal("cannot open trace file '%s' for writing",
                   path.c_str());
     std::fwrite(kMagic, 1, sizeof(kMagic), file_);
+    // The version field is 4 bytes on disk; encoding it with put64
+    // used to overflow this stack buffer by 4 bytes (caught by
+    // UBSan's object-size check).
     std::uint8_t ver[4];
-    put64(ver, kVersion); // low 4 bytes of a u64 encoding
-    std::fwrite(ver, 1, 4, file_);
+    put32(ver, kVersion);
+    std::fwrite(ver, 1, sizeof(ver), file_);
 }
 
 TraceWriter::~TraceWriter()

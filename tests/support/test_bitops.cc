@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "support/bitops.h"
+#include "support/logging.h"
 
 namespace cmt
 {
@@ -60,6 +61,34 @@ TEST(BitopsTest, DivCeil)
     EXPECT_EQ(divCeil(4, 4), 1u);
     EXPECT_EQ(divCeil(5, 4), 2u);
     EXPECT_EQ(divCeil(8, 4), 2u);
+}
+
+// Regression tests for the hardened preconditions: before the checks
+// were added these inputs silently returned garbage (floorLog2(0) was
+// 0, alignUp with a non-power mask dropped arbitrary bits) rather
+// than faulting where the bad value entered.
+
+TEST(BitopsTest, PreconditionViolationsPanic)
+{
+    ScopedThrowOnError guard;
+    EXPECT_THROW(floorLog2(0), SimError);
+    EXPECT_THROW(ceilLog2(0), SimError);
+    EXPECT_THROW(alignDown(100, 0), SimError);
+    EXPECT_THROW(alignDown(100, 48), SimError);
+    EXPECT_THROW(alignUp(100, 0), SimError);
+    EXPECT_THROW(alignUp(100, 96), SimError);
+    EXPECT_THROW(divCeil(1, 0), SimError);
+}
+
+TEST(BitopsTest, AlignUpOverflowPanicsInsteadOfWrapping)
+{
+    ScopedThrowOnError guard;
+    const std::uint64_t max = ~std::uint64_t{0};
+    // v + align - 1 would wrap past 2^64 and silently return 0.
+    EXPECT_THROW(alignUp(max, 64), SimError);
+    EXPECT_THROW(alignUp(max - 62, 64), SimError);
+    // Largest representable multiple is fine.
+    EXPECT_EQ(alignUp(max - 63, 64), max - 63);
 }
 
 /** Property sweep: align identities hold for all powers of two. */

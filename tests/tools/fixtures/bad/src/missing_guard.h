@@ -1,0 +1,3 @@
+// Negative fixture: header-guard rule (no #pragma once, no
+// #ifndef/#define pair).
+int unguarded();

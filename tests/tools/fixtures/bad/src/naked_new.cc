@@ -1,0 +1,23 @@
+// Negative fixture: naked-new rule.
+struct Node
+{
+    Node *next = nullptr;
+};
+
+Node *
+push(Node *head)
+{
+    Node *n = new Node;
+    n->next = head;
+    return n;
+}
+
+void
+popAll(Node *head)
+{
+    while (head) {
+        Node *next = head->next;
+        delete head;
+        head = next;
+    }
+}

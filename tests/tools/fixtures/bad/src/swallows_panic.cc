@@ -1,0 +1,12 @@
+// Negative fixture: catch-all rule.
+int simulate();
+
+int
+shielded()
+{
+    try {
+        return simulate();
+    } catch (...) {
+        return -1;
+    }
+}

@@ -1,0 +1,11 @@
+// Negative fixture: nondeterminism rule. Never compiled; linted by
+// test_lint.cc and the lint_negative_fixtures ctest entry.
+#include <cstdlib>
+#include <ctime>
+
+int
+weight()
+{
+    std::srand(static_cast<unsigned>(time(nullptr)));
+    return std::rand();
+}

@@ -1,0 +1,10 @@
+// Negative fixture: stdout-discipline rule.
+#include <cstdio>
+#include <iostream>
+
+void
+report(int misses)
+{
+    std::cout << "misses=" << misses << "\n";
+    printf("misses=%d\n", misses);
+}

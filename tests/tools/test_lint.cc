@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Unit tests for the cmt_lint rule engine: one known-bad and one
+ * known-good snippet per rule, the suppression directive contract,
+ * the comment/string scrubber, and the committed fixture tree under
+ * tests/tools/fixtures/ (bad/ must light up every rule, good/ must
+ * stay clean). The binary's exit-code contract is covered by the
+ * lint_* ctest entries in tests/CMakeLists.txt.
+ */
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint_rules.h"
+
+namespace cmt::lint
+{
+namespace
+{
+
+std::vector<std::string>
+rulesFired(const std::string &path, const std::string &source)
+{
+    std::vector<std::string> rules;
+    for (const Diagnostic &d : lintSource(path, source))
+        rules.push_back(d.rule);
+    return rules;
+}
+
+bool
+fires(const std::string &path, const std::string &source,
+      const std::string &rule)
+{
+    const auto rules = rulesFired(path, source);
+    return std::find(rules.begin(), rules.end(), rule) != rules.end();
+}
+
+// --- nondeterminism ---------------------------------------------------
+
+TEST(LintNondeterminism, FlagsRandFamilyInSrc)
+{
+    EXPECT_TRUE(fires("src/sim/x.cc", "int x = rand();",
+                      "nondeterminism"));
+    EXPECT_TRUE(fires("src/sim/x.cc", "srand(42);", "nondeterminism"));
+    EXPECT_TRUE(fires("src/sim/x.cc", "std::random_device rd;",
+                      "nondeterminism"));
+    EXPECT_TRUE(fires("src/sim/x.cc", "auto t = time(nullptr);",
+                      "nondeterminism"));
+    EXPECT_TRUE(fires("src/sim/x.cc", "auto c = clock();",
+                      "nondeterminism"));
+    EXPECT_TRUE(fires("src/sim/x.cc",
+                      "auto n = std::chrono::system_clock::now();",
+                      "nondeterminism"));
+}
+
+TEST(LintNondeterminism, SilentOutsideSrcAndOnCleanCode)
+{
+    // bench/tests may use wall-clock freely.
+    EXPECT_FALSE(fires("bench/x.cc", "int x = rand();",
+                       "nondeterminism"));
+    EXPECT_FALSE(fires("tests/x.cc", "srand(42);", "nondeterminism"));
+    // Identifier substrings and monotonic clocks are fine in src/.
+    EXPECT_FALSE(fires("src/x.cc", "int operand = timestamp;",
+                       "nondeterminism"));
+    EXPECT_FALSE(fires(
+        "src/x.cc",
+        "auto t = std::chrono::steady_clock::now();"
+        "auto d = t.time_since_epoch();",
+        "nondeterminism"));
+    EXPECT_FALSE(fires("src/x.cc", "// call rand() for chaos",
+                       "nondeterminism"));
+}
+
+// --- stdout-discipline ------------------------------------------------
+
+TEST(LintStdout, FlagsCoutAndBarePrintfInSrc)
+{
+    EXPECT_TRUE(fires("src/tree/x.cc", "std::cout << 1;",
+                      "stdout-discipline"));
+    EXPECT_TRUE(fires("src/tree/x.cc", "printf(\"%d\", 1);",
+                      "stdout-discipline"));
+    EXPECT_TRUE(fires("src/tree/x.cc", "std::printf(\"x\");",
+                      "stdout-discipline"));
+    EXPECT_TRUE(
+        fires("src/tree/x.cc", "puts(\"x\");", "stdout-discipline"));
+}
+
+TEST(LintStdout, AllowsSupportBenchToolsAndBufferedFormatting)
+{
+    // src/support owns the logging implementation.
+    EXPECT_FALSE(fires("src/support/logging.cc", "printf(\"x\");",
+                       "stdout-discipline"));
+    // Harness/tool mains own stdout.
+    EXPECT_FALSE(fires("bench/fig0.cc", "std::cout << 1;",
+                       "stdout-discipline"));
+    EXPECT_FALSE(fires("tools/cli.cc", "printf(\"x\");",
+                       "stdout-discipline"));
+    // Formatting into buffers / single-call stderr stays legal.
+    EXPECT_FALSE(fires("src/x.cc", "snprintf(b, n, \"x\");",
+                       "stdout-discipline"));
+    EXPECT_FALSE(fires("src/x.cc", "std::fprintf(stderr, \"x\");",
+                       "stdout-discipline"));
+    EXPECT_FALSE(fires("src/x.cc", "std::fputs(line, stderr);",
+                       "stdout-discipline"));
+}
+
+// --- naked-new --------------------------------------------------------
+
+TEST(LintNakedNew, FlagsNewAndDeleteExpressions)
+{
+    EXPECT_TRUE(fires("src/x.cc", "int *p = new int[4];",
+                      "naked-new"));
+    EXPECT_TRUE(fires("src/x.cc", "delete p;", "naked-new"));
+    EXPECT_TRUE(fires("src/x.cc", "delete[] p;", "naked-new"));
+}
+
+TEST(LintNakedNew, AllowsDeletedMembersAndIdentifiers)
+{
+    EXPECT_FALSE(fires("src/x.h", "Widget(const Widget &) = delete;",
+                       "naked-new"));
+    EXPECT_FALSE(fires("src/x.h",
+                       "Widget &operator=(Widget &&) =\n    delete;",
+                       "naked-new"));
+    EXPECT_FALSE(
+        fires("src/x.cc", "int newish = renewed;", "naked-new"));
+    EXPECT_FALSE(fires("src/x.cc", "// the new line starts valid",
+                       "naked-new"));
+    // Outside src/ the rule is off (tests/bench build what they like).
+    EXPECT_FALSE(fires("tests/x.cc", "delete p;", "naked-new"));
+}
+
+// --- header-guard -----------------------------------------------------
+
+TEST(LintHeaderGuard, AcceptsBothGuardStyles)
+{
+    EXPECT_FALSE(fires("src/a.h",
+                       "#ifndef CMT_A_H\n#define CMT_A_H\n#endif\n",
+                       "header-guard"));
+    EXPECT_FALSE(
+        fires("src/b.h", "#pragma once\nint f();\n", "header-guard"));
+}
+
+TEST(LintHeaderGuard, FlagsMissingAndMismatchedGuards)
+{
+    EXPECT_TRUE(fires("src/a.h", "int f();\n", "header-guard"));
+    // #ifndef whose #define names a different macro is no guard.
+    EXPECT_TRUE(fires("src/a.h",
+                      "#ifndef CMT_A_H\n#define CMT_B_H\n#endif\n",
+                      "header-guard"));
+    // Sources are exempt.
+    EXPECT_FALSE(fires("src/a.cc", "int f() { return 1; }\n",
+                       "header-guard"));
+}
+
+// --- catch-all --------------------------------------------------------
+
+TEST(LintCatchAll, FlagsEllipsisCatchInSrcBenchTools)
+{
+    EXPECT_TRUE(fires("src/x.cc", "try { f(); } catch (...) {}",
+                      "catch-all"));
+    EXPECT_TRUE(fires("bench/x.cc", "catch ( ... ) { }",
+                      "catch-all"));
+    EXPECT_TRUE(fires("tools/x.cc", "catch(...) {}", "catch-all"));
+}
+
+TEST(LintCatchAll, AllowsNarrowCatchesAndTests)
+{
+    EXPECT_FALSE(fires("src/x.cc",
+                       "catch (const std::exception &e) {}",
+                       "catch-all"));
+    // gtest machinery may catch-all inside tests/.
+    EXPECT_FALSE(fires("tests/x.cc", "catch (...) {}", "catch-all"));
+}
+
+// --- suppression directives -------------------------------------------
+
+TEST(LintAllow, TrailingDirectiveSuppressesItsLine)
+{
+    EXPECT_FALSE(fires(
+        "src/x.cc",
+        "int x = rand(); // cmt-lint: allow(nondeterminism)\n",
+        "nondeterminism"));
+}
+
+TEST(LintAllow, DirectiveOnlyLineCoversNextLine)
+{
+    EXPECT_FALSE(fires("src/x.cc",
+                       "// cmt-lint: allow(naked-new)\n"
+                       "int *p = new int;\n",
+                       "naked-new"));
+    // ...but not two lines down.
+    EXPECT_TRUE(fires("src/x.cc",
+                      "// cmt-lint: allow(naked-new)\n"
+                      "int a = 0;\n"
+                      "int *p = new int;\n",
+                      "naked-new"));
+}
+
+TEST(LintAllow, SuppressionIsPerRule)
+{
+    // Allowing one rule must not silence another on the same line.
+    EXPECT_TRUE(fires(
+        "src/x.cc",
+        "int *p = new int(rand()); "
+        "// cmt-lint: allow(nondeterminism)\n",
+        "naked-new"));
+}
+
+TEST(LintAllow, UnknownRuleNameIsItselfDiagnosed)
+{
+    EXPECT_TRUE(fires("src/x.cc",
+                      "int x = 0; // cmt-lint: allow(no-such-rule)\n",
+                      "bad-directive"));
+}
+
+TEST(LintAllow, DirectiveInsideStringLiteralIsData)
+{
+    // A directive spelled in a string literal neither suppresses a
+    // finding nor counts as a (mis)spelled directive.
+    EXPECT_FALSE(fires(
+        "src/x.cc",
+        "const char *s = \"// cmt-lint: allow(no-such-rule)\";\n",
+        "bad-directive"));
+    EXPECT_TRUE(fires("src/x.cc",
+                      "int x = rand(); const char *s = "
+                      "\"cmt-lint: allow(nondeterminism)\";\n",
+                      "nondeterminism"));
+}
+
+// --- scrubber ---------------------------------------------------------
+
+TEST(LintScrub, RemovesCommentsAndLiteralContents)
+{
+    const std::string out = stripCommentsAndStrings(
+        "int a; // rand()\n"
+        "/* new delete */ int b;\n"
+        "const char *s = \"catch (...)\";\n"
+        "char c = 'x';\n");
+    EXPECT_EQ(out.find("rand"), std::string::npos);
+    EXPECT_EQ(out.find("new"), std::string::npos);
+    EXPECT_EQ(out.find("catch"), std::string::npos);
+    EXPECT_NE(out.find("int a;"), std::string::npos);
+    EXPECT_NE(out.find("int b;"), std::string::npos);
+    // Line structure is preserved for diagnostics.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(LintScrub, HandlesRawStringsAndDigitSeparators)
+{
+    const std::string out = stripCommentsAndStrings(
+        "auto s = R\"(printf(\"x\") rand())\";\n"
+        "std::uint64_t n = 1'000'000;\n"
+        "int after = rand();\n");
+    EXPECT_EQ(out.find("printf"), std::string::npos);
+    // The digit separator must not open a char literal that swallows
+    // the rest of the file.
+    EXPECT_NE(out.find("int after = rand();"), std::string::npos);
+}
+
+TEST(LintScrub, EscapedQuotesStayInsideStrings)
+{
+    const std::string out = stripCommentsAndStrings(
+        "const char *s = \"a \\\" rand() b\";\nint keep;\n");
+    EXPECT_EQ(out.find("rand"), std::string::npos);
+    EXPECT_NE(out.find("int keep;"), std::string::npos);
+}
+
+// --- committed fixture tree -------------------------------------------
+
+TEST(LintFixtures, BadTreeLightsUpEveryRule)
+{
+    const std::vector<Diagnostic> diags =
+        lintPaths({std::string(CMT_LINT_FIXTURES_DIR) + "/bad"});
+    std::set<std::string> seen;
+    for (const Diagnostic &d : diags)
+        seen.insert(d.rule);
+    for (const std::string &rule : ruleNames())
+        EXPECT_TRUE(seen.count(rule) == 1)
+            << "fixture tree never fired rule: " << rule;
+}
+
+TEST(LintFixtures, GoodTreeIsClean)
+{
+    const std::vector<Diagnostic> diags =
+        lintPaths({std::string(CMT_LINT_FIXTURES_DIR) + "/good"});
+    for (const Diagnostic &d : diags)
+        ADD_FAILURE() << d.file << ":" << d.line << " [" << d.rule
+                      << "] " << d.message;
+}
+
+} // namespace
+} // namespace cmt::lint

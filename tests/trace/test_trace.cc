@@ -62,6 +62,34 @@ TEST(TraceFileTest, EmptyTraceEndsImmediately)
     std::remove(path.c_str());
 }
 
+// Regression: the header's version field is exactly 4 bytes on disk.
+// It was once encoded with the 8-byte helper, overflowing the stack
+// buffer by 4 bytes (UBSan object-size finding); pin the byte-exact
+// header so any future encoding slip fails without a sanitizer.
+TEST(TraceFileTest, HeaderIsExactlyMagicPlus32BitVersion)
+{
+    const std::string path = tempPath("header");
+    { TraceWriter writer(path); }
+
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::uint8_t header[9] = {};
+    const std::size_t n = std::fread(header, 1, sizeof(header), f);
+    std::fclose(f);
+    std::remove(path.c_str());
+
+    ASSERT_EQ(n, 8u) << "empty trace must be exactly an 8-byte header";
+    EXPECT_EQ(header[0], 'C');
+    EXPECT_EQ(header[1], 'M');
+    EXPECT_EQ(header[2], 'T');
+    EXPECT_EQ(header[3], 'T');
+    // Version 1, little-endian u32.
+    EXPECT_EQ(header[4], 1u);
+    EXPECT_EQ(header[5], 0u);
+    EXPECT_EQ(header[6], 0u);
+    EXPECT_EQ(header[7], 0u);
+}
+
 TEST(SpecGenBehaviour, BranchPcsHaveStableBiases)
 {
     // The same static branch must lean the same way across visits -

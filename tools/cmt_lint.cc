@@ -1,0 +1,112 @@
+/**
+ * @file
+ * cmt_lint - the repo-specific static analysis pass.
+ *
+ * Scans src/, bench/, tools/, tests/ and examples/ (or explicit
+ * paths) for violations of CMT's correctness invariants: see
+ * lint_rules.h for the rule catalogue and the
+ * `// cmt-lint: allow(<rule>)` suppression syntax.
+ *
+ * Exit codes (contract covered by tests/tools/test_lint.cc):
+ *   0  clean
+ *   1  at least one diagnostic
+ *   2  usage or I/O error (unreadable explicit path)
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint_rules.h"
+
+namespace
+{
+
+void
+usage()
+{
+    std::printf(
+        "usage: cmt_lint [--root DIR] [PATH...]\n"
+        "  Lints PATHs (files or directories). With no PATH, lints\n"
+        "  src/ bench/ tools/ tests/ examples/ under --root\n"
+        "  (default: current directory).\n"
+        "  Suppress one finding with '// cmt-lint: allow(<rule>)'.\n"
+        "rules:\n");
+    for (const std::string &rule : cmt::lint::ruleNames())
+        std::printf("  %s\n", rule.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string root = ".";
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--root") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "cmt_lint: --root needs a value\n");
+                return 2;
+            }
+            root = argv[++i];
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr,
+                         "cmt_lint: unknown option '%s' (try "
+                         "--help)\n",
+                         arg.c_str());
+            return 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.empty()) {
+        // Default sweep: whichever of the standard trees exist under
+        // --root (a partial checkout is not an error).
+        for (const char *dir :
+             {"src", "bench", "tools", "tests", "examples"}) {
+            std::error_code ec;
+            const std::string p = root + "/" + dir;
+            if (std::filesystem::is_directory(p, ec))
+                paths.push_back(p);
+        }
+        if (paths.empty()) {
+            std::fprintf(stderr,
+                         "cmt_lint: no lintable directories under "
+                         "'%s'\n",
+                         root.c_str());
+            return 2;
+        }
+    }
+
+    const std::vector<cmt::lint::Diagnostic> diags =
+        cmt::lint::lintPaths(paths);
+
+    bool ioError = false;
+    std::size_t findings = 0;
+    for (const cmt::lint::Diagnostic &d : diags) {
+        if (d.rule == "io") {
+            std::fprintf(stderr, "cmt_lint: %s: %s\n",
+                         d.file.c_str(), d.message.c_str());
+            ioError = true;
+            continue;
+        }
+        std::fprintf(stderr, "%s:%d: [%s] %s\n", d.file.c_str(),
+                     d.line, d.rule.c_str(), d.message.c_str());
+        ++findings;
+    }
+    if (ioError)
+        return 2;
+    if (findings > 0) {
+        std::fprintf(stderr, "cmt_lint: %zu finding%s\n", findings,
+                     findings == 1 ? "" : "s");
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,489 @@
+#include "lint_rules.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace fs = std::filesystem;
+
+namespace cmt::lint
+{
+
+namespace
+{
+
+/** Forward-slash path for substring classification. */
+std::string
+normalize(const std::string &path)
+{
+    std::string out = path;
+    std::replace(out.begin(), out.end(), '\\', '/');
+    return out;
+}
+
+/** True when @p path lives under directory prefix @p dir ("src/"). */
+bool
+inDir(const std::string &path, const std::string &dir)
+{
+    if (path.rfind(dir, 0) == 0)
+        return true;
+    return path.find("/" + dir) != std::string::npos;
+}
+
+bool
+isHeaderPath(const std::string &path)
+{
+    return path.size() >= 2 &&
+           (path.rfind(".h") == path.size() - 2 ||
+            path.rfind(".hpp") == path.size() - 4);
+}
+
+bool
+isWordChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/**
+ * Blank out string/char literal contents and (unless @p keepComments)
+ * comments, preserving line structure, so rule patterns only ever see
+ * code. The keepComments variant feeds the allow()-directive scan:
+ * directives live in comments, but a directive spelled inside a
+ * string literal is data, not a suppression.
+ */
+std::string
+scrub(const std::string &src, bool keepComments = false)
+{
+    std::string out = src;
+    enum class State
+    {
+        kCode,
+        kLineComment,
+        kBlockComment,
+        kString,
+        kChar,
+        kRawString
+    };
+    State state = State::kCode;
+    std::string rawEnd; // ")delim\"" terminator for raw strings
+    for (std::size_t i = 0; i < src.size(); ++i) {
+        const char c = src[i];
+        const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+        switch (state) {
+        case State::kCode:
+            if (c == '/' && next == '/') {
+                state = State::kLineComment;
+                if (!keepComments)
+                    out[i] = out[i + 1] = ' ';
+                ++i;
+            } else if (c == '/' && next == '*') {
+                state = State::kBlockComment;
+                if (!keepComments)
+                    out[i] = out[i + 1] = ' ';
+                ++i;
+            } else if (c == 'R' && next == '"' &&
+                       (i == 0 || !isWordChar(src[i - 1]))) {
+                std::size_t open = src.find('(', i + 2);
+                if (open == std::string::npos)
+                    break; // malformed; leave as-is
+                rawEnd = ")" + src.substr(i + 2, open - i - 2) + "\"";
+                state = State::kRawString;
+                for (std::size_t j = i; j <= open; ++j)
+                    out[j] = ' ';
+                i = open;
+            } else if (c == '"') {
+                state = State::kString;
+            } else if (c == '\'' && i > 0 && isWordChar(src[i - 1])) {
+                // Digit separator (1'000'000), not a char literal.
+            } else if (c == '\'') {
+                state = State::kChar;
+            }
+            break;
+        case State::kLineComment:
+            if (c == '\n')
+                state = State::kCode;
+            else if (!keepComments)
+                out[i] = ' ';
+            break;
+        case State::kBlockComment:
+            if (c == '*' && next == '/') {
+                if (!keepComments)
+                    out[i] = out[i + 1] = ' ';
+                state = State::kCode;
+                ++i;
+            } else if (c != '\n' && !keepComments) {
+                out[i] = ' ';
+            }
+            break;
+        case State::kString:
+        case State::kChar:
+            if (c == '\\' && next != '\0') {
+                out[i] = ' ';
+                if (next != '\n')
+                    out[i + 1] = ' ';
+                ++i;
+            } else if ((state == State::kString && c == '"') ||
+                       (state == State::kChar && c == '\'')) {
+                state = State::kCode;
+            } else if (c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+        case State::kRawString:
+            if (src.compare(i, rawEnd.size(), rawEnd) == 0) {
+                for (std::size_t j = 0; j < rawEnd.size(); ++j)
+                    out[i + j] = ' ';
+                i += rawEnd.size() - 1;
+                state = State::kCode;
+            } else if (c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+/** One textual pattern belonging to a rule. */
+struct Pattern
+{
+    const char *rule;
+    std::regex re;
+    const char *message;
+};
+
+/** Patterns applied per scrubbed line, guarded by path scope. */
+const std::vector<Pattern> &
+nondeterminismPatterns()
+{
+    static const std::vector<Pattern> patterns = {
+        {"nondeterminism",
+         std::regex(R"((^|[^A-Za-z0-9_])s?rand\s*\()"),
+         "rand()/srand() breaks run reproducibility; draw from a "
+         "seeded cmt::Rng instead"},
+        {"nondeterminism", std::regex(R"(random_device)"),
+         "std::random_device is nondeterministic; seed a cmt::Rng "
+         "from the config instead"},
+        {"nondeterminism",
+         std::regex(R"((^|[^A-Za-z0-9_])time\s*\()"),
+         "wall-clock time() in simulation code breaks memoization; "
+         "derive timing from simulated cycles"},
+        {"nondeterminism",
+         std::regex(R"((^|[^A-Za-z0-9_])clock\s*\()"),
+         "clock() in simulation code breaks memoization; derive "
+         "timing from simulated cycles"},
+        {"nondeterminism", std::regex(R"(system_clock)"),
+         "system_clock is wall-clock; use steady_clock for host "
+         "timing or simulated cycles for model timing"},
+        {"nondeterminism", std::regex(R"(gettimeofday)"),
+         "gettimeofday() is wall-clock nondeterminism; use simulated "
+         "cycles"},
+    };
+    return patterns;
+}
+
+const std::vector<Pattern> &
+stdoutPatterns()
+{
+    static const std::vector<Pattern> patterns = {
+        {"stdout-discipline",
+         std::regex(R"((^|[^A-Za-z0-9_])cout($|[^A-Za-z0-9_]))"),
+         "library code must not own stdout; report via logging.h or "
+         "return data (stdout belongs to bench/tool mains)"},
+        {"stdout-discipline",
+         std::regex(R"((^|[^A-Za-z0-9_])printf\s*\()"),
+         "bare printf() bypasses line-atomic logging; use "
+         "logging.h (or snprintf into a buffer)"},
+        {"stdout-discipline",
+         std::regex(R"((^|[^A-Za-z0-9_])puts\s*\()"),
+         "puts() bypasses line-atomic logging; use logging.h"},
+    };
+    return patterns;
+}
+
+const std::vector<Pattern> &
+catchAllPatterns()
+{
+    static const std::vector<Pattern> patterns = {
+        {"catch-all", std::regex(R"(catch\s*\(\s*\.\.\.\s*\))"),
+         "catch (...) swallows SimError from ScopedThrowOnError, "
+         "hiding panics; catch std::exception or narrower"},
+    };
+    return patterns;
+}
+
+/** Word occurrences of new/delete that form expressions. */
+void
+checkNakedNewDelete(const std::string &path,
+                    const std::vector<std::string> &lines,
+                    const std::function<bool(int, const char *)> &allowed,
+                    std::vector<Diagnostic> *out)
+{
+    static const std::regex word(
+        R"((^|[^A-Za-z0-9_])(new|delete)($|[^A-Za-z0-9_]))");
+    for (std::size_t n = 0; n < lines.size(); ++n) {
+        const std::string &line = lines[n];
+        for (auto it = std::sregex_iterator(line.begin(), line.end(),
+                                            word);
+             it != std::sregex_iterator(); ++it) {
+            const std::smatch &m = *it;
+            const std::string kw = m[2].str();
+            // "= delete" is the deleted-member declaration, not a
+            // delete expression (no valid expression puts '=' before
+            // the delete keyword): skip it, including the wrapped
+            // "... =\n    delete;" spelling. "= new ..." stays
+            // flagged - that's exactly the naked allocation we ban.
+            if (kw == "delete") {
+                std::size_t p =
+                    static_cast<std::size_t>(m.position(2));
+                while (p > 0 &&
+                       std::isspace(static_cast<unsigned char>(
+                           line[p - 1])))
+                    --p;
+                char prev = p > 0 ? line[p - 1] : '\0';
+                if (prev == '\0' && n > 0) {
+                    const std::string &above = lines[n - 1];
+                    const auto last =
+                        above.find_last_not_of(" \t");
+                    if (last != std::string::npos)
+                        prev = above[last];
+                }
+                if (prev == '=')
+                    continue;
+            }
+            if (allowed(static_cast<int>(n + 1), "naked-new"))
+                continue;
+            out->push_back(
+                {path, static_cast<int>(n + 1), "naked-new",
+                 "naked '" + kw +
+                     "' in simulator code; own memory via "
+                     "containers or std::unique_ptr"});
+        }
+    }
+}
+
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::string cur;
+    for (const char c : text) {
+        if (c == '\n') {
+            lines.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        lines.push_back(cur);
+    return lines;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+ruleNames()
+{
+    static const std::vector<std::string> names = {
+        "nondeterminism", "stdout-discipline", "naked-new",
+        "header-guard", "catch-all",
+    };
+    return names;
+}
+
+std::string
+stripCommentsAndStrings(const std::string &source)
+{
+    return scrub(source);
+}
+
+std::vector<Diagnostic>
+lintSource(const std::string &rawPath, const std::string &source)
+{
+    const std::string path = normalize(rawPath);
+    const bool inSrc = inDir(path, "src/");
+    const bool inSupport = inDir(path, "src/support/");
+    const bool inBenchOrTools =
+        inDir(path, "bench/") || inDir(path, "tools/");
+
+    std::vector<Diagnostic> diags;
+
+    // Collect `// cmt-lint: allow(rule, ...)` directives. Scanned
+    // with comments kept but strings stripped: a directive only
+    // counts inside a comment, never inside a string literal. A
+    // directive suppresses its own line; a directive-only line also
+    // covers the next line.
+    const std::vector<std::string> rawLines =
+        splitLines(scrub(source, /*keepComments=*/true));
+    std::map<int, std::set<std::string>> allowMap;
+    {
+        static const std::regex directive(
+            R"(cmt-lint:\s*allow\(\s*([A-Za-z0-9_,\- ]+)\s*\))");
+        static const std::regex onlyComment(R"(^\s*(//|/\*).*$)");
+        for (std::size_t n = 0; n < rawLines.size(); ++n) {
+            std::smatch m;
+            if (!std::regex_search(rawLines[n], m, directive))
+                continue;
+            std::stringstream list(m[1].str());
+            std::string rule;
+            while (std::getline(list, rule, ',')) {
+                rule.erase(0, rule.find_first_not_of(" \t"));
+                rule.erase(rule.find_last_not_of(" \t") + 1);
+                if (std::find(ruleNames().begin(), ruleNames().end(),
+                              rule) == ruleNames().end()) {
+                    diags.push_back(
+                        {path, static_cast<int>(n + 1),
+                         "bad-directive",
+                         "unknown rule '" + rule +
+                             "' in cmt-lint allow()"});
+                    continue;
+                }
+                allowMap[static_cast<int>(n + 1)].insert(rule);
+                if (std::regex_match(rawLines[n], onlyComment))
+                    allowMap[static_cast<int>(n + 2)].insert(rule);
+            }
+        }
+    }
+    const auto allowed = [&](int line, const char *rule) {
+        const auto it = allowMap.find(line);
+        return it != allowMap.end() && it->second.count(rule) > 0;
+    };
+
+    const std::string clean = scrub(source);
+    const std::vector<std::string> lines = splitLines(clean);
+
+    // header-guard: any header, whole-file property. Checked on the
+    // scrubbed text - a comment that merely mentions "#pragma once"
+    // is not a guard.
+    if (isHeaderPath(path)) {
+        static const std::regex ifndefRe(
+            R"(#\s*ifndef\s+([A-Za-z0-9_]+))");
+        bool hasGuard =
+            clean.find("#pragma once") != std::string::npos;
+        std::smatch m;
+        if (!hasGuard && std::regex_search(clean, m, ifndefRe)) {
+            hasGuard = clean.find("#define " + m[1].str(),
+                                  static_cast<std::size_t>(
+                                      m.position(0))) !=
+                       std::string::npos;
+        }
+        if (!hasGuard && !allowed(1, "header-guard")) {
+            diags.push_back(
+                {path, 1, "header-guard",
+                 "header lacks #pragma once or an #ifndef/#define "
+                 "include guard"});
+        }
+    }
+
+    const auto apply = [&](const std::vector<Pattern> &patterns) {
+        for (std::size_t n = 0; n < lines.size(); ++n) {
+            for (const Pattern &p : patterns) {
+                if (!std::regex_search(lines[n], p.re))
+                    continue;
+                if (allowed(static_cast<int>(n + 1), p.rule))
+                    continue;
+                diags.push_back({path, static_cast<int>(n + 1),
+                                 p.rule, p.message});
+            }
+        }
+    };
+
+    if (inSrc)
+        apply(nondeterminismPatterns());
+    if (inSrc && !inSupport)
+        apply(stdoutPatterns());
+    if (inSrc)
+        checkNakedNewDelete(path, lines, allowed, &diags);
+    if (inSrc || inBenchOrTools)
+        apply(catchAllPatterns());
+
+    std::sort(diags.begin(), diags.end(),
+              [](const Diagnostic &a, const Diagnostic &b) {
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.rule < b.rule;
+              });
+    return diags;
+}
+
+bool
+lintFile(const std::string &path, std::vector<Diagnostic> *out)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        out->push_back({normalize(path), 0, "io", "cannot read file"});
+        return false;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    const std::vector<Diagnostic> diags =
+        lintSource(path, buf.str());
+    out->insert(out->end(), diags.begin(), diags.end());
+    return true;
+}
+
+namespace
+{
+
+bool
+lintableExtension(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".h" || ext == ".hpp" || ext == ".cc" ||
+           ext == ".cpp";
+}
+
+/** Directories a default walk never descends into. */
+bool
+skippedDir(const std::string &name)
+{
+    return name == "fixtures" || name == "results" ||
+           name == "third_party" || name.rfind("build", 0) == 0 ||
+           (!name.empty() && name[0] == '.');
+}
+
+} // namespace
+
+std::vector<Diagnostic>
+lintPaths(const std::vector<std::string> &roots)
+{
+    std::vector<std::string> files;
+    for (const std::string &root : roots) {
+        std::error_code ec;
+        if (fs::is_directory(root, ec)) {
+            fs::recursive_directory_iterator it(root, ec), end;
+            while (it != end) {
+                if (it->is_directory(ec) &&
+                    skippedDir(it->path().filename().string())) {
+                    it.disable_recursion_pending();
+                } else if (it->is_regular_file(ec) &&
+                           lintableExtension(it->path())) {
+                    files.push_back(it->path().generic_string());
+                }
+                it.increment(ec);
+                if (ec)
+                    break;
+            }
+        } else {
+            // Explicit file argument: linted unconditionally, even
+            // under a directory the default walk would skip.
+            files.push_back(root);
+        }
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+
+    std::vector<Diagnostic> diags;
+    for (const std::string &file : files)
+        lintFile(file, &diags);
+    return diags;
+}
+
+} // namespace cmt::lint
