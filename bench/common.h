@@ -53,6 +53,13 @@ struct Options
      * are served from here instead of simulating.
      */
     std::string memoDir = "results/.memo";
+    /**
+     * Progress style (--progress): "lines" prints one complete line
+     * per finished run (the default, atomic under concurrency);
+     * "ticker" rewrites a single stderr line in place. Both write to
+     * stderr only, so stdout stays byte-identical either way.
+     */
+    std::string progress = "lines";
 };
 
 /** Parse the shared flags; exits on --help or unknown arguments. */
@@ -85,9 +92,20 @@ parseArgs(int argc, char **argv, const char *figure)
             opt.memoDir = value();
         } else if (arg == "--no-memo") {
             opt.memoDir.clear();
+        } else if (arg == "--progress" ||
+                   arg.rfind("--progress=", 0) == 0) {
+            opt.progress = arg == "--progress"
+                               ? value()
+                               : arg.substr(std::string("--progress=")
+                                                .size());
+            if (opt.progress != "lines" && opt.progress != "ticker")
+                cmt_fatal("%s: --progress expects 'lines' or 'ticker',"
+                          " got '%s'",
+                          figure, opt.progress.c_str());
         } else if (arg == "--help" || arg == "-h") {
             std::printf("usage: %s [--jobs N] [--json PATH] "
-                        "[--filter BENCH] [--memo-dir DIR | --no-memo]\n"
+                        "[--filter BENCH] [--memo-dir DIR | --no-memo] "
+                        "[--progress MODE]\n"
                         "  --jobs N      worker threads (default: all "
                         "cores)\n"
                         "  --json PATH   also write results as JSON\n"
@@ -96,6 +114,8 @@ parseArgs(int argc, char **argv, const char *figure)
                         "  --memo-dir D  persistent result cache "
                         "(default: results/.memo)\n"
                         "  --no-memo     disable the persistent cache\n"
+                        "  --progress M  stderr progress style: lines "
+                        "(default) or ticker\n"
                         "REPRO_SCALE scales the simulation windows "
                         "(e.g. 0.05 for a smoke run).\n",
                         figure);
@@ -152,29 +172,56 @@ class Sweep
             memo_ = std::make_unique<MemoCache>(opt_.memoDir);
             ropt.memoCache = memo_.get();
         }
-        // One complete line per finished run: atomic under
-        // concurrency, and each line names its run so interleaved
-        // completions stay readable.
-        ropt.progress = [](const SweepEntry &e, std::size_t done,
-                           std::size_t total) {
-            char line[256];
-            if (!e.ok) {
-                std::snprintf(line, sizeof line,
-                              "  [%3zu/%3zu] %-28s ERROR: %s\n", done,
-                              total, e.label.c_str(), e.error.c_str());
-            } else if (e.memoized || e.fromCache) {
-                std::snprintf(line, sizeof line,
-                              "  [%3zu/%3zu] %-28s ipc=%.3f (%s)\n",
-                              done, total, e.label.c_str(),
-                              e.result.ipc,
-                              e.memoized ? "cached" : "disk");
-            } else {
-                std::snprintf(line, sizeof line,
-                              "  [%3zu/%3zu] %-28s ipc=%.3f\n", done,
-                              total, e.label.c_str(), e.result.ipc);
-            }
-            std::fputs(line, stderr);
-        };
+        if (opt_.progress == "ticker") {
+            // Opt-in single-line ticker: rewrite one stderr line in
+            // place, ending it with a newline on the final run. A run
+            // that errored still gets its own permanent line so the
+            // failure is not overwritten by the next completion.
+            ropt.progress = [](const SweepEntry &e, std::size_t done,
+                               std::size_t total) {
+                char line[256];
+                if (!e.ok) {
+                    std::snprintf(line, sizeof line,
+                                  "\r  [%3zu/%3zu] %-28s ERROR: %s\n",
+                                  done, total, e.label.c_str(),
+                                  e.error.c_str());
+                } else {
+                    std::snprintf(line, sizeof line,
+                                  "\r  [%3zu/%3zu] %-28s ipc=%.3f%s",
+                                  done, total, e.label.c_str(),
+                                  e.result.ipc,
+                                  done == total ? "\n" : "");
+                }
+                std::fputs(line, stderr);
+                std::fflush(stderr);
+            };
+        } else {
+            // One complete line per finished run: atomic under
+            // concurrency, and each line names its run so interleaved
+            // completions stay readable.
+            ropt.progress = [](const SweepEntry &e, std::size_t done,
+                               std::size_t total) {
+                char line[256];
+                if (!e.ok) {
+                    std::snprintf(line, sizeof line,
+                                  "  [%3zu/%3zu] %-28s ERROR: %s\n",
+                                  done, total, e.label.c_str(),
+                                  e.error.c_str());
+                } else if (e.memoized || e.fromCache) {
+                    std::snprintf(line, sizeof line,
+                                  "  [%3zu/%3zu] %-28s ipc=%.3f (%s)\n",
+                                  done, total, e.label.c_str(),
+                                  e.result.ipc,
+                                  e.memoized ? "cached" : "disk");
+                } else {
+                    std::snprintf(line, sizeof line,
+                                  "  [%3zu/%3zu] %-28s ipc=%.3f\n",
+                                  done, total, e.label.c_str(),
+                                  e.result.ipc);
+                }
+                std::fputs(line, stderr);
+            };
+        }
         runner_ = std::make_unique<SweepRunner>(std::move(ropt));
     }
 

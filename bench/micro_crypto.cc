@@ -1,13 +1,17 @@
 /**
  * @file
- * Micro-benchmarks for the cryptographic substrate (google-benchmark):
- * digest throughput, MAC update cost, and the PRP.
+ * Micro-benchmarks for the cryptographic substrate: digest
+ * throughput, MAC update cost, and the PRP. Each workload executes a
+ * fixed (REPRO_SCALE-adjusted) operation count through the shared
+ * Sweep engine, so the rows memoize, parallelise and serialize to the
+ * same JSON schema as the figure harnesses; host_seconds in the JSON
+ * is the timing signal, while the stdout checksum table is fully
+ * deterministic.
  */
-
-#include <benchmark/benchmark.h>
 
 #include <vector>
 
+#include "bench/micro_common.h"
 #include "crypto/hmac.h"
 #include "crypto/md5.h"
 #include "crypto/prp112.h"
@@ -20,6 +24,7 @@ namespace
 {
 
 using namespace cmt;
+using namespace cmt::bench;
 
 std::vector<std::uint8_t>
 randomBytes(std::size_t n)
@@ -39,86 +44,151 @@ key()
     return k;
 }
 
+/** Stamp the iteration into the buffer so every op digests fresh
+ *  input and the checksum witnesses all of them. */
 void
-BM_Md5Chunk(benchmark::State &state)
+stamp(std::vector<std::uint8_t> &data, std::uint64_t i)
 {
-    const auto data = randomBytes(state.range(0));
-    for (auto _ : state)
-        benchmark::DoNotOptimize(Md5::digest(data));
-    state.SetBytesProcessed(state.iterations() * data.size());
+    for (unsigned b = 0; b < 8 && b < data.size(); ++b)
+        data[b] = static_cast<std::uint8_t>(i >> (8 * b));
 }
-BENCHMARK(BM_Md5Chunk)->Arg(64)->Arg(128)->Arg(4096)->Arg(1 << 20);
 
-void
-BM_Sha1Chunk(benchmark::State &state)
+MicroResult
+digestWorkload(std::uint64_t ops, std::size_t size, bool sha1)
 {
-    const auto data = randomBytes(state.range(0));
-    for (auto _ : state)
-        benchmark::DoNotOptimize(Sha1::digest(data));
-    state.SetBytesProcessed(state.iterations() * data.size());
+    auto data = randomBytes(size);
+    MicroResult m;
+    for (std::uint64_t i = 0; i < ops; ++i) {
+        stamp(data, i);
+        if (sha1) {
+            const auto d = Sha1::digest(data);
+            m.fold(d.data(), d.size());
+        } else {
+            const auto d = Md5::digest(data);
+            m.fold(d.data(), d.size());
+        }
+    }
+    m.ops = ops;
+    m.bytes = ops * size;
+    return m;
 }
-BENCHMARK(BM_Sha1Chunk)->Arg(64)->Arg(4096);
 
-void
-BM_HmacMd5(benchmark::State &state)
+MicroResult
+xteaWorkload(std::uint64_t ops, std::size_t size)
 {
-    const auto data = randomBytes(64);
-    const Key128 k = key();
-    for (auto _ : state)
-        benchmark::DoNotOptimize(hmacMd5(k, data));
-}
-BENCHMARK(BM_HmacMd5);
-
-void
-BM_XteaCtr(benchmark::State &state)
-{
-    auto data = randomBytes(state.range(0));
+    auto data = randomBytes(size);
     const Xtea cipher(key());
-    for (auto _ : state) {
-        cipher.ctrCrypt(7, data);
-        benchmark::DoNotOptimize(data.data());
-    }
-    state.SetBytesProcessed(state.iterations() * data.size());
+    MicroResult m;
+    for (std::uint64_t i = 0; i < ops; ++i)
+        cipher.ctrCrypt(i, data);
+    m.fold(data.data(), data.size());
+    m.ops = ops;
+    m.bytes = ops * size;
+    return m;
 }
-BENCHMARK(BM_XteaCtr)->Arg(64)->Arg(4096);
-
-void
-BM_Prp112RoundTrip(benchmark::State &state)
-{
-    const Prp112 prp(key());
-    Val112 v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14};
-    for (auto _ : state) {
-        v = prp.decrypt(prp.encrypt(v));
-        benchmark::DoNotOptimize(v);
-    }
-}
-BENCHMARK(BM_Prp112RoundTrip);
-
-void
-BM_XorMacFull(benchmark::State &state)
-{
-    const XorMac mac(key());
-    const auto chunk = randomBytes(128);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(mac.mac(chunk, 64, 0));
-}
-BENCHMARK(BM_XorMacFull);
-
-void
-BM_XorMacIncrementalUpdate(benchmark::State &state)
-{
-    const XorMac mac(key());
-    const auto chunk = randomBytes(128);
-    const auto new_block = randomBytes(64);
-    const Val112 m = mac.mac(chunk, 64, 0);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(mac.update(
-            m, 0, std::span<const std::uint8_t>(chunk).first(64), false,
-            new_block, true));
-    }
-}
-BENCHMARK(BM_XorMacIncrementalUpdate);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    const Options opt = parseArgs(argc, argv, "micro_crypto");
+
+    std::cout << "micro_crypto: cryptographic substrate workloads\n";
+
+    Sweep sweep(opt);
+    std::size_t rows = 0;
+    auto add = [&](const std::string &label, std::uint64_t base_ops,
+                   std::function<MicroResult()> fn) {
+        const std::size_t before = sweep.runner().jobCount();
+        addMicro(sweep, opt, label, scaledOps(base_ops),
+                 std::move(fn));
+        rows += sweep.runner().jobCount() - before;
+    };
+
+    for (const std::size_t size : {64u, 128u, 4096u, 1u << 20}) {
+        const std::uint64_t ops =
+            size <= 128 ? 200'000 : (size <= 4096 ? 20'000 : 100);
+        add("md5/" + std::to_string(size), ops,
+            [size, ops = scaledOps(ops)] {
+                return digestWorkload(ops, size, false);
+            });
+    }
+    for (const std::size_t size : {64u, 4096u}) {
+        const std::uint64_t ops = size <= 128 ? 100'000 : 10'000;
+        add("sha1/" + std::to_string(size), ops,
+            [size, ops = scaledOps(ops)] {
+                return digestWorkload(ops, size, true);
+            });
+    }
+    add("hmac_md5/64", 100'000, [ops = scaledOps(100'000)] {
+        const auto data = randomBytes(64);
+        const Key128 k = key();
+        MicroResult m;
+        for (std::uint64_t i = 0; i < ops; ++i) {
+            const auto mac = hmacMd5(k, data);
+            m.fold(mac.data(), mac.size());
+        }
+        m.ops = ops;
+        m.bytes = ops * data.size();
+        return m;
+    });
+    for (const std::size_t size : {64u, 4096u}) {
+        add("xtea_ctr/" + std::to_string(size), size <= 64 ? 200'000
+                                                           : 5'000,
+            [size, ops = scaledOps(size <= 64 ? 200'000 : 5'000)] {
+                return xteaWorkload(ops, size);
+            });
+    }
+    add("prp112_roundtrip", 100'000, [ops = scaledOps(100'000)] {
+        const Prp112 prp(key());
+        Val112 v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14};
+        MicroResult m;
+        for (std::uint64_t i = 0; i < ops; ++i)
+            v = prp.decrypt(prp.encrypt(v));
+        m.fold(v.data(), v.size());
+        m.ops = ops;
+        m.bytes = ops * v.size();
+        return m;
+    });
+    add("xormac_full/128", 50'000, [ops = scaledOps(50'000)] {
+        const XorMac mac(key());
+        auto chunk = randomBytes(128);
+        MicroResult m;
+        for (std::uint64_t i = 0; i < ops; ++i) {
+            stamp(chunk, i);
+            const Val112 v = mac.mac(chunk, 64, 0);
+            m.fold(v.data(), v.size());
+        }
+        m.ops = ops;
+        m.bytes = ops * chunk.size();
+        return m;
+    });
+    add("xormac_update", 100'000, [ops = scaledOps(100'000)] {
+        const XorMac mac(key());
+        const auto chunk = randomBytes(128);
+        auto new_block = randomBytes(64);
+        const Val112 base = mac.mac(chunk, 64, 0);
+        MicroResult m;
+        for (std::uint64_t i = 0; i < ops; ++i) {
+            stamp(new_block, i);
+            const Val112 v = mac.update(
+                base, 0,
+                std::span<const std::uint8_t>(chunk).first(64), false,
+                new_block, true);
+            m.fold(v.data(), v.size());
+        }
+        m.ops = ops;
+        m.bytes = ops * new_block.size();
+        return m;
+    });
+
+    if (rows == 0)
+        cmt_fatal("--filter '%s' matches no workload",
+                  opt.filter.c_str());
+    sweep.run();
+    reportMicro(sweep, rows,
+                "crypto substrate: deterministic workload digests");
+    sweep.writeJson();
+    return 0;
+}

@@ -1,23 +1,26 @@
 /**
  * @file
  * Micro-benchmarks for the simulator substrate itself: cache-array
- * operation rate and end-to-end simulated instructions per host
- * second (the number that bounds how long the figure sweeps take).
+ * operation rate, SpecGen trace generation, and end-to-end simulated
+ * instructions per host second (the number that bounds how long the
+ * figure sweeps take). The substrate workloads run as deterministic
+ * checksum rows; the end-to-end rows are real simulate() runs keyed
+ * by their full config fingerprint, so they memoize and regress
+ * exactly like figure rows.
  */
 
-#include <benchmark/benchmark.h>
-
+#include "bench/micro_common.h"
 #include "cache/cache_array.h"
-#include "sim/system.h"
 #include "support/random.h"
 
 namespace
 {
 
 using namespace cmt;
+using namespace cmt::bench;
 
-void
-BM_CacheArrayLookupHit(benchmark::State &state)
+MicroResult
+lookupWorkload(std::uint64_t ops)
 {
     CacheParams p;
     p.sizeBytes = 1 << 20;
@@ -28,13 +31,16 @@ BM_CacheArrayLookupHit(benchmark::State &state)
     for (int i = 0; i < 1024; ++i)
         cache.allocate(i * 64, &victim);
     Rng rng(1);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(cache.lookup(64 * rng.below(1024)));
+    MicroResult m;
+    for (std::uint64_t i = 0; i < ops; ++i)
+        m.fold64(cache.lookup(64 * rng.below(1024)) != nullptr);
+    m.ops = ops;
+    m.bytes = ops * 64;
+    return m;
 }
-BENCHMARK(BM_CacheArrayLookupHit);
 
-void
-BM_CacheArrayAllocateEvict(benchmark::State &state)
+MicroResult
+allocateWorkload(std::uint64_t ops)
 {
     CacheParams p;
     p.sizeBytes = 64 << 10;
@@ -43,49 +49,116 @@ BM_CacheArrayAllocateEvict(benchmark::State &state)
     CacheArray cache(p);
     CacheArray::Victim victim;
     std::uint64_t addr = 0;
-    for (auto _ : state) {
-        if (cache.lookup(addr) == nullptr)
+    MicroResult m;
+    for (std::uint64_t i = 0; i < ops; ++i) {
+        if (cache.lookup(addr) == nullptr) {
             cache.allocate(addr, &victim);
+            m.fold64(victim.valid);
+        }
         addr += 64;
     }
+    m.ops = ops;
+    m.bytes = ops * 64;
+    return m;
 }
-BENCHMARK(BM_CacheArrayAllocateEvict);
 
-void
-BM_SimulatedInstructions(benchmark::State &state)
-{
-    // Simulated instructions per host second for one representative
-    // benchmark per scheme (range 0: base, 1: cached, 2: naive).
-    const Scheme scheme = static_cast<Scheme>(
-        state.range(0) == 0
-            ? static_cast<int>(Scheme::kBase)
-            : (state.range(0) == 1 ? static_cast<int>(Scheme::kCached)
-                                   : static_cast<int>(Scheme::kNaive)));
-    for (auto _ : state) {
-        SystemConfig cfg;
-        cfg.benchmark = "twolf";
-        cfg.warmupInstructions = 20'000;
-        cfg.measureInstructions = 100'000;
-        cfg.l2.scheme = scheme;
-        benchmark::DoNotOptimize(simulate(cfg));
-    }
-    state.SetItemsProcessed(state.iterations() * 120'000);
-}
-BENCHMARK(BM_SimulatedInstructions)->Arg(0)->Arg(1)->Arg(2)
-    ->Unit(benchmark::kMillisecond);
-
-void
-BM_SpecGen(benchmark::State &state)
+MicroResult
+specgenWorkload(std::uint64_t ops)
 {
     SpecGen gen(profileFor("gcc"), 1);
     TraceInstr instr;
-    for (auto _ : state) {
+    MicroResult m;
+    for (std::uint64_t i = 0; i < ops; ++i) {
         gen.next(instr);
-        benchmark::DoNotOptimize(instr);
+        m.fold64(static_cast<std::uint64_t>(instr.type));
+        m.fold64(instr.pc);
+        m.fold64(instr.addr);
     }
+    m.ops = ops;
+    m.bytes = ops * sizeof(TraceInstr);
+    return m;
 }
-BENCHMARK(BM_SpecGen);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    const Options opt = parseArgs(argc, argv, "micro_sim");
+
+    std::cout << "micro_sim: simulator substrate workloads\n";
+
+    Sweep sweep(opt);
+    std::size_t rows = 0;
+    auto add = [&](const std::string &label, std::uint64_t base_ops,
+                   std::function<MicroResult()> fn) {
+        const std::size_t before = sweep.runner().jobCount();
+        addMicro(sweep, opt, label, scaledOps(base_ops),
+                 std::move(fn));
+        rows += sweep.runner().jobCount() - before;
+    };
+
+    add("cache_array_lookup_hit", 2'000'000,
+        [ops = scaledOps(2'000'000)] { return lookupWorkload(ops); });
+    add("cache_array_allocate_evict", 1'000'000,
+        [ops = scaledOps(1'000'000)] {
+            return allocateWorkload(ops);
+        });
+    add("specgen_next", 2'000'000, [ops = scaledOps(2'000'000)] {
+        return specgenWorkload(ops);
+    });
+
+    // Simulated instructions per host second for one representative
+    // benchmark per scheme: plain config-keyed sweep rows.
+    const Scheme sim_schemes[] = {Scheme::kBase, Scheme::kCached,
+                                  Scheme::kNaive};
+    std::vector<std::string> sim_labels;
+    for (const Scheme scheme : sim_schemes) {
+        const std::string label =
+            std::string("sim_instructions/") + schemeName(scheme);
+        if (!opt.filter.empty() &&
+            label.find(opt.filter) == std::string::npos)
+            continue;
+        SystemConfig cfg;
+        cfg.benchmark = "twolf";
+        cfg.warmupInstructions =
+            static_cast<std::uint64_t>(20'000 * reproScale());
+        cfg.measureInstructions =
+            static_cast<std::uint64_t>(100'000 * reproScale());
+        cfg.l2.scheme = scheme;
+        sweep.add(label, cfg);
+        sim_labels.push_back(label);
+    }
+
+    if (rows + sim_labels.size() == 0)
+        cmt_fatal("--filter '%s' matches no workload",
+                  opt.filter.c_str());
+    sweep.run();
+    reportMicro(sweep, rows,
+                "simulator substrate: deterministic workload digests");
+    if (!sim_labels.empty()) {
+        Table t("end-to-end simulation rate (twolf)");
+        t.header({"workload", "instructions", "cycles", "ipc"});
+        for (const auto &label : sim_labels) {
+            const SweepEntry &e = sweep.takeEntry();
+            if (!e.ok) {
+                t.row({label, "ERROR", "-", e.error});
+                continue;
+            }
+            t.row({label, std::to_string(e.result.instructions),
+                   std::to_string(e.result.cycles),
+                   Table::num(e.result.ipc)});
+            if (e.hostSeconds > 0) {
+                std::fprintf(
+                    stderr,
+                    "  [micro] %-28s %10.3f Msim-instr/s\n",
+                    label.c_str(),
+                    static_cast<double>(e.result.instructions) /
+                        1e6 / e.hostSeconds);
+            }
+        }
+        t.print(std::cout);
+    }
+    sweep.writeJson();
+    return 0;
+}

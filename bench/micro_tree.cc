@@ -1,13 +1,16 @@
 /**
  * @file
  * Micro-benchmarks for the functional MerkleMemory library: verified
- * load/store cost in naive vs cached modes and across arities.
+ * load/store cost in naive vs cached modes and across arities. Each
+ * workload runs a fixed (REPRO_SCALE-adjusted) operation count
+ * through the shared Sweep engine; checksums fold both the loaded
+ * values and the library's own counters, so a behavioural change in
+ * the tree maintenance shows up as row drift under cmt_regress.
  */
-
-#include <benchmark/benchmark.h>
 
 #include <algorithm>
 
+#include "bench/micro_common.h"
 #include "mem/backing_store.h"
 #include "support/random.h"
 #include "verify/merkle_memory.h"
@@ -16,6 +19,7 @@ namespace
 {
 
 using namespace cmt;
+using namespace cmt::bench;
 
 MerkleConfig
 config(std::size_t cache_chunks, std::uint64_t chunk_size = 64,
@@ -30,105 +34,150 @@ config(std::size_t cache_chunks, std::uint64_t chunk_size = 64,
     return cfg;
 }
 
+/** Fold the counters that witness how much tree work happened. */
 void
-BM_NaiveLoad(benchmark::State &state)
+foldStats(MicroResult &m, MerkleMemory &mm)
+{
+    m.fold64(mm.statAuthComputes.value());
+    m.fold64(mm.statAuthUpdates.value());
+    m.fold64(mm.statChecks.value());
+    m.fold64(mm.statCheckFailures.value());
+    m.fold64(mm.statUntrustedReads.value());
+    m.fold64(mm.statUntrustedWrites.value());
+}
+
+MicroResult
+loadWorkload(std::uint64_t ops, std::size_t cache_chunks)
 {
     BackingStore ram;
-    MerkleMemory mm(ram, config(0));
+    MerkleMemory mm(ram, config(cache_chunks));
     mm.store64(512, 1);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(mm.load64(512));
+    MicroResult m;
+    for (std::uint64_t i = 0; i < ops; ++i)
+        m.fold64(mm.load64(512));
+    foldStats(m, mm);
+    m.ops = ops;
+    m.bytes = ops * 8;
+    return m;
 }
-BENCHMARK(BM_NaiveLoad);
 
-void
-BM_CachedHotLoad(benchmark::State &state)
+MicroResult
+storeWorkload(std::uint64_t ops, std::size_t cache_chunks,
+              std::uint64_t span_words)
 {
     BackingStore ram;
-    MerkleMemory mm(ram, config(256));
-    mm.store64(512, 1);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(mm.load64(512));
-}
-BENCHMARK(BM_CachedHotLoad);
-
-void
-BM_NaiveStore(benchmark::State &state)
-{
-    BackingStore ram;
-    MerkleMemory mm(ram, config(0));
-    std::uint64_t v = 0;
-    for (auto _ : state)
-        mm.store64(512, ++v);
-}
-BENCHMARK(BM_NaiveStore);
-
-void
-BM_CachedStoreWorkingSet(benchmark::State &state)
-{
-    // Random stores over a working set that fits the trusted cache.
-    BackingStore ram;
-    MerkleMemory mm(ram, config(1024));
+    MerkleMemory mm(ram, config(cache_chunks));
     Rng rng(1);
-    for (auto _ : state)
-        mm.store64(8 * rng.below(4096), rng.next());
+    MicroResult m;
+    for (std::uint64_t i = 0; i < ops; ++i)
+        mm.store64(8 * rng.below(span_words), rng.next());
+    foldStats(m, mm);
+    m.ops = ops;
+    m.bytes = ops * 8;
+    return m;
 }
-BENCHMARK(BM_CachedStoreWorkingSet);
-
-void
-BM_CachedStoreThrashing(benchmark::State &state)
-{
-    // Working set far beyond the trusted cache: every op verifies.
-    BackingStore ram;
-    MerkleMemory mm(ram, config(64));
-    Rng rng(1);
-    for (auto _ : state)
-        mm.store64(8 * rng.below(1 << 20), rng.next());
-}
-BENCHMARK(BM_CachedStoreThrashing);
-
-void
-BM_ChunkSizeSweepLoad(benchmark::State &state)
-{
-    BackingStore ram;
-    MerkleMemory mm(ram,
-                    config(0, static_cast<std::uint64_t>(state.range(0))));
-    mm.store64(0, 1);
-    Rng rng(2);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(mm.load64(8 * rng.below(512)));
-}
-BENCHMARK(BM_ChunkSizeSweepLoad)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
-
-void
-BM_IncrementalWriteback(benchmark::State &state)
-{
-    // i-scheme flush cost: one dirty block per chunk.
-    BackingStore ram;
-    MerkleConfig cfg = config(128, 128, Authenticator::Kind::kXorMac);
-    MerkleMemory mm(ram, cfg);
-    Rng rng(3);
-    for (auto _ : state) {
-        mm.store64(128 * rng.below(1024), rng.next());
-        mm.flush();
-    }
-}
-BENCHMARK(BM_IncrementalWriteback);
-
-void
-BM_VerifyAll(benchmark::State &state)
-{
-    BackingStore ram;
-    MerkleMemory mm(ram, config(256));
-    Rng rng(4);
-    for (int i = 0; i < 2000; ++i)
-        mm.store64(8 * rng.below(1 << 16), rng.next());
-    mm.flush();
-    for (auto _ : state)
-        benchmark::DoNotOptimize(mm.verifyAll());
-}
-BENCHMARK(BM_VerifyAll);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    const Options opt = parseArgs(argc, argv, "micro_tree");
+
+    std::cout << "micro_tree: functional MerkleMemory workloads\n";
+
+    Sweep sweep(opt);
+    std::size_t rows = 0;
+    auto add = [&](const std::string &label, std::uint64_t base_ops,
+                   std::function<MicroResult()> fn) {
+        const std::size_t before = sweep.runner().jobCount();
+        addMicro(sweep, opt, label, scaledOps(base_ops),
+                 std::move(fn));
+        rows += sweep.runner().jobCount() - before;
+    };
+
+    add("naive_load", 5'000, [ops = scaledOps(5'000)] {
+        return loadWorkload(ops, 0);
+    });
+    add("cached_hot_load", 500'000, [ops = scaledOps(500'000)] {
+        return loadWorkload(ops, 256);
+    });
+    add("naive_store", 5'000, [ops = scaledOps(5'000)] {
+        BackingStore ram;
+        MerkleMemory mm(ram, config(0));
+        MicroResult m;
+        for (std::uint64_t i = 0; i < ops; ++i)
+            mm.store64(512, i + 1);
+        foldStats(m, mm);
+        m.fold64(mm.load64(512));
+        m.ops = ops;
+        m.bytes = ops * 8;
+        return m;
+    });
+    // Random stores over a working set that fits the trusted cache.
+    add("cached_store_working_set", 200'000,
+        [ops = scaledOps(200'000)] {
+            return storeWorkload(ops, 1024, 4096);
+        });
+    // Working set far beyond the trusted cache: every op verifies.
+    add("cached_store_thrashing", 10'000, [ops = scaledOps(10'000)] {
+        return storeWorkload(ops, 64, 1 << 20);
+    });
+    for (const std::uint64_t chunk : {32u, 64u, 128u, 256u}) {
+        add("chunk_sweep_load/" + std::to_string(chunk), 2'000,
+            [chunk, ops = scaledOps(2'000)] {
+                BackingStore ram;
+                MerkleMemory mm(ram, config(0, chunk));
+                mm.store64(0, 1);
+                Rng rng(2);
+                MicroResult m;
+                for (std::uint64_t i = 0; i < ops; ++i)
+                    m.fold64(mm.load64(8 * rng.below(512)));
+                foldStats(m, mm);
+                m.ops = ops;
+                m.bytes = ops * 8;
+                return m;
+            });
+    }
+    // i-scheme flush cost: one dirty block per chunk.
+    add("incremental_writeback", 5'000, [ops = scaledOps(5'000)] {
+        BackingStore ram;
+        MerkleMemory mm(ram,
+                        config(128, 128,
+                               Authenticator::Kind::kXorMac));
+        Rng rng(3);
+        MicroResult m;
+        for (std::uint64_t i = 0; i < ops; ++i) {
+            mm.store64(128 * rng.below(1024), rng.next());
+            mm.flush();
+        }
+        foldStats(m, mm);
+        m.ops = ops;
+        m.bytes = ops * 8;
+        return m;
+    });
+    add("verify_all", 20, [ops = scaledOps(20)] {
+        BackingStore ram;
+        MerkleMemory mm(ram, config(256));
+        Rng rng(4);
+        for (int i = 0; i < 2000; ++i)
+            mm.store64(8 * rng.below(1 << 16), rng.next());
+        mm.flush();
+        MicroResult m;
+        for (std::uint64_t i = 0; i < ops; ++i)
+            m.fold64(mm.verifyAll() ? 1 : 0);
+        foldStats(m, mm);
+        m.ops = ops;
+        m.bytes = ops * mm.layout().dataBytes();
+        return m;
+    });
+
+    if (rows == 0)
+        cmt_fatal("--filter '%s' matches no workload",
+                  opt.filter.c_str());
+    sweep.run();
+    reportMicro(sweep, rows,
+                "MerkleMemory: deterministic workload digests");
+    sweep.writeJson();
+    return 0;
+}

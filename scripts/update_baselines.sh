@@ -14,22 +14,25 @@
 # update alongside the change that caused it.
 #
 # CI uses the OUTDIR argument to regenerate the same sweeps into a
-# scratch directory and compare them against the committed ones.
+# scratch directory and compare them against the committed ones; the
+# sanitizer jobs point CMT_BUILD_DIR at their preset build tree.
 set -e
 cd "$(dirname "$0")/.."
 outdir="${1:-results/baselines}"
+builddir="${CMT_BUILD_DIR:-build}"
 scale="0.02"
 mkdir -p "$outdir"
 
 run() {
     bin="$1"; shift
     echo "== $bin =="
-    REPRO_SCALE="$scale" ./build/bench/"$bin" --jobs 2 --no-memo \
+    REPRO_SCALE="$scale" "$builddir"/bench/"$bin" --jobs 2 --no-memo \
         --json "$outdir/$bin.json" "$@" > /dev/null
 }
 
 run fig3_ipc_schemes --filter gcc
 run fig5_bandwidth --filter swim
+run fig8_chunk_schemes --filter swim
 run ext_smp
 
 echo "baselines written to $outdir (REPRO_SCALE=$scale)"

@@ -5,7 +5,7 @@
  * This is the storage structure shared by the L1s (tags only) and the
  * integrated L2 (tags + real data bytes + per-word valid bits). The
  * timing and the integrity state machines live above it (cpu::Core for
- * the L1s, SecureL2 for the L2); CacheArray only answers "what is
+ * the L1s, L2Controller for the L2); CacheArray only answers "what is
  * where" questions and performs LRU replacement.
  *
  * Per-word valid bits implement the paper's write-allocate

@@ -3,7 +3,7 @@
 namespace cmt
 {
 
-Core::Core(EventQueue &events, SecureL2 &l2, TraceSource &trace,
+Core::Core(EventQueue &events, L2Controller &l2, TraceSource &trace,
            const CoreParams &params, StatGroup &stats)
     : stat_fetched(stats, "core.fetched", "instructions fetched"),
       stat_committed(stats, "core.committed", "instructions committed"),

@@ -5,7 +5,7 @@
  * commit, 128-entry register update unit, 64-entry load/store queue,
  * 64 KB 2-way 32 B-line L1 I/D caches, 4-way 128-entry TLBs).
  *
- * The core owns the L1s and talks to the SecureL2 below; loads
+ * The core owns the L1s and talks to the L2Controller below; loads
  * complete when the L2 complex delivers data (speculatively, before
  * integrity checks finish - Section 5.8), stores write through.
  * Crypto instructions act as commit barriers that drain outstanding
@@ -26,7 +26,7 @@
 #include "cpu/trace.h"
 #include "support/event.h"
 #include "support/stats.h"
-#include "tree/secure_l2.h"
+#include "tree/l2_controller.h"
 
 namespace cmt
 {
@@ -62,7 +62,7 @@ struct CoreParams
 class Core
 {
   public:
-    Core(EventQueue &events, SecureL2 &l2, TraceSource &trace,
+    Core(EventQueue &events, L2Controller &l2, TraceSource &trace,
          const CoreParams &params, StatGroup &stats);
 
     /** Advance one cycle: commit, issue, fetch. */
@@ -74,7 +74,7 @@ class Core
     /**
      * Drop L1 copies of [cpu_addr, cpu_addr+len) - called by the
      * system when L2 inclusion evicts a block (the owner of the L2
-     * wires SecureL2::onBackInvalidate to every core's invalidateL1).
+     * wires L2Controller::onBackInvalidate to every core's invalidateL1).
      */
     void invalidateL1(std::uint64_t cpu_addr, unsigned len);
 
@@ -136,7 +136,7 @@ class Core
     bool peekTrace();
 
     EventQueue &events_;
-    SecureL2 &l2_;
+    L2Controller &l2_;
     TraceSource &trace_;
     CoreParams params_;
 

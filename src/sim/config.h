@@ -13,7 +13,7 @@
 #include "cpu/core.h"
 #include "mem/main_memory.h"
 #include "tree/hash_engine.h"
-#include "tree/secure_l2.h"
+#include "tree/l2_controller.h"
 
 namespace cmt
 {
@@ -31,7 +31,7 @@ struct SystemConfig
     std::uint64_t measureInstructions = 1'000'000;
 
     CoreParams core;
-    SecureL2Params l2;
+    L2Params l2;
     MemTimingParams mem;
     HashEngineParams hash;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+// cmt-lint: allow(stdout-discipline) - atomic rename needs std::rename
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>

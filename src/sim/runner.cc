@@ -102,7 +102,7 @@ foldCore(Fingerprint &fp, const CoreParams &c)
 }
 
 void
-foldL2(Fingerprint &fp, const SecureL2Params &l2)
+foldL2(Fingerprint &fp, const L2Params &l2)
 {
     fp.u64(40).u64(static_cast<std::uint64_t>(l2.scheme));
     fp.u64(41).u64(l2.sizeBytes);

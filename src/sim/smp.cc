@@ -2,6 +2,7 @@
 
 #include "support/logging.h"
 #include "trace/specgen.h"
+#include "tree/integrity_policy.h"
 
 namespace cmt
 {
@@ -46,11 +47,11 @@ SmpSystem::SmpSystem(const SmpConfig &config) : config_(config)
     hasher_ =
         std::make_unique<HashEngine>(events_, config_.hash, stats_);
 
-    SecureL2Params l2_params = config_.l2;
+    L2Params l2_params = config_.l2;
     l2_params.authKind = kind;
-    l2_ = std::make_unique<SecureL2>(events_, *memory_, *ram_, *hasher_,
-                                     *layout_, *auth_, l2_params,
-                                     stats_);
+    l2_ = std::make_unique<L2Controller>(
+        events_, *memory_, *ram_, *hasher_, *layout_, *auth_, l2_params,
+        stats_, makeIntegrityPolicy);
 
     for (std::size_t i = 0; i < config_.benchmarks.size(); ++i) {
         auto gen = std::make_unique<SpecGen>(

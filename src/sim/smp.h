@@ -6,7 +6,7 @@
  * while continuing to use it: several programs share one secure
  * processor complex. SmpSystem instantiates N cores (each with its
  * own L1s, branch predictor and workload) over a single shared
- * SecureL2, hash engine, bus and protected memory - the natural
+ * L2Controller, hash engine, bus and protected memory - the natural
  * shared-L2 topology for the paper's machinery, and the setting the
  * authors' follow-up work on snooping-based SMP integrity studies.
  *
@@ -51,7 +51,7 @@ struct SmpConfig
     std::uint64_t measureInstructions = 500'000;
 
     CoreParams core;
-    SecureL2Params l2;
+    L2Params l2;
     MemTimingParams mem;
     HashEngineParams hash;
 
@@ -106,7 +106,7 @@ class SmpSystem
 
     /** CPU-address displacement of core @p i's memory slice. */
     static std::uint64_t sliceOffset(unsigned i);
-    SecureL2 &l2() { return *l2_; }
+    L2Controller &l2() { return *l2_; }
     Core &core(unsigned i) { return *cores_.at(i); }
     ChunkStore &ram() { return *ram_; }
     EventQueue &events() { return events_; }
@@ -121,7 +121,7 @@ class SmpSystem
     std::unique_ptr<ChunkStore> ram_;
     std::unique_ptr<MainMemory> memory_;
     std::unique_ptr<HashEngine> hasher_;
-    std::unique_ptr<SecureL2> l2_;
+    std::unique_ptr<L2Controller> l2_;
     std::vector<std::unique_ptr<TraceSource>> traces_;
     std::vector<std::unique_ptr<Core>> cores_;
 };

@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "support/logging.h"
+#include "tree/integrity_policy.h"
 
 namespace cmt
 {
@@ -82,11 +83,11 @@ System::System(const SystemConfig &config,
     hasher_ =
         std::make_unique<HashEngine>(events_, config_.hash, stats_);
 
-    SecureL2Params l2_params = config_.l2;
+    L2Params l2_params = config_.l2;
     l2_params.authKind = kind;
-    l2_ = std::make_unique<SecureL2>(events_, *memory_, *ram_, *hasher_,
-                                     *layout_, *auth_, l2_params,
-                                     stats_);
+    l2_ = std::make_unique<L2Controller>(
+        events_, *memory_, *ram_, *hasher_, *layout_, *auth_, l2_params,
+        stats_, makeIntegrityPolicy);
 
     trace_ = trace ? std::move(trace)
                    : std::make_unique<SpecGen>(

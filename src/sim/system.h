@@ -24,7 +24,7 @@
 #include "tree/chunk_store.h"
 #include "tree/hash_engine.h"
 #include "tree/layout.h"
-#include "tree/secure_l2.h"
+#include "tree/l2_controller.h"
 
 namespace cmt
 {
@@ -83,7 +83,7 @@ class System
     /** Registered statistics (serializers). */
     const StatGroup &stats() const { return stats_; }
 
-    SecureL2 &l2() { return *l2_; }
+    L2Controller &l2() { return *l2_; }
     Core &core() { return *core_; }
     ChunkStore &ram() { return *ram_; }
     EventQueue &events() { return events_; }
@@ -98,7 +98,7 @@ class System
     std::unique_ptr<ChunkStore> ram_;
     std::unique_ptr<MainMemory> memory_;
     std::unique_ptr<HashEngine> hasher_;
-    std::unique_ptr<SecureL2> l2_;
+    std::unique_ptr<L2Controller> l2_;
     std::unique_ptr<TraceSource> trace_;
     std::unique_ptr<Core> core_;
 };

@@ -1,0 +1,356 @@
+#include "tree/cached_tree_policy.h"
+
+#include <cstring>
+#include <memory>
+
+#include "tree/tree_debug.h"
+
+namespace cmt
+{
+
+void
+CachedTreePolicy::startDemandMiss(std::uint64_t block_addr)
+{
+    const std::uint64_t chunk = layout_.chunkOf(block_addr);
+    fetchChunk(chunk, /*demand=*/true);
+    // The chunk may already have filled (fetch raced ahead of this
+    // miss); complete immediately in that case.
+    const auto f = fetches_.find(chunk);
+    if (f != fetches_.end() && f->second.dataArrived &&
+        params_.speculativeChecks) {
+        l2_.completeMshr(block_addr);
+    }
+}
+
+void
+CachedTreePolicy::fetchChunk(std::uint64_t chunk, bool demand)
+{
+    if (fetches_.contains(chunk))
+        return;
+
+    auto [it, inserted] = fetches_.try_emplace(chunk);
+    ChunkFetch &f = it->second;
+    f.chunk = chunk;
+    f.demand = demand;
+    l2_.buffers().acquireRead();
+
+    // Issue RAM reads for every block that is not clean-and-complete
+    // in the cache: the hash covers the *memory image*, so dirty or
+    // partial cached blocks must be re-read from RAM (Section 5.4).
+    const std::uint64_t base = layout_.chunkAddr(chunk);
+    for (unsigned b = 0; b < l2_.blocksPerChunk(); ++b) {
+        const std::uint64_t block_addr =
+            base + static_cast<std::uint64_t>(b) * params_.blockSize;
+        CacheArray::Line *line = array_.lookup(block_addr, false);
+        const bool cached_clean = line != nullptr && !line->dirty &&
+                                  line->validWords == array_.fullMask();
+        if (cached_clean)
+            continue;
+        if (l2_.mshrPending(block_addr))
+            ++l2_.stat_demandBlockReads;
+        else
+            ++l2_.stat_integrityBlockReads;
+        ++f.pendingReads;
+        memory_.read(block_addr, params_.blockSize,
+                     [this, chunk](std::span<const std::uint8_t>) {
+                         auto fit = fetches_.find(chunk);
+                         if (fit == fetches_.end())
+                             return;
+                         if (--fit->second.pendingReads == 0)
+                             chunkDataArrived(chunk);
+                     });
+    }
+
+    // Resolve where the parent authenticator will come from.
+    const std::int64_t parent = layout_.parentOf(chunk);
+    if (parent < 0 || l2_.parentSlotCachedNow(chunk)) {
+        f.parentReady = true;
+    } else {
+        const std::uint64_t pchunk = static_cast<std::uint64_t>(parent);
+        ++l2_.stat_hashChunkFetches;
+        fetchChunk(pchunk, /*demand=*/false);
+        auto pit = fetches_.find(pchunk);
+        if (pit != fetches_.end() && !pit->second.dataArrived) {
+            pit->second.dependents.push_back(chunk);
+        } else {
+            // Parent already filled (or completed inside the recursive
+            // call): its slot is available now.
+            f.parentReady = true;
+        }
+    }
+
+    if (f.pendingReads == 0) {
+        // Everything was cached-clean (possible for recursively
+        // fetched parents): data is available immediately.
+        events_.scheduleIn(0, [this, chunk] {
+            auto fit = fetches_.find(chunk);
+            if (fit != fetches_.end() && !fit->second.dataArrived)
+                chunkDataArrived(chunk);
+        });
+    }
+}
+
+void
+CachedTreePolicy::chunkDataArrived(std::uint64_t chunk)
+{
+    ChunkFetch &f = fetches_.at(chunk);
+    f.dataArrived = true;
+
+    // Functional verdict against the *current* RAM image and the
+    // current trusted slot (cached copy if present, RAM otherwise).
+    const std::vector<std::uint8_t> image = l2_.ramChunkImage(chunk);
+    f.verdictOk = auth_.verify(image, l2_.expectedSlotNow(chunk));
+    if (static_cast<std::int64_t>(chunk) == traceChunkId()) {
+        debugf("@%llu dataArrived chunk=%llu ok=%d\n",
+               static_cast<unsigned long long>(events_.now()),
+               static_cast<unsigned long long>(chunk),
+               static_cast<int>(f.verdictOk));
+    }
+
+    if (!f.verdictOk && debugVerdictEnabled()) {
+        const std::int64_t parent = layout_.parentOf(chunk);
+        const Slot ram_slot =
+            parent < 0 ? roots_[chunk]
+                       : ram_.readSlot(static_cast<std::uint64_t>(parent),
+                                       layout_.slotIndexOf(chunk));
+        const Slot expected = l2_.expectedSlotNow(chunk);
+        const Slot computed = auth_.compute(image, expected);
+        debugf(
+            "VERDICT FAIL @%llu chunk=%llu level=%u hash=%d "
+            "slot_cached=%d ram_slot_matches=%d exp=%02x%02x "
+            "ram=%02x%02x got=%02x%02x\n",
+            static_cast<unsigned long long>(events_.now()),
+            static_cast<unsigned long long>(chunk),
+            layout_.levelOf(chunk),
+            static_cast<int>(layout_.isHashChunk(chunk)),
+            static_cast<int>(l2_.parentSlotCachedNow(chunk)),
+            static_cast<int>(auth_.verify(image, ram_slot)),
+            expected[0], expected[1], ram_slot[0], ram_slot[1],
+            computed[0], computed[1]);
+    }
+
+    // ReadAndCheck step 3: put the chunk's uncached blocks in the
+    // cache. The fill may evict lines and trigger write-backs.
+    l2_.fillChunkFromRam(chunk);
+
+    if (params_.speculativeChecks)
+        l2_.completeMshrsOfChunk(chunk);
+
+    // Children waiting for this chunk's slot values can now compare.
+    ChunkFetch &f2 = fetches_.at(chunk); // re-find: map may rebalance
+    for (const std::uint64_t child : f2.dependents) {
+        auto cit = fetches_.find(child);
+        if (cit != fetches_.end()) {
+            cit->second.parentReady = true;
+            chunkMaybeComplete(child);
+        }
+    }
+    f2.dependents.clear();
+
+    hasher_.hash(static_cast<unsigned>(params_.chunkSize),
+                 [this, chunk]() {
+                     auto fit = fetches_.find(chunk);
+                     if (fit == fetches_.end())
+                         return;
+                     fit->second.hashDone = true;
+                     chunkMaybeComplete(chunk);
+                 });
+
+    chunkMaybeComplete(chunk);
+}
+
+void
+CachedTreePolicy::chunkMaybeComplete(std::uint64_t chunk)
+{
+    auto it = fetches_.find(chunk);
+    if (it == fetches_.end())
+        return;
+    ChunkFetch &f = it->second;
+    if (!f.dataArrived || !f.hashDone || !f.parentReady)
+        return;
+
+    ++l2_.stat_checks;
+    if (!f.verdictOk)
+        ++l2_.stat_checkFailures;
+
+    if (!params_.speculativeChecks)
+        l2_.completeMshrsOfChunk(chunk);
+
+    fetches_.erase(it);
+    l2_.buffers().releaseRead();
+    l2_.retryPendingMisses();
+}
+
+void
+CachedTreePolicy::evictDirty(const CacheArray::Victim &victim)
+{
+    FlowScope guard(l2_);
+    l2_.buffers().acquireWrite();
+
+    const std::uint64_t chunk = layout_.chunkOf(victim.blockAddr);
+    const std::uint64_t base = layout_.chunkAddr(chunk);
+
+    // Assemble the new chunk image: victim words, other cached valid
+    // words, RAM for the rest. Track which blocks must be written and
+    // how many RAM reads (missing words) the write-back needs.
+    std::vector<std::uint8_t> image(params_.chunkSize);
+    ram_.read(base, image);
+
+    unsigned ram_reads = 0;
+    unsigned dirty_blocks = 0;
+    bool chunk_fully_cached = true;
+
+    for (unsigned b = 0; b < l2_.blocksPerChunk(); ++b) {
+        const std::uint64_t block_addr =
+            base + static_cast<std::uint64_t>(b) * params_.blockSize;
+        std::uint8_t *dst = image.data() + b * params_.blockSize;
+
+        const std::uint8_t *src = nullptr;
+        std::uint64_t valid = 0;
+        bool dirty = false;
+        if (block_addr == victim.blockAddr) {
+            src = victim.data.data();
+            valid = victim.validWords;
+            dirty = true;
+        } else if (CacheArray::Line *line =
+                       array_.lookup(block_addr, false)) {
+            src = line->data.data();
+            valid = line->validWords;
+            dirty = line->dirty;
+            // Section 5.4 Write-Back step 2: every cached block of the
+            // chunk is written back together and marked clean.
+            if (line->dirty) {
+                line->dirty = false;
+            }
+        }
+        if (valid != array_.fullMask())
+            chunk_fully_cached = false;
+        if (src != nullptr) {
+            for (unsigned w = 0; w < array_.wordsPerBlock(); ++w) {
+                if ((valid >> w) & 1)
+                    std::memcpy(dst + w * kWordSize,
+                                src + w * kWordSize, kWordSize);
+            }
+        }
+        if (dirty)
+            ++dirty_blocks;
+    }
+
+    // Timing reads: if the chunk was not entirely contained in the
+    // cache, the missing data comes from RAM via ReadAndCheckChunk.
+    if (!chunk_fully_cached)
+        ram_reads = 1; // modelled as one chunk-sized read
+
+    // Functional commit, ordered to be safe against nested evictions:
+    //  1. RAM gets the assembled image first, so any nested flow
+    //     reading this chunk (e.g. a child write-back fetching its
+    //     slot) sees fresh bytes.
+    //  2. The parent slot's line is made resident; that allocation may
+    //     displace other dirty lines - even a resurrected block of
+    //     THIS chunk (a child's publish can re-allocate it and a
+    //     deeper allocation re-evict it), advancing the chunk's RAM
+    //     image past what we assembled.
+    //  3. The authenticator is therefore recomputed from the *current*
+    //     RAM image and published with no allocation possible in
+    //     between: read-compute-publish is atomic.
+    // Timing decision captured before residency/publish below.
+    const bool parent_slot_was_cached = l2_.parentSlotCachedNow(chunk);
+
+    ram_.write(base, image);
+
+    const std::int64_t evict_parent = layout_.parentOf(chunk);
+    if (evict_parent >= 0) {
+        const std::uint64_t slot_addr = layout_.slotAddr(
+            static_cast<std::uint64_t>(evict_parent),
+            layout_.slotIndexOf(chunk));
+        if (array_.lookup(slot_addr, false) == nullptr) {
+            ++l2_.stat_writeMisses;
+            l2_.allocateLine(array_.blockAddr(slot_addr));
+        }
+        cmt_assert(array_.lookup(slot_addr, false) != nullptr);
+    }
+
+    // Timestamp bits of a MAC-kind slot carry over from the current
+    // slot value.
+    const Slot prev = l2_.expectedSlotNow(chunk);
+    const Slot new_slot = auth_.compute(l2_.ramChunkImage(chunk), prev);
+
+    if (static_cast<std::int64_t>(chunk) == traceChunkId()) {
+        debugf("@%llu cachedEvict chunk=%llu victim=%llx "
+               "valid=%llx fullycached=%d\n",
+               static_cast<unsigned long long>(events_.now()),
+               static_cast<unsigned long long>(chunk),
+               static_cast<unsigned long long>(victim.blockAddr),
+               static_cast<unsigned long long>(victim.validWords),
+               static_cast<int>(chunk_fully_cached));
+    }
+
+    publishSlot(chunk, new_slot);
+    l2_.debugCheckInvariant("cachedEvict");
+
+    // Timing: the ReadAndCheckChunk for missing data also needs the
+    // parent authenticator; charge the recursive fetch when the slot
+    // is not resident (symmetric with the i scheme's parent read).
+    if (ram_reads > 0 && evict_parent >= 0 && !parent_slot_was_cached) {
+        ++l2_.stat_hashChunkFetches;
+        fetchChunk(static_cast<std::uint64_t>(evict_parent),
+                   /*demand=*/false);
+    }
+
+    // Timing: optional missing-data read, then the digest (plus one
+    // more digest for the ReadAndCheckChunk verification of the
+    // missing data), then the block writes.
+    const auto do_hashes = [this, dirty_blocks, base, extra_check =
+                                                          !chunk_fully_cached]() {
+        const unsigned jobs_total = extra_check ? 2u : 1u;
+        auto jobs = std::make_shared<unsigned>(jobs_total);
+        for (unsigned i = 0; i < jobs_total; ++i) {
+            hasher_.hash(static_cast<unsigned>(params_.chunkSize),
+                         [this, jobs]() {
+                             if (--*jobs > 0)
+                                 return;
+                             l2_.buffers().releaseWrite();
+                             l2_.retryPendingMisses();
+                         });
+        }
+        for (unsigned b = 0; b < dirty_blocks; ++b)
+            memory_.write(base + b * params_.blockSize,
+                          params_.blockSize);
+    };
+
+    if (ram_reads > 0) {
+        l2_.stat_integrityBlockReads += l2_.blocksPerChunk() > 1
+                                            ? l2_.blocksPerChunk() - 1
+                                            : 1;
+        memory_.read(base, static_cast<unsigned>(params_.chunkSize),
+                     [do_hashes](std::span<const std::uint8_t>) {
+                         do_hashes();
+                     });
+    } else {
+        do_hashes();
+    }
+}
+
+void
+CachedTreePolicy::publishSlot(std::uint64_t chunk, const Slot &value)
+{
+    if (static_cast<std::int64_t>(chunk) == traceChunkId()) {
+        debugf("@%llu publishSlot chunk=%llu v=%02x%02x..\n",
+               static_cast<unsigned long long>(events_.now()),
+               static_cast<unsigned long long>(chunk), value[0],
+               value[1]);
+    }
+    const std::int64_t parent = layout_.parentOf(chunk);
+    if (parent < 0) {
+        roots_[chunk] = value;
+        return;
+    }
+    const std::uint64_t slot_addr = layout_.slotAddr(
+        static_cast<std::uint64_t>(parent), layout_.slotIndexOf(chunk));
+
+    // The Write algorithm: the slot lands in the (trusted) cache and
+    // flows to RAM when the parent is itself evicted.
+    l2_.writeRam(slot_addr, value);
+}
+
+} // namespace cmt

@@ -1,0 +1,93 @@
+#include "tree/incremental_policy.h"
+
+#include <memory>
+
+namespace cmt
+{
+
+IncrementalPolicy::IncrementalPolicy(L2Controller &l2)
+    : CachedTreePolicy(l2)
+{
+    cmt_assert(auth_.incremental());
+}
+
+void
+IncrementalPolicy::evictDirty(const CacheArray::Victim &victim)
+{
+    FlowScope guard(l2_);
+    l2_.buffers().acquireWrite();
+
+    const std::uint64_t chunk = layout_.chunkOf(victim.blockAddr);
+    const unsigned block_idx = static_cast<unsigned>(
+        (victim.blockAddr % params_.chunkSize) / params_.blockSize);
+
+    // Timing decision must be taken before the parent line becomes
+    // resident below.
+    const bool parent_was_cached = l2_.parentSlotCachedNow(chunk);
+
+    // Functional: capture the old block, then put the new bytes in
+    // RAM *before* anything can recurse. Nested evictions triggered
+    // below may read this chunk's image (e.g. a child of this hash
+    // chunk writing back reads its slot from RAM) and must see fresh
+    // bytes - the victim's line is already gone from the array.
+    std::vector<std::uint8_t> old_block(params_.blockSize);
+    ram_.read(victim.blockAddr, old_block);
+    const std::vector<std::uint8_t> new_block =
+        mergeVictimOverRam(victim, ram_, params_.blockSize);
+    ram_.write(victim.blockAddr, new_block);
+
+    // Make the parent slot's line resident next: allocating it inside
+    // publishSlot could displace another dirty block of this same
+    // chunk, whose nested MAC update would then be clobbered by our
+    // (stale) slot value. With the line resident, the
+    // read-update-publish below is atomic. Nested same-chunk slot
+    // updates that do land during this allocation commute with ours:
+    // each fixes only its own xor term.
+    const std::int64_t parent = layout_.parentOf(chunk);
+    if (parent >= 0) {
+        const std::uint64_t slot_addr =
+            layout_.slotAddr(static_cast<std::uint64_t>(parent),
+                             layout_.slotIndexOf(chunk));
+        if (array_.lookup(slot_addr, false) == nullptr) {
+            ++l2_.stat_writeMisses;
+            l2_.allocateLine(array_.blockAddr(slot_addr));
+        }
+        // Fail loudly if a nested chain displaced the line again.
+        cmt_assert(array_.lookup(slot_addr, false) != nullptr);
+    }
+
+    const Slot old_slot = l2_.expectedSlotNow(chunk);
+    const Slot new_slot =
+        auth_.updateSlot(old_slot, block_idx, old_block, new_block);
+    publishSlot(chunk, new_slot);
+
+    // Timing: the parent MAC is read via ReadAndCheck (free if its
+    // slot is cached, a recursive chunk fetch otherwise), the old
+    // block is read straight from RAM, two h_k terms are computed,
+    // then the block is written.
+    if (!parent_was_cached && layout_.parentOf(chunk) >= 0) {
+        ++l2_.stat_hashChunkFetches;
+        fetchChunk(static_cast<std::uint64_t>(layout_.parentOf(chunk)),
+                   /*demand=*/false);
+    }
+
+    ++l2_.stat_integrityBlockReads; // the unchecked old-value read
+    memory_.read(
+        victim.blockAddr, params_.blockSize,
+        [this, block_addr = victim.blockAddr](
+            std::span<const std::uint8_t>) {
+            auto jobs = std::make_shared<unsigned>(2);
+            for (int i = 0; i < 2; ++i) {
+                hasher_.hash(static_cast<unsigned>(params_.blockSize),
+                             [this, jobs]() {
+                                 if (--*jobs > 0)
+                                     return;
+                                 l2_.buffers().releaseWrite();
+                                 l2_.retryPendingMisses();
+                             });
+            }
+            memory_.write(block_addr, params_.blockSize);
+        });
+}
+
+} // namespace cmt

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * IncrementalPolicy: the i algorithm (Scheme::kIncremental,
+ * Section 5.6).
+ *
+ * Shares the whole cached-tree miss path (ReadAndCheckChunk) with
+ * CachedTreePolicy, but chunk authenticators are incremental XOR-MACs
+ * with one-bit timestamps: a dirty write-back reads the block's old
+ * value, computes two h_k terms, and XOR-patches the parent slot -
+ * touching one block instead of re-hashing the whole chunk.
+ */
+
+#ifndef CMT_TREE_INCREMENTAL_POLICY_H
+#define CMT_TREE_INCREMENTAL_POLICY_H
+
+#include "tree/cached_tree_policy.h"
+
+namespace cmt
+{
+
+/** Cached tree with incremental XOR-MAC write-backs. */
+class IncrementalPolicy final : public CachedTreePolicy
+{
+  public:
+    explicit IncrementalPolicy(L2Controller &l2);
+
+    void evictDirty(const CacheArray::Victim &victim) override;
+};
+
+} // namespace cmt
+
+#endif // CMT_TREE_INCREMENTAL_POLICY_H

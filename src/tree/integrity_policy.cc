@@ -1,0 +1,52 @@
+#include "tree/integrity_policy.h"
+
+#include <cstring>
+
+#include "support/logging.h"
+#include "tree/cached_tree_policy.h"
+#include "tree/incremental_policy.h"
+#include "tree/naive_policy.h"
+#include "tree/null_policy.h"
+
+namespace cmt
+{
+
+IntegrityPolicy::IntegrityPolicy(L2Controller &l2)
+    : l2_(l2), events_(l2.events()), memory_(l2.memory()),
+      ram_(l2.ram()), hasher_(l2.hasher()), layout_(l2.layout()),
+      auth_(l2.auth()), params_(l2.params()), array_(l2.array()),
+      roots_(l2.roots())
+{}
+
+std::vector<std::uint8_t>
+mergeVictimOverRam(const CacheArray::Victim &victim, ChunkStore &ram,
+                   unsigned block_size)
+{
+    std::vector<std::uint8_t> bytes(block_size);
+    ram.read(victim.blockAddr, bytes);
+    for (unsigned w = 0; w < block_size / kWordSize; ++w) {
+        if ((victim.validWords >> w) & 1) {
+            std::memcpy(bytes.data() + w * kWordSize,
+                        victim.data.data() + w * kWordSize, kWordSize);
+        }
+    }
+    return bytes;
+}
+
+std::unique_ptr<IntegrityPolicy>
+makeIntegrityPolicy(Scheme scheme, L2Controller &l2)
+{
+    switch (scheme) {
+      case Scheme::kBase:
+        return std::make_unique<NullPolicy>(l2);
+      case Scheme::kNaive:
+        return std::make_unique<NaivePolicy>(l2);
+      case Scheme::kCached:
+        return std::make_unique<CachedTreePolicy>(l2);
+      case Scheme::kIncremental:
+        return std::make_unique<IncrementalPolicy>(l2);
+    }
+    cmt_panic("unknown scheme %d", static_cast<int>(scheme));
+}
+
+} // namespace cmt

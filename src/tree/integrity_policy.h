@@ -1,0 +1,131 @@
+/**
+ * @file
+ * IntegrityPolicy: the scheme-specific half of the L2 complex.
+ *
+ * The L2Controller (l2_controller.h) owns the cache array, MSHRs and
+ * eviction flow; an IntegrityPolicy decides what a demand miss and a
+ * dirty write-back *mean* for memory verification. Four
+ * implementations cover the paper's evaluated schemes:
+ *
+ *  - NullPolicy        (null_policy.h)        : base, no verification.
+ *  - NaivePolicy       (naive_policy.h)       : uncached hash tree;
+ *    every miss verifies the whole ancestor path.
+ *  - CachedTreePolicy  (cached_tree_policy.h) : the c/m algorithms -
+ *    hash chunks live in the L2, a cached chunk is a trusted root.
+ *  - IncrementalPolicy (incremental_policy.h) : the i algorithm -
+ *    incremental XOR-MAC write-backs over the cached tree.
+ *
+ * Policies are created through makeIntegrityPolicy(); a fifth scheme
+ * means one new subclass plus one factory case (see CONTRIBUTING.md).
+ */
+
+#ifndef CMT_TREE_INTEGRITY_POLICY_H
+#define CMT_TREE_INTEGRITY_POLICY_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tree/l2_controller.h"
+
+namespace cmt
+{
+
+/**
+ * Scheme-specific miss/write-back behaviour behind an L2Controller.
+ *
+ * The base class captures references to the controller's shared
+ * machinery (event queue, bus, RAM image, hash engine, tree layout,
+ * cache array, root registers) so subclasses read like the paper's
+ * algorithms rather than plumbing.
+ */
+class IntegrityPolicy
+{
+  public:
+    virtual ~IntegrityPolicy() = default;
+
+    IntegrityPolicy(const IntegrityPolicy &) = delete;
+    IntegrityPolicy &operator=(const IntegrityPolicy &) = delete;
+
+    /**
+     * Launch the scheme's fetch machinery for a fresh demand MSHR on
+     * @p block_addr. Data delivery happens through
+     * L2Controller::completeMshr() / completeMshrsOfChunk().
+     */
+    virtual void startDemandMiss(std::uint64_t block_addr) = 0;
+
+    /**
+     * Write @p victim (a dirty line leaving the array, or a line being
+     * flushed) back to RAM, updating whatever authenticators the
+     * scheme maintains. Clean/dirty accounting and back-invalidation
+     * already happened in the controller.
+     */
+    virtual void evictDirty(const CacheArray::Victim &victim) = 0;
+
+    /**
+     * True when a store miss on @p ram_addr allocates with only the
+     * stored words valid instead of fetching the block (Section 5.3).
+     * Slot publishes from the integrity machinery always take the
+     * no-fetch path: the Write algorithm's fetch is modelled at
+     * eviction time.
+     */
+    virtual bool
+    storeMissAllocatesWithoutFetch(std::uint64_t ram_addr) const
+    {
+        return layout_.isHashChunk(layout_.chunkOf(ram_addr)) ||
+               params_.writeAllocNoFetch;
+    }
+
+    /**
+     * False only for the unverified baseline: gates VerifyBuffer
+     * admission control and the end-of-run tree audit.
+     */
+    virtual bool verifiesIntegrity() const { return true; }
+
+  protected:
+    explicit IntegrityPolicy(L2Controller &l2);
+
+    L2Controller &l2_;
+    EventQueue &events_;
+    MainMemory &memory_;
+    ChunkStore &ram_;
+    HashEngine &hasher_;
+    const TreeLayout &layout_;
+    const Authenticator &auth_;
+    const L2Params &params_;
+    CacheArray &array_;
+    std::vector<Slot> &roots_;
+};
+
+/**
+ * RAII marker for one in-flight eviction flow. While any flow is
+ * open the debug invariant probe stays quiet (RAM and slots are
+ * legitimately out of sync mid-flow); closing the outermost scope
+ * re-checks the invariant.
+ */
+class FlowScope
+{
+  public:
+    explicit FlowScope(L2Controller &l2) : l2_(l2) { l2_.flowEnter(); }
+    ~FlowScope() { l2_.flowExit(); }
+
+    FlowScope(const FlowScope &) = delete;
+    FlowScope &operator=(const FlowScope &) = delete;
+
+  private:
+    L2Controller &l2_;
+};
+
+/** Merge a victim's valid words over the RAM image of its block. */
+std::vector<std::uint8_t>
+mergeVictimOverRam(const CacheArray::Victim &victim, ChunkStore &ram,
+                   unsigned block_size);
+
+/** Create the policy implementing @p scheme behind @p l2 (the
+ *  canonical PolicyFactory). */
+std::unique_ptr<IntegrityPolicy> makeIntegrityPolicy(Scheme scheme,
+                                                     L2Controller &l2);
+
+} // namespace cmt
+
+#endif // CMT_TREE_INTEGRITY_POLICY_H

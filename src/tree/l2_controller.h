@@ -1,22 +1,18 @@
 /**
  * @file
- * SecureL2: the unified L2 cache + memory-integrity machinery - the
- * paper's central artefact (Sections 5.2-5.5, hardware of Section 6.1).
+ * L2Controller: the scheme-agnostic half of the paper's central
+ * artefact - the unified L2 cache + memory-integrity complex
+ * (Sections 5.2-5.5, hardware of Section 6.1).
  *
- * One class implements all four evaluated schemes:
- *
- *  - Scheme::kBase   : plain L2, no verification (baseline).
- *  - Scheme::kNaive  : checker between L2 and RAM; hashes are never
- *                      cached, every miss reads and verifies the whole
- *                      ancestor path, every write-back rewrites it.
- *  - Scheme::kCached : the c/m algorithms - hash chunks are cached in
- *                      the L2 itself; a cached chunk is the trusted
- *                      root of its subtree. chunkSize == blockSize
- *                      gives c, chunkSize == k*blockSize gives m.
- *  - Scheme::kIncremental : the i algorithm - like kCached but chunk
- *                      authenticators are incremental XOR-MACs with
- *                      one-bit timestamps, so a write-back touches one
- *                      block instead of the whole chunk.
+ * The controller owns everything every scheme shares: the CacheArray,
+ * MSHRs and demand-miss queueing, the write-back/eviction flow
+ * (inclusion back-invalidation, clean/dirty accounting, the
+ * allocation/eviction cascade), per-word-valid store handling, the
+ * trusted root registers, and the VerifyBuffer occupancy gate. What a
+ * scheme *does* on a demand miss or a dirty eviction is delegated to
+ * an IntegrityPolicy (integrity_policy.h), created through
+ * makeIntegrityPolicy(): NullPolicy (base), NaivePolicy,
+ * CachedTreePolicy (c/m) or IncrementalPolicy (i).
  *
  * Functional model: the L2 lines and RAM carry real bytes and slots
  * carry real MD5/MAC values, so injected tampering is genuinely
@@ -32,11 +28,10 @@
  * ablation study.
  */
 
-#ifndef CMT_TREE_SECURE_L2_H
-#define CMT_TREE_SECURE_L2_H
+#ifndef CMT_TREE_L2_CONTROLLER_H
+#define CMT_TREE_L2_CONTROLLER_H
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -51,30 +46,26 @@
 #include "tree/chunk_store.h"
 #include "tree/hash_engine.h"
 #include "tree/layout.h"
+#include "tree/scheme.h"
+#include "tree/verify_buffer.h"
 
 namespace cmt
 {
 
-/** Which verification scheme the L2 complex runs. */
-enum class Scheme
-{
-    kBase,
-    kNaive,
-    kCached,
-    kIncremental,
-};
-
-/** Human-readable scheme name for reports. */
-const char *schemeName(Scheme scheme);
+class IntegrityPolicy;
+class L2Controller;
 
 /**
- * Inverse of schemeName(): parse a report/JSON scheme name.
- * @return false (leaving @p out untouched) for unknown names.
+ * Creates the integrity policy implementing @p Scheme behind an
+ * L2Controller. The canonical factory is makeIntegrityPolicy()
+ * (integrity_policy.h); tests inject instrumented policies here.
  */
-bool schemeFromName(const std::string &name, Scheme *out);
+using PolicyFactory =
+    std::function<std::unique_ptr<IntegrityPolicy>(Scheme,
+                                                   L2Controller &)>;
 
-/** SecureL2 parameters (defaults follow Table 1). */
-struct SecureL2Params
+/** L2 complex parameters (defaults follow Table 1). */
+struct L2Params
 {
     Scheme scheme = Scheme::kCached;
     /** L2 geometry. */
@@ -112,16 +103,22 @@ struct SecureL2Params
     Key128 key{};
 };
 
-/** The L2 complex: cache array + integrity controller + RAM port. */
-class SecureL2
+/** The L2 complex: cache array + pluggable integrity policy. */
+class L2Controller
 {
   public:
     using Callback = std::function<void()>;
 
-    SecureL2(EventQueue &events, MainMemory &memory, ChunkStore &ram,
-             HashEngine &hasher, const TreeLayout &layout,
-             const Authenticator &auth, const SecureL2Params &params,
-             StatGroup &stats);
+    /**
+     * @param factory  creates the IntegrityPolicy for params.scheme;
+     *                 empty selects makeIntegrityPolicy().
+     */
+    L2Controller(EventQueue &events, MainMemory &memory,
+                 ChunkStore &ram, HashEngine &hasher,
+                 const TreeLayout &layout, const Authenticator &auth,
+                 const L2Params &params, StatGroup &stats,
+                 PolicyFactory factory = {});
+    ~L2Controller();
 
     // ----- core-side interface (CPU physical addresses) --------------
 
@@ -170,11 +167,7 @@ class SecureL2
      * crypto barrier instructions drain this to zero before they
      * commit (Section 5.8).
      */
-    unsigned
-    pendingChecks() const
-    {
-        return readBufferUsed_ + writeBufferUsed_;
-    }
+    unsigned pendingChecks() const { return buffers_.pending(); }
 
     const TreeLayout &layout() const { return layout_; }
     Scheme scheme() const { return params_.scheme; }
@@ -194,49 +187,87 @@ class SecureL2
     Counter stat_hashChunkFetches; ///< recursive parent-chunk fetches
     Counter stat_bufferStallEvents; ///< demand misses queued on buffers
 
-  private:
-    // ----- in-flight chunk verification ------------------------------
-    struct ChunkFetch
-    {
-        std::uint64_t chunk = 0;
-        unsigned pendingReads = 0;
-        bool dataArrived = false;
-        bool hashDone = false;
-        bool parentReady = false;
-        bool verdictOk = true;
-        bool demand = false; ///< occupies a read-buffer entry
-        /** Fetches of children waiting on this chunk's data. */
-        std::vector<std::uint64_t> dependents;
-    };
+    // ----- policy-side interface --------------------------------------
+    // Shared machinery the IntegrityPolicy implementations (and the
+    // per-policy unit tests) drive directly. Everything here is
+    // scheme-independent; policies contribute only the ancestor-walk /
+    // chunk-fetch / write-back logic on top.
 
-    struct Mshr
-    {
-        std::vector<Callback> waiters;
-    };
-
-    /** Deferred demand miss waiting for buffer space. */
-    struct PendingMiss
-    {
-        std::uint64_t ram_addr;
-        std::uint64_t need_mask;
-        Callback on_data;
-    };
-
-    bool isTreeScheme() const
-    {
-        return params_.scheme != Scheme::kBase;
-    }
-    bool isCachedScheme() const
-    {
-        return params_.scheme == Scheme::kCached ||
-               params_.scheme == Scheme::kIncremental;
-    }
+    EventQueue &events() { return events_; }
+    MainMemory &memory() { return memory_; }
+    ChunkStore &ram() { return ram_; }
+    HashEngine &hasher() { return hasher_; }
+    const Authenticator &auth() const { return auth_; }
+    const L2Params &params() const { return params_; }
+    CacheArray &array() { return array_; }
+    /** On-chip root registers (level-1 authenticators). */
+    std::vector<Slot> &roots() { return roots_; }
+    /** Hash read/write buffer occupancy + deferred demand misses. */
+    VerifyBuffer &buffers() { return buffers_; }
 
     unsigned blocksPerChunk() const
     {
         return static_cast<unsigned>(params_.chunkSize /
                                      params_.blockSize);
     }
+
+    /** True while a demand MSHR is outstanding on @p block_addr. */
+    bool mshrPending(std::uint64_t block_addr) const
+    {
+        return mshrs_.contains(block_addr);
+    }
+
+    /** Deliver data to every waiter of @p block_addr's MSHR. */
+    void completeMshr(std::uint64_t block_addr);
+
+    /** Complete the MSHRs of every block in @p chunk. */
+    void completeMshrsOfChunk(std::uint64_t chunk);
+
+    /** Allocate (or find) the L2 line for @p block_addr, handling the
+     *  victim through the eviction machinery. */
+    CacheArray::Line *allocateLine(std::uint64_t block_addr);
+
+    /** Fill one block's invalid words from RAM bytes. */
+    void fillBlockFromRam(std::uint64_t block_addr);
+
+    /** Fill L2 lines of @p chunk from current RAM (invalid words
+     *  only). */
+    void fillChunkFromRam(std::uint64_t chunk);
+
+    /** Resolve the trusted authenticator of @p chunk right now. */
+    Slot expectedSlotNow(std::uint64_t chunk);
+
+    /** True if the L2 holds valid words covering @p chunk's slot in
+     *  its parent block. */
+    bool parentSlotCachedNow(std::uint64_t chunk);
+
+    /** Internal write access in RAM address space (slot updates). */
+    void writeRam(std::uint64_t ram_addr,
+                  std::span<const std::uint8_t> data);
+
+    /** Assemble @p chunk's current RAM image. */
+    std::vector<std::uint8_t> ramChunkImage(std::uint64_t chunk);
+
+    /** Re-admit deferred demand misses while buffer space lasts. */
+    void retryPendingMisses();
+
+    /** Debug-only invariant probe for the CMT_TRACE_CHUNK chunk. */
+    void debugCheckInvariant(const char *tag);
+
+    /** Nesting bookkeeping for in-flight eviction flows (debug
+     *  gating); use FlowScope (integrity_policy.h), not these. */
+    void flowEnter() { ++flowDepth_; }
+    void flowExit()
+    {
+        if (--flowDepth_ == 0)
+            debugCheckInvariant("cascade-exit");
+    }
+
+  private:
+    struct Mshr
+    {
+        std::vector<Callback> waiters;
+    };
 
     /** RAM address helpers. */
     std::uint64_t ramOf(std::uint64_t cpu_addr) const
@@ -248,71 +279,12 @@ class SecureL2
     void readRam(std::uint64_t ram_addr, std::uint64_t need_mask,
                  Callback on_data);
 
-    /** Internal write access in RAM address space (slot updates). */
-    void writeRam(std::uint64_t ram_addr,
-                  std::span<const std::uint8_t> data);
-
     /** Handle a demand miss on @p ram_addr's block. */
     void startMiss(std::uint64_t ram_addr, std::uint64_t need_mask,
                    Callback on_data);
 
-    /** Admission control for demand misses. */
-    bool buffersAvailable() const;
-    void retryPendingMisses();
-
-    // ----- scheme-specific miss paths ---------------------------------
-    void baseFetchBlock(std::uint64_t block_addr);
-    void naiveFetchBlock(std::uint64_t block_addr);
-    void cachedFetchChunk(std::uint64_t chunk, bool demand);
-
-    /** Resolve the trusted authenticator of @p chunk right now. */
-    Slot expectedSlotNow(std::uint64_t chunk);
-
-    /** True if the L2 holds valid words covering @p chunk's slot in
-     *  its parent block. */
-    bool parentSlotCachedNow(std::uint64_t chunk);
-
-    /** Fill L2 lines of @p chunk from current RAM (invalid words
-     *  only) and complete the blocks' MSHRs. */
-    void fillChunkFromRam(std::uint64_t chunk);
-
-    /** Fill one block's invalid words from RAM bytes. */
-    void fillBlockFromRam(std::uint64_t block_addr);
-
-    /** Chunk-fetch completion plumbing. */
-    void chunkDataArrived(std::uint64_t chunk);
-    void chunkMaybeComplete(std::uint64_t chunk);
-
-    /** MSHR management. */
-    void completeMshrsOfChunk(std::uint64_t chunk);
-    void completeMshr(std::uint64_t block_addr);
-
-    // ----- eviction paths ----------------------------------------------
+    /** Back-invalidate, clean/dirty accounting, policy dispatch. */
     void handleEviction(CacheArray::Victim &&victim);
-    void baseEvict(const CacheArray::Victim &victim);
-    void naiveEvict(const CacheArray::Victim &victim);
-    void cachedEvict(const CacheArray::Victim &victim);
-    void incrementalEvict(const CacheArray::Victim &victim);
-
-    /** Write @p value into @p chunk's parent slot (Write algorithm:
-     *  through the L2 for cached schemes, straight to RAM + ancestor
-     *  path for naive). */
-    void publishSlot(std::uint64_t chunk, const Slot &value);
-
-    /** Naive scheme: recompute and rewrite the ancestor path of
-     *  @p chunk against current RAM, assuming RAM already holds the
-     *  chunk's new bytes. Returns the number of ancestors updated. */
-    unsigned naiveRecomputePath(std::uint64_t chunk);
-
-    /** Allocate (or find) the L2 line for @p block_addr, handling the
-     *  victim through the eviction machinery. */
-    CacheArray::Line *allocateLine(std::uint64_t block_addr);
-
-    /** Assemble @p chunk's current RAM image. */
-    std::vector<std::uint8_t> ramChunkImage(std::uint64_t chunk);
-
-    /** Debug-only invariant probe for the CMT_TRACE_CHUNK chunk. */
-    void debugCheckInvariant(const char *tag);
 
     EventQueue &events_;
     MainMemory &memory_;
@@ -320,23 +292,23 @@ class SecureL2
     HashEngine &hasher_;
     const TreeLayout &layout_;
     const Authenticator &auth_;
-    SecureL2Params params_;
+    L2Params params_;
     CacheArray array_;
+    VerifyBuffer buffers_;
 
     /** On-chip root registers (level-1 authenticators). */
     std::vector<Slot> roots_;
 
     std::map<std::uint64_t, Mshr> mshrs_; ///< by block address
-    std::map<std::uint64_t, ChunkFetch> fetches_; ///< by chunk index
-    std::deque<PendingMiss> pendingMisses_;
+
+    /** The scheme's miss/write-back logic (never null after init). */
+    std::unique_ptr<IntegrityPolicy> policy_;
 
     /** Nesting depth of in-flight eviction flows (debug gating). */
     unsigned flowDepth_ = 0;
-    unsigned readBufferUsed_ = 0;
-    unsigned writeBufferUsed_ = 0;
     unsigned evictionDepth_ = 0;
 };
 
 } // namespace cmt
 
-#endif // CMT_TREE_SECURE_L2_H
+#endif // CMT_TREE_L2_CONTROLLER_H

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * NaivePolicy: the uncached hash tree (Scheme::kNaive, Section 3).
+ *
+ * A checker sits between the L2 and RAM but hashes are never cached:
+ * every demand miss reads and verifies the whole ancestor path up to
+ * the on-chip root, and every dirty write-back re-reads, re-hashes
+ * and rewrites that path. This is the scheme whose log(N) overhead
+ * motivates the paper's cached designs.
+ */
+
+#ifndef CMT_TREE_NAIVE_POLICY_H
+#define CMT_TREE_NAIVE_POLICY_H
+
+#include "tree/integrity_policy.h"
+
+namespace cmt
+{
+
+/** Uncached hash tree: full ancestor path per miss and write-back. */
+class NaivePolicy final : public IntegrityPolicy
+{
+  public:
+    explicit NaivePolicy(L2Controller &l2) : IntegrityPolicy(l2) {}
+
+    void startDemandMiss(std::uint64_t block_addr) override;
+    void evictDirty(const CacheArray::Victim &victim) override;
+
+  private:
+    /**
+     * Recompute and rewrite the ancestor path of @p chunk against
+     * current RAM, assuming RAM already holds the chunk's new bytes.
+     * @return the number of ancestors updated.
+     */
+    unsigned recomputePath(std::uint64_t chunk);
+};
+
+} // namespace cmt
+
+#endif // CMT_TREE_NAIVE_POLICY_H

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * NullPolicy: the unverified baseline (Scheme::kBase).
+ *
+ * A plain L2 against untrusted RAM with no checking at all - the
+ * performance reference every verification scheme is normalized
+ * against (Figure 3's "base" bars). Misses fetch one block, store
+ * misses use classic write-allocate (fetch then merge, like the
+ * SimpleScalar L2 the paper measures), evictions write the valid
+ * words back.
+ */
+
+#ifndef CMT_TREE_NULL_POLICY_H
+#define CMT_TREE_NULL_POLICY_H
+
+#include "tree/integrity_policy.h"
+
+namespace cmt
+{
+
+/** No verification: plain fetch-on-miss, write-back-on-evict. */
+class NullPolicy final : public IntegrityPolicy
+{
+  public:
+    explicit NullPolicy(L2Controller &l2) : IntegrityPolicy(l2) {}
+
+    void startDemandMiss(std::uint64_t block_addr) override;
+    void evictDirty(const CacheArray::Victim &victim) override;
+
+    /** Classic write-allocate: always fetch on a store miss. */
+    bool storeMissAllocatesWithoutFetch(std::uint64_t) const override
+    {
+        return false;
+    }
+
+    bool verifiesIntegrity() const override { return false; }
+};
+
+} // namespace cmt
+
+#endif // CMT_TREE_NULL_POLICY_H

@@ -1,0 +1,35 @@
+#include "tree/scheme.h"
+
+namespace cmt
+{
+
+const char *
+schemeName(Scheme scheme)
+{
+    switch (scheme) {
+      case Scheme::kBase:
+        return "base";
+      case Scheme::kNaive:
+        return "naive";
+      case Scheme::kCached:
+        return "cached";
+      case Scheme::kIncremental:
+        return "incremental";
+    }
+    return "?";
+}
+
+bool
+schemeFromName(const std::string &name, Scheme *out)
+{
+    for (const Scheme s : {Scheme::kBase, Scheme::kNaive,
+                           Scheme::kCached, Scheme::kIncremental}) {
+        if (name == schemeName(s)) {
+            *out = s;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace cmt

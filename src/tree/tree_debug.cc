@@ -1,0 +1,26 @@
+#include "tree/tree_debug.h"
+
+#include <cstdlib>
+
+namespace cmt
+{
+
+std::int64_t
+traceChunkId()
+{
+    static std::int64_t id = [] {
+        const char *env = std::getenv("CMT_TRACE_CHUNK");
+        return env ? std::atoll(env) : -1;
+    }();
+    return id;
+}
+
+bool
+debugVerdictEnabled()
+{
+    static const bool enabled =
+        std::getenv("CMT_DEBUG_VERDICT") != nullptr;
+    return enabled;
+}
+
+} // namespace cmt

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Environment-gated debug hooks shared by the L2 controller and the
+ * integrity policies (see CONTRIBUTING.md "Debug hooks"):
+ *
+ *  - CMT_TRACE_CHUNK=<index> traces every functional mutation touching
+ *    that chunk and enables the cascade-exit invariant probe;
+ *  - CMT_DEBUG_VERDICT=1 prints a diagnostic line for every failed
+ *    chunk verification.
+ *
+ * Both resolve their environment variable once and are free when
+ * unset. Output goes through cmt::debugf (logging.h), never a raw
+ * FILE*.
+ */
+
+#ifndef CMT_TREE_TREE_DEBUG_H
+#define CMT_TREE_TREE_DEBUG_H
+
+#include <cstdint>
+
+namespace cmt
+{
+
+/** Chunk index selected by CMT_TRACE_CHUNK, or -1 when unset. */
+std::int64_t traceChunkId();
+
+/** True when CMT_DEBUG_VERDICT is set in the environment. */
+bool debugVerdictEnabled();
+
+} // namespace cmt
+
+#endif // CMT_TREE_TREE_DEBUG_H

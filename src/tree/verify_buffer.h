@@ -1,0 +1,103 @@
+/**
+ * @file
+ * VerifyBuffer: occupancy model of the hash-engine read/write buffers
+ * (Section 6.5) plus the queue of demand misses deferred while they
+ * are full.
+ *
+ * The buffers are a property of the checking hardware, not of any one
+ * scheme: every integrity policy acquires a read entry per in-flight
+ * chunk check and a write entry per in-flight write-back, and the
+ * controller defers demand misses while either buffer is exhausted.
+ * Keeping the occupancy accounting here makes buffer-stall behaviour
+ * and the pendingChecks() drain point (crypto commit barriers,
+ * Section 5.8) policy-independent.
+ */
+
+#ifndef CMT_TREE_VERIFY_BUFFER_H
+#define CMT_TREE_VERIFY_BUFFER_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "support/logging.h"
+
+namespace cmt
+{
+
+/** Read/write check-buffer occupancy + deferred demand misses. */
+class VerifyBuffer
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** One demand miss queued until buffer space frees up. */
+    struct DeferredMiss
+    {
+        std::uint64_t ramAddr;
+        std::uint64_t needMask;
+        Callback onData;
+    };
+
+    VerifyBuffer(unsigned readEntries, unsigned writeEntries)
+        : readEntries_(readEntries), writeEntries_(writeEntries)
+    {}
+
+    /** True while a new demand miss may enter the check machinery. */
+    bool
+    available() const
+    {
+        return readUsed_ < readEntries_ && writeUsed_ < writeEntries_;
+    }
+
+    /** Checks in flight (read plus write occupancy). */
+    unsigned pending() const { return readUsed_ + writeUsed_; }
+
+    /** Occupy one read-buffer entry (an in-flight chunk check). */
+    void acquireRead() { ++readUsed_; }
+
+    /** Release a read entry when its check announces. */
+    void
+    releaseRead()
+    {
+        cmt_assert(readUsed_ > 0);
+        --readUsed_;
+    }
+
+    /** Occupy one write-buffer entry (an in-flight write-back). */
+    void acquireWrite() { ++writeUsed_; }
+
+    /** Release a write entry when its write-back completes. */
+    void
+    releaseWrite()
+    {
+        cmt_assert(writeUsed_ > 0);
+        --writeUsed_;
+    }
+
+    /** Queue a demand miss that found the buffers full. */
+    void defer(DeferredMiss miss) { deferred_.push_back(std::move(miss)); }
+
+    bool hasDeferred() const { return !deferred_.empty(); }
+
+    /** Dequeue the oldest deferred miss (FIFO). */
+    DeferredMiss
+    popDeferred()
+    {
+        cmt_assert(!deferred_.empty());
+        DeferredMiss miss = std::move(deferred_.front());
+        deferred_.pop_front();
+        return miss;
+    }
+
+  private:
+    unsigned readEntries_;
+    unsigned writeEntries_;
+    unsigned readUsed_ = 0;
+    unsigned writeUsed_ = 0;
+    std::deque<DeferredMiss> deferred_;
+};
+
+} // namespace cmt
+
+#endif // CMT_TREE_VERIFY_BUFFER_H

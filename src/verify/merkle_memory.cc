@@ -63,6 +63,16 @@ MerkleMemory::MerkleMemory(Storage &untrusted, const MerkleConfig &config)
         r = chunks_.canonicalSlot(1);
 }
 
+Scheme
+MerkleMemory::scheme() const
+{
+    if (config_.cacheChunks == 0)
+        return Scheme::kNaive;
+    return config_.auth == Authenticator::Kind::kXorMac
+               ? Scheme::kIncremental
+               : Scheme::kCached;
+}
+
 std::uint64_t
 MerkleMemory::load64(std::uint64_t addr)
 {

@@ -39,6 +39,7 @@
 #include "tree/authenticator.h"
 #include "tree/chunk_store.h"
 #include "tree/layout.h"
+#include "tree/scheme.h"
 
 namespace cmt
 {
@@ -133,6 +134,15 @@ class MerkleMemory
     bool verifyAll();
 
     const TreeLayout &layout() const { return layout_; }
+
+    /**
+     * Which of the paper's schemes this configuration corresponds to,
+     * in the simulator's shared vocabulary (tree/scheme.h): naive when
+     * no chunks are cached, incremental for a cached XOR-MAC tree,
+     * cached otherwise. Lets reports and persistence headers label a
+     * functional tree with the same names the timing model uses.
+     */
+    Scheme scheme() const;
 
     /**
      * The untrusted RAM address space as the processor sees it,

@@ -1,5 +1,6 @@
 #include "verify/persistence.h"
 
+// cmt-lint: allow(stdout-discipline) - atomic rename needs std::rename
 #include <cstdio>
 #include <cstring>
 #include <memory>

@@ -71,10 +71,10 @@ struct CoreFixture
           core(events, l2, trace, cp, stats)
     {}
 
-    static SecureL2Params
+    static L2Params
     l2Params()
     {
-        SecureL2Params p;
+        L2Params p;
         p.scheme = Scheme::kBase;
         p.protectedSize = 1 << 20;
         return p;
@@ -102,7 +102,7 @@ struct CoreFixture
     ChunkStore ram;
     MainMemory mem;
     HashEngine hasher;
-    SecureL2 l2;
+    L2Controller l2;
     ScriptedTrace trace;
     Core core;
 };
@@ -265,10 +265,10 @@ TEST(CoreTest, CryptoOpsDrainPendingChecks)
                  stats),
               core(events, l2, trace, cp, stats)
         {}
-        static SecureL2Params
+        static L2Params
         params()
         {
-            SecureL2Params p;
+            L2Params p;
             p.scheme = Scheme::kCached;
             p.protectedSize = 1 << 20;
             return p;
@@ -281,7 +281,7 @@ TEST(CoreTest, CryptoOpsDrainPendingChecks)
         ChunkStore ram;
         MainMemory mem;
         HashEngine hasher;
-        SecureL2 l2;
+        L2Controller l2;
         ScriptedTrace trace;
         Core core;
     } f(cp);

@@ -2,6 +2,7 @@
 #include "clean.h"
 
 #include <chrono>
+// cmt-lint: allow(stdout-discipline) - justified FILE* formatting use
 #include <cstdio>
 #include <stdexcept>
 

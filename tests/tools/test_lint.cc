@@ -108,6 +108,38 @@ TEST(LintStdout, AllowsSupportBenchToolsAndBufferedFormatting)
                        "stdout-discipline"));
 }
 
+TEST(LintStdout, FlagsCstdioIncludeOutsideSupport)
+{
+    EXPECT_TRUE(fires("src/tree/x.cc", "#include <cstdio>\n",
+                      "stdout-discipline"));
+    EXPECT_TRUE(fires("src/tree/x.h", "#include <stdio.h>\n",
+                      "stdout-discipline"));
+    EXPECT_TRUE(fires("src/mem/x.cc", "#  include  <cstdio>\n",
+                      "stdout-discipline"));
+}
+
+TEST(LintStdout, AllowsCstdioWhereJustified)
+{
+    // src/support owns the serialized stderr sink.
+    EXPECT_FALSE(fires("src/support/logging.cc", "#include <cstdio>\n",
+                       "stdout-discipline"));
+    // Harness/tool mains own their output streams.
+    EXPECT_FALSE(fires("bench/fig0.cc", "#include <cstdio>\n",
+                       "stdout-discipline"));
+    EXPECT_FALSE(fires("tools/cli.cc", "#include <cstdio>\n",
+                       "stdout-discipline"));
+    // A justified FILE* owner documents itself with a directive.
+    EXPECT_FALSE(fires("src/trace/x.h",
+                       "// cmt-lint: allow(stdout-discipline)\n"
+                       "#include <cstdio>\n",
+                       "stdout-discipline"));
+    // Other C headers must not match.
+    EXPECT_FALSE(fires("src/tree/x.cc", "#include <cstdlib>\n",
+                       "stdout-discipline"));
+    EXPECT_FALSE(fires("src/tree/x.cc", "#include <cstdint>\n",
+                       "stdout-discipline"));
+}
+
 // --- naked-new --------------------------------------------------------
 
 TEST(LintNakedNew, FlagsNewAndDeleteExpressions)

@@ -1,6 +1,6 @@
 /**
  * @file
- * SecureL2 integration tests: every scheme, driven through the full
+ * L2Controller integration tests: every scheme, driven through the full
  * bus/DRAM/hash-engine stack, checked for functional correctness,
  * tamper detection, and the timing properties the paper relies on.
  */
@@ -12,7 +12,7 @@
 
 #include "mem/backing_store.h"
 #include "support/random.h"
-#include "tree/secure_l2.h"
+#include "tree/l2_controller.h"
 
 namespace cmt
 {
@@ -48,12 +48,12 @@ struct L2Fixture
         return k;
     }
 
-    static SecureL2Params
+    static L2Params
     makeParams(Scheme scheme, std::uint64_t l2_size,
                std::uint64_t chunk_size, unsigned block_size,
                unsigned buffers, bool speculative)
     {
-        SecureL2Params p;
+        L2Params p;
         p.scheme = scheme;
         p.sizeBytes = l2_size;
         p.assoc = 4;
@@ -129,14 +129,14 @@ struct L2Fixture
     ChunkStore ram;
     MainMemory mem;
     HashEngine hasher;
-    SecureL2 l2;
+    L2Controller l2;
 };
 
-class SecureL2Schemes : public ::testing::TestWithParam<Scheme>
+class L2ControllerSchemes : public ::testing::TestWithParam<Scheme>
 {
 };
 
-TEST_P(SecureL2Schemes, ColdMissThenHit)
+TEST_P(L2ControllerSchemes, ColdMissThenHit)
 {
     L2Fixture f(GetParam());
     f.readWait(0x100);
@@ -151,7 +151,7 @@ TEST_P(SecureL2Schemes, ColdMissThenHit)
     EXPECT_EQ(f.l2.integrityFailures(), 0u);
 }
 
-TEST_P(SecureL2Schemes, WriteReadBack)
+TEST_P(L2ControllerSchemes, WriteReadBack)
 {
     L2Fixture f(GetParam());
     f.write64(0x40, 0xfeedfacecafebeefULL);
@@ -164,7 +164,7 @@ TEST_P(SecureL2Schemes, WriteReadBack)
     EXPECT_EQ(f.l2.integrityFailures(), 0u);
 }
 
-TEST_P(SecureL2Schemes, EvictionPressureMatchesReference)
+TEST_P(L2ControllerSchemes, EvictionPressureMatchesReference)
 {
     // 4 KB L2 under a 32 KB working set: constant evictions and
     // refills; behaviour must match a flat reference map and the
@@ -195,7 +195,7 @@ TEST_P(SecureL2Schemes, EvictionPressureMatchesReference)
         ASSERT_EQ(f.ramData64(addr), value) << "addr " << addr;
 }
 
-TEST_P(SecureL2Schemes, TinyBuffersStillCorrect)
+TEST_P(L2ControllerSchemes, TinyBuffersStillCorrect)
 {
     if (GetParam() == Scheme::kBase)
         GTEST_SKIP() << "base has no hash buffers";
@@ -221,7 +221,7 @@ TEST_P(SecureL2Schemes, TinyBuffersStillCorrect)
         ASSERT_EQ(f.ramData64(addr), value);
 }
 
-TEST_P(SecureL2Schemes, TamperingIsDetected)
+TEST_P(L2ControllerSchemes, TamperingIsDetected)
 {
     if (GetParam() == Scheme::kBase)
         GTEST_SKIP() << "base cannot detect anything";
@@ -249,7 +249,7 @@ TEST_P(SecureL2Schemes, TamperingIsDetected)
     EXPECT_GT(f.l2.integrityFailures(), 0u);
 }
 
-TEST_P(SecureL2Schemes, ReplayIsDetected)
+TEST_P(L2ControllerSchemes, ReplayIsDetected)
 {
     if (GetParam() == Scheme::kBase)
         GTEST_SKIP();
@@ -280,14 +280,14 @@ TEST_P(SecureL2Schemes, ReplayIsDetected)
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    AllSchemes, SecureL2Schemes,
+    AllSchemes, L2ControllerSchemes,
     ::testing::Values(Scheme::kBase, Scheme::kNaive, Scheme::kCached,
                       Scheme::kIncremental),
     [](const ::testing::TestParamInfo<Scheme> &info) {
         return schemeName(info.param);
     });
 
-TEST(SecureL2Test, NaiveReadsWholeAncestorPathPerMiss)
+TEST(L2ControllerTest, NaiveReadsWholeAncestorPathPerMiss)
 {
     L2Fixture f(Scheme::kNaive);
     const unsigned depth = f.layout.ancestorDepth();
@@ -301,7 +301,7 @@ TEST(SecureL2Test, NaiveReadsWholeAncestorPathPerMiss)
     EXPECT_EQ(f.mem.stat_reads.value(), 2u * (1u + depth));
 }
 
-TEST(SecureL2Test, CachedSchemeAmortisesHashFetches)
+TEST(L2ControllerTest, CachedSchemeAmortisesHashFetches)
 {
     L2Fixture f(Scheme::kCached);
     const unsigned depth = f.layout.ancestorDepth();
@@ -316,7 +316,7 @@ TEST(SecureL2Test, CachedSchemeAmortisesHashFetches)
         << "second miss pays exactly one block read";
 }
 
-TEST(SecureL2Test, BaseSchemeReadsExactlyOneBlock)
+TEST(L2ControllerTest, BaseSchemeReadsExactlyOneBlock)
 {
     L2Fixture f(Scheme::kBase);
     f.readWait(0x1000);
@@ -325,7 +325,7 @@ TEST(SecureL2Test, BaseSchemeReadsExactlyOneBlock)
     EXPECT_EQ(f.l2.stat_integrityBlockReads.value(), 0u);
 }
 
-TEST(SecureL2Test, SpeculationHidesCheckLatency)
+TEST(L2ControllerTest, SpeculationHidesCheckLatency)
 {
     L2Fixture spec(Scheme::kCached, 4096, 64, 64, 16, true);
     L2Fixture block(Scheme::kCached, 4096, 64, 64, 16, false);
@@ -353,7 +353,7 @@ TEST(SecureL2Test, SpeculationHidesCheckLatency)
            "waiting for the check";
 }
 
-TEST(SecureL2Test, BufferStallsAreCountedUnderPressure)
+TEST(L2ControllerTest, BufferStallsAreCountedUnderPressure)
 {
     L2Fixture f(Scheme::kCached, 4096, 64, 64, /*buffers=*/1);
     // Burst of independent misses with a single buffer entry.
@@ -365,7 +365,7 @@ TEST(SecureL2Test, BufferStallsAreCountedUnderPressure)
     EXPECT_GT(f.l2.stat_bufferStallEvents.value(), 0u);
 }
 
-TEST(SecureL2Test, BackInvalidateFiresOnDataEviction)
+TEST(L2ControllerTest, BackInvalidateFiresOnDataEviction)
 {
     L2Fixture f(Scheme::kCached);
     std::vector<std::uint64_t> invalidated;
@@ -379,7 +379,7 @@ TEST(SecureL2Test, BackInvalidateFiresOnDataEviction)
     EXPECT_FALSE(invalidated.empty());
 }
 
-TEST(SecureL2Test, PartialStoreAllocateAndMerge)
+TEST(L2ControllerTest, PartialStoreAllocateAndMerge)
 {
     // Store 8 bytes into a cold block (no fetch), force the partial
     // dirty line out, then read the whole block back: the stored
@@ -401,17 +401,17 @@ TEST(SecureL2Test, PartialStoreAllocateAndMerge)
     EXPECT_EQ(f.l2.integrityFailures(), 0u);
 }
 
-TEST(SecureL2Test, WriteAllocFetchAblation)
+TEST(L2ControllerTest, WriteAllocFetchAblation)
 {
     // With the Section 5.3 optimisation disabled, a store miss
     // fetches and checks the chunk before the write lands.
     L2Fixture f(Scheme::kCached);
     L2Fixture g(Scheme::kCached);
     // Patch g to classic write-allocate.
-    SecureL2Params p = L2Fixture::makeParams(Scheme::kCached, 4096, 64,
+    L2Params p = L2Fixture::makeParams(Scheme::kCached, 4096, 64,
                                              64, 16, true);
     p.writeAllocNoFetch = false;
-    SecureL2 classic(g.events, g.mem, g.ram, g.hasher, g.layout, g.auth,
+    L2Controller classic(g.events, g.mem, g.ram, g.hasher, g.layout, g.auth,
                      p, g.stats);
 
     f.write64(0x200, 7);
@@ -425,7 +425,7 @@ TEST(SecureL2Test, WriteAllocFetchAblation)
         << "classic write-allocate fetches on a store miss";
 }
 
-TEST(SecureL2Test, MSchemeChunkSpansTwoBlocks)
+TEST(L2ControllerTest, MSchemeChunkSpansTwoBlocks)
 {
     // m scheme: 128-byte chunks over 64-byte blocks.
     L2Fixture f(Scheme::kCached, 4096, /*chunk=*/128, /*block=*/64);
@@ -450,7 +450,7 @@ TEST(SecureL2Test, MSchemeChunkSpansTwoBlocks)
         ASSERT_EQ(f.ramData64(addr), value);
 }
 
-TEST(SecureL2Test, ISchemeChunkSpansTwoBlocks)
+TEST(L2ControllerTest, ISchemeChunkSpansTwoBlocks)
 {
     L2Fixture f(Scheme::kIncremental, 4096, /*chunk=*/128,
                 /*block=*/64);
@@ -475,7 +475,7 @@ TEST(SecureL2Test, ISchemeChunkSpansTwoBlocks)
         ASSERT_EQ(f.ramData64(addr), value);
 }
 
-TEST(SecureL2Test, ISchemeWritesOneBlockPerEviction)
+TEST(L2ControllerTest, ISchemeWritesOneBlockPerEviction)
 {
     // The point of incremental MACs: a dirty single-block eviction
     // writes blockSize bytes, not chunkSize.
@@ -500,7 +500,7 @@ TEST(SecureL2Test, ISchemeWritesOneBlockPerEviction)
         << "m must fetch chunk-mates at write-back; i must not";
 }
 
-TEST(SecureL2Test, AllSchemesConvergeToSameDataImage)
+TEST(L2ControllerTest, AllSchemesConvergeToSameDataImage)
 {
     // The RAM *data region* after identical traffic is scheme
     // independent.
@@ -536,17 +536,17 @@ TEST(SecureL2Test, AllSchemesConvergeToSameDataImage)
     }
 }
 
-TEST(SecureL2Test, PrivacyExtensionAddsDecryptLatency)
+TEST(L2ControllerTest, PrivacyExtensionAddsDecryptLatency)
 {
     // With off-chip encryption, a demand data miss completes
     // decryptLatency cycles later; hash-chunk fetches are unaffected.
     L2Fixture plain(Scheme::kCached);
     L2Fixture enc(Scheme::kCached);
-    SecureL2Params p = L2Fixture::makeParams(Scheme::kCached, 4096, 64,
+    L2Params p = L2Fixture::makeParams(Scheme::kCached, 4096, 64,
                                              64, 16, true);
     p.encryptData = true;
     p.decryptLatency = 40;
-    SecureL2 enc_l2(enc.events, enc.mem, enc.ram, enc.hasher,
+    L2Controller enc_l2(enc.events, enc.mem, enc.ram, enc.hasher,
                     enc.layout, enc.auth, p, enc.stats);
 
     Cycle t_plain = 0, t_enc = 0;

@@ -1,6 +1,6 @@
 /**
  * @file
- * Deep-tree stress regressions for SecureL2.
+ * Deep-tree stress regressions for L2Controller.
  *
  * These reproduce, at unit-test scale, the interleavings that broke
  * early versions of the controller:
@@ -17,7 +17,7 @@
 
 #include "mem/backing_store.h"
 #include "support/random.h"
-#include "tree/secure_l2.h"
+#include "tree/l2_controller.h"
 
 namespace cmt
 {
@@ -51,11 +51,11 @@ struct DeepFixture
         return k;
     }
 
-    static SecureL2Params
+    static L2Params
     params(Scheme scheme, std::uint64_t l2_size, unsigned assoc,
            std::uint64_t chunk_size, unsigned block_size)
     {
-        SecureL2Params p;
+        L2Params p;
         p.scheme = scheme;
         p.sizeBytes = l2_size;
         p.assoc = assoc;
@@ -112,7 +112,7 @@ struct DeepFixture
     ChunkStore ram;
     MainMemory mem;
     HashEngine hasher;
-    SecureL2 l2;
+    L2Controller l2;
 };
 
 struct StressCase

@@ -1,0 +1,394 @@
+/**
+ * @file
+ * Direct per-policy unit tests: each IntegrityPolicy implementation
+ * is driven through a bare L2Controller (no System, no core) against
+ * a tampering Adversary, plus a cross-scheme stat-invariant check and
+ * a PolicyFactory injection test. These are the first tests that can
+ * talk about one scheme's policy in isolation - before the layering,
+ * every scheme path hid inside the SecureL2 monolith.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "mem/backing_store.h"
+#include "support/random.h"
+#include "tree/integrity_policy.h"
+#include "tree/l2_controller.h"
+#include "verify/adversary.h"
+
+namespace cmt
+{
+namespace
+{
+
+struct PolicyFixture
+{
+    explicit PolicyFixture(Scheme scheme, std::uint64_t l2_size = 4096,
+                           unsigned assoc = 4,
+                           std::uint64_t chunk_size = 64,
+                           unsigned block_size = 64,
+                           PolicyFactory factory = {})
+        : layout(chunk_size, 4ULL << 30),
+          auth(scheme == Scheme::kIncremental
+                   ? Authenticator::Kind::kXorMac
+                   : Authenticator::Kind::kMd5,
+               key(), block_size),
+          ram(base, layout, auth),
+          mem(events, ram, MemTimingParams{}, stats),
+          hasher(events, HashEngineParams{}, stats),
+          l2(events, mem, ram, hasher, layout, auth,
+             params(scheme, l2_size, assoc, chunk_size, block_size),
+             stats, std::move(factory))
+    {}
+
+    static Key128
+    key()
+    {
+        Key128 k;
+        k.fill(0x42);
+        return k;
+    }
+
+    static L2Params
+    params(Scheme scheme, std::uint64_t l2_size, unsigned assoc,
+           std::uint64_t chunk_size, unsigned block_size)
+    {
+        L2Params p;
+        p.scheme = scheme;
+        p.sizeBytes = l2_size;
+        p.assoc = assoc;
+        p.blockSize = block_size;
+        p.chunkSize = chunk_size;
+        p.protectedSize = 4ULL << 30;
+        p.key = key();
+        return p;
+    }
+
+    void
+    drain()
+    {
+        while (!events.empty())
+            events.runUntil(events.nextEventTime());
+    }
+
+    void
+    write64(std::uint64_t addr, std::uint64_t value)
+    {
+        std::uint8_t buf[8];
+        for (int i = 0; i < 8; ++i)
+            buf[i] = static_cast<std::uint8_t>(value >> (8 * i));
+        l2.write(addr, buf);
+    }
+
+    void
+    readWait(std::uint64_t addr)
+    {
+        bool done = false;
+        l2.read(addr, 8, [&] { done = true; });
+        while (!done) {
+            cmt_assert(!events.empty());
+            events.runUntil(events.nextEventTime());
+        }
+    }
+
+    std::uint64_t
+    ramData64(std::uint64_t addr)
+    {
+        std::uint8_t buf[8];
+        ram.read(layout.dataToRam(addr), buf);
+        std::uint64_t v = 0;
+        for (int i = 7; i >= 0; --i)
+            v = (v << 8) | buf[i];
+        return v;
+    }
+
+    /** Evict everything by streaming reads through a far region. */
+    void
+    thrash()
+    {
+        const std::uint64_t far = 3ULL << 30;
+        const unsigned lines = static_cast<unsigned>(
+            l2.params().sizeBytes / l2.params().blockSize);
+        for (unsigned i = 0; i < 4 * lines; ++i)
+            readWait(far + i * l2.params().blockSize);
+        drain();
+    }
+
+    EventQueue events;
+    StatGroup stats;
+    BackingStore base;
+    TreeLayout layout;
+    Authenticator auth;
+    ChunkStore ram;
+    MainMemory mem;
+    HashEngine hasher;
+    L2Controller l2;
+};
+
+struct PolicyCase
+{
+    Scheme scheme;
+    std::uint64_t chunkSize;
+    unsigned blockSize;
+    const char *name;
+};
+
+class TamperingAdversary : public ::testing::TestWithParam<PolicyCase>
+{
+};
+
+// Every verifying policy must catch a spoofed RAM image on the very
+// first demand fetch: the adversary corrupts a virgin data chunk and
+// the policy's ancestor walk / chunk check flags it against the
+// canonical tree state.
+TEST_P(TamperingAdversary, SpoofedDataChunkIsDetected)
+{
+    const PolicyCase &pc = GetParam();
+    PolicyFixture f(pc.scheme, 4096, 4, pc.chunkSize, pc.blockSize);
+    Adversary mallory(f.ram);
+
+    const std::uint64_t addr = 8 * 5;
+    mallory.flipBit(f.layout.dataToRam(addr), 3);
+
+    f.readWait(addr);
+    f.drain();
+
+    EXPECT_GE(f.l2.integrityFailures(), 1u) << pc.name;
+    EXPECT_GE(f.l2.stat_checks.value(), 1u) << pc.name;
+}
+
+// Freshness: replaying a stale-but-authentic chunk image must fail
+// against the updated parent, for every verifying policy.
+TEST_P(TamperingAdversary, ReplayedStaleChunkIsDetected)
+{
+    const PolicyCase &pc = GetParam();
+    PolicyFixture f(pc.scheme, 2048, 2, pc.chunkSize, pc.blockSize);
+    Adversary mallory(f.ram);
+
+    const std::uint64_t addr = 8 * 3;
+    const std::uint64_t chunk_base =
+        f.layout.chunkAddr(f.layout.chunkOf(f.layout.dataToRam(addr)));
+
+    f.write64(addr, 0x1111'2222'3333'4444ull);
+    f.drain();
+    f.l2.flushAllDirty();
+    f.drain();
+    const auto stale = mallory.capture(chunk_base, pc.chunkSize);
+
+    f.write64(addr, 0x5555'6666'7777'8888ull);
+    f.drain();
+    f.l2.flushAllDirty();
+    f.drain();
+
+    // Push the chunk (and its ancestors) out of the L2 so the replay
+    // is actually re-fetched and re-verified.
+    f.thrash();
+    const std::uint64_t before = f.l2.integrityFailures();
+    mallory.replay(chunk_base, stale);
+
+    f.readWait(addr);
+    f.drain();
+
+    EXPECT_GT(f.l2.integrityFailures(), before) << pc.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, TamperingAdversary,
+    ::testing::Values(PolicyCase{Scheme::kNaive, 64, 64, "naive"},
+                      PolicyCase{Scheme::kCached, 64, 64, "c"},
+                      PolicyCase{Scheme::kCached, 128, 64, "m"},
+                      PolicyCase{Scheme::kIncremental, 64, 64, "i"},
+                      PolicyCase{Scheme::kIncremental, 128, 64,
+                                 "i_two_block"}),
+    [](const ::testing::TestParamInfo<PolicyCase> &info) {
+        return info.param.name;
+    });
+
+// NullPolicy is the paper's insecure baseline: it must run the same
+// cache machinery but never check anything - tampering sails through.
+TEST(NullPolicyTest, BaseSchemeIsBlindToTampering)
+{
+    PolicyFixture f(Scheme::kBase);
+    Adversary mallory(f.ram);
+
+    const std::uint64_t addr = 8 * 5;
+    mallory.flipBit(f.layout.dataToRam(addr), 3);
+
+    f.readWait(addr);
+    f.drain();
+
+    EXPECT_EQ(f.l2.integrityFailures(), 0u);
+    EXPECT_EQ(f.l2.stat_checks.value(), 0u);
+    EXPECT_EQ(f.l2.stat_integrityBlockReads.value(), 0u);
+    EXPECT_EQ(f.l2.pendingChecks(), 0u);
+}
+
+// A policy injected through the PolicyFactory seam sees every demand
+// miss and dirty eviction the controller dispatches; delegation to
+// the real policy keeps behaviour (and the tree) intact.
+class CountingPolicy final : public IntegrityPolicy
+{
+  public:
+    struct Counts
+    {
+        Scheme scheme = Scheme::kBase;
+        unsigned misses = 0;
+        unsigned evictions = 0;
+    };
+
+    CountingPolicy(Scheme scheme, L2Controller &l2, Counts *counts)
+        : IntegrityPolicy(l2), inner_(makeIntegrityPolicy(scheme, l2)),
+          counts_(counts)
+    {
+        counts_->scheme = scheme;
+    }
+
+    void
+    startDemandMiss(std::uint64_t block_addr) override
+    {
+        ++counts_->misses;
+        inner_->startDemandMiss(block_addr);
+    }
+
+    void
+    evictDirty(const CacheArray::Victim &victim) override
+    {
+        ++counts_->evictions;
+        inner_->evictDirty(victim);
+    }
+
+    bool
+    storeMissAllocatesWithoutFetch(std::uint64_t ram_addr) const
+        override
+    {
+        return inner_->storeMissAllocatesWithoutFetch(ram_addr);
+    }
+
+    bool
+    verifiesIntegrity() const override
+    {
+        return inner_->verifiesIntegrity();
+    }
+
+  private:
+    std::unique_ptr<IntegrityPolicy> inner_;
+    Counts *counts_;
+};
+
+TEST(PolicyFactoryTest, InjectedPolicyObservesMissesAndEvictions)
+{
+    CountingPolicy::Counts counts;
+    PolicyFixture f(Scheme::kCached, 1024, 2, 64, 64,
+                    [&counts](Scheme s, L2Controller &l2) {
+                        return std::make_unique<CountingPolicy>(
+                            s, l2, &counts);
+                    });
+    EXPECT_EQ(counts.scheme, Scheme::kCached);
+
+    Rng rng(11);
+    std::map<std::uint64_t, std::uint64_t> reference;
+    for (int op = 0; op < 400; ++op) {
+        const std::uint64_t addr = 8 * rng.below(512);
+        if (rng.chance(0.5)) {
+            const std::uint64_t v = rng.next();
+            f.write64(addr, v);
+            reference[addr] = v;
+        } else {
+            f.readWait(addr);
+        }
+    }
+    f.drain();
+    // Capacity evictions route through the counting seam one-for-one;
+    // flushAllDirty also dispatches to evictDirty() but is bookkeeping
+    // rather than an eviction, so compare before flushing.
+    EXPECT_GT(counts.misses, 0u);
+    EXPECT_GT(counts.evictions, 0u);
+    EXPECT_EQ(counts.evictions, f.l2.stat_evictionsDirty.value());
+    f.l2.flushAllDirty();
+    f.drain();
+
+    EXPECT_EQ(f.l2.integrityFailures(), 0u);
+    EXPECT_TRUE(f.l2.verifyTreeConsistency());
+    for (const auto &[addr, value] : reference)
+        ASSERT_EQ(f.ramData64(addr), value);
+}
+
+// Cross-scheme invariants over one identical workload: the demand
+// stream is scheme-independent, checking only ever adds RAM traffic,
+// the base scheme never checks, and every scheme converges on the
+// same functional memory image.
+TEST(CrossSchemeTest, StatInvariantsOverIdenticalWorkload)
+{
+    const Scheme schemes[] = {Scheme::kBase, Scheme::kNaive,
+                              Scheme::kCached, Scheme::kIncremental};
+    struct Outcome
+    {
+        std::uint64_t reads, writes, checks, failures;
+        std::uint64_t demandReads, integrityReads;
+    };
+    std::map<Scheme, Outcome> out;
+    std::map<std::uint64_t, std::uint64_t> reference;
+
+    for (const Scheme scheme : schemes) {
+        PolicyFixture f(scheme);
+        Rng rng(99);
+        reference.clear();
+        for (int op = 0; op < 600; ++op) {
+            const std::uint64_t region = op % 3 ? 0 : (1ULL << 30);
+            const std::uint64_t addr = region + 8 * rng.below(512);
+            if (rng.chance(0.5)) {
+                const std::uint64_t v = rng.next();
+                f.write64(addr, v);
+                reference[addr] = v;
+            } else {
+                f.readWait(addr);
+            }
+            if (op % 128 == 0)
+                f.drain();
+        }
+        f.drain();
+        f.l2.flushAllDirty();
+        f.drain();
+
+        out[scheme] = Outcome{
+            f.l2.stat_reads.value(), f.l2.stat_writes.value(),
+            f.l2.stat_checks.value(), f.l2.stat_checkFailures.value(),
+            f.l2.stat_demandBlockReads.value(),
+            f.l2.stat_integrityBlockReads.value()};
+        if (scheme != Scheme::kBase) {
+            EXPECT_TRUE(f.l2.verifyTreeConsistency())
+                << schemeName(scheme);
+        }
+        // Identical functional image whatever the scheme.
+        for (const auto &[addr, value] : reference)
+            ASSERT_EQ(f.ramData64(addr), value) << schemeName(scheme);
+    }
+
+    // The demand stream the core issued is scheme-independent.
+    for (const Scheme scheme : schemes) {
+        EXPECT_EQ(out[scheme].reads, out[Scheme::kBase].reads)
+            << schemeName(scheme);
+        EXPECT_EQ(out[scheme].writes, out[Scheme::kBase].writes)
+            << schemeName(scheme);
+        EXPECT_EQ(out[scheme].failures, 0u) << schemeName(scheme);
+    }
+    // Base never checks and adds no integrity traffic; every tree
+    // scheme checks at least once.
+    EXPECT_EQ(out[Scheme::kBase].checks, 0u);
+    EXPECT_EQ(out[Scheme::kBase].integrityReads, 0u);
+    for (const Scheme scheme :
+         {Scheme::kNaive, Scheme::kCached, Scheme::kIncremental})
+        EXPECT_GT(out[scheme].checks, 0u) << schemeName(scheme);
+    // Checking only adds memory traffic: the naive full-path walk
+    // reads at least as much RAM as the base scheme's demand misses.
+    const auto total = [](const Outcome &o) {
+        return o.demandReads + o.integrityReads;
+    };
+    EXPECT_LE(total(out[Scheme::kBase]), total(out[Scheme::kNaive]));
+}
+
+} // namespace
+} // namespace cmt

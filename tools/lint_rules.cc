@@ -203,6 +203,11 @@ stdoutPatterns()
         {"stdout-discipline",
          std::regex(R"((^|[^A-Za-z0-9_])puts\s*\()"),
          "puts() bypasses line-atomic logging; use logging.h"},
+        {"stdout-discipline",
+         std::regex(R"(#\s*include\s*<\s*(cstdio|stdio\.h)\s*>)"),
+         "<cstdio> outside src/support/ invites raw FILE* output; "
+         "report through logging.h (debugf/warn/inform) or justify "
+         "the FILE* owner with an allow directive"},
     };
     return patterns;
 }
