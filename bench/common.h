@@ -273,6 +273,9 @@ class Sweep
                          runner_->diskHits(), runner_->executedJobs());
     }
 
+    /** Index takeEntry() will consume next (for job metadata). */
+    std::size_t cursor() const { return next_; }
+
     /** Next entry in submission order. */
     const SweepEntry &
     takeEntry()

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Extension bench: sharded integrity trees.
+ *
+ * The paper hangs the whole protected region under one tree with one
+ * set of root registers, so every check serialises behind a single
+ * VerifyBuffer and hash pipeline. ShardRouter partitions the region
+ * into K independent subtrees; the machine provisions one hash lane
+ * and one buffer set per shard, and SmpSystem places core slices
+ * round-robin across shards, so programs verify concurrently.
+ *
+ * Two sweeps over the four-program SMP mix:
+ *
+ *  1. Verify-bandwidth scaling: the naive scheme hashes the full
+ *     ancestor walk on every miss, saturating a single hash pipeline;
+ *     hash bytes per cycle directly measures how much verification
+ *     the machine sustains as the shard count grows.
+ *  2. IPC under the c scheme, across shard count and region size: the
+ *     practical speedup once the trusted cache absorbs most checks.
+ *
+ * K = 1 is the paper's machine and anchors both scaling columns.
+ *
+ * Rows carry an explicit fingerprint salted with a harness domain
+ * tag: unlike ext_smp, this harness computes verify_bytes_per_cycle
+ * even for the K = 1 anchor rows, so its rows must never be served
+ * from a memoized ext_smp run of the same SmpConfig.
+ */
+
+#include "bench/common.h"
+#include "sim/smp.h"
+
+using namespace cmt;
+using namespace cmt::bench;
+
+namespace
+{
+
+/** Keys this harness's rows apart from ext_smp's (see file header). */
+constexpr std::uint64_t kDomainSalt = 0x6578745f73686172ull; // "ext_shar"
+
+SmpConfig
+shardConfig(Scheme scheme, unsigned shards,
+            std::uint64_t protected_size, double hash_throughput)
+{
+    SmpConfig cfg;
+    cfg.benchmarks = {"twolf", "gzip", "vpr", "swim"};
+    cfg.warmupInstructions =
+        static_cast<std::uint64_t>(100'000 * reproScale());
+    cfg.measureInstructions =
+        static_cast<std::uint64_t>(250'000 * reproScale());
+    cfg.l2.scheme = scheme;
+    cfg.l2.sizeBytes = 4 << 20;
+    cfg.l2.assoc = 8;
+    cfg.l2.shards = shards;
+    cfg.l2.protectedSize = protected_size;
+    cfg.hash.throughputBytesPerCycle = hash_throughput;
+    return cfg;
+}
+
+void
+addRow(Sweep &sweep, const std::string &label,
+       const SmpConfig &cfg)
+{
+    SystemConfig tag = baseConfig(cfg.benchmarks.front(),
+                                  cfg.l2.scheme);
+    tag.l2.shards = cfg.l2.shards;
+    tag.l2.protectedSize = cfg.l2.protectedSize;
+    sweep.add(
+        label, tag,
+        [cfg](const SystemConfig &) {
+            SmpSystem system(cfg);
+            const SmpResult smp = system.run();
+            SimResult r;
+            r.benchmark = "mix";
+            r.scheme = cfg.l2.scheme;
+            r.ipc = smp.aggregateIpc;
+            r.cycles = smp.cycles;
+            r.integrityFailures = smp.integrityFailures;
+            r.bandwidthBytesPerCycle = smp.bandwidthBytesPerCycle;
+            // The K = 1 anchor needs the same metric the sharded
+            // rows report; SmpResult leaves it zero there to keep
+            // ext_smp's baselines stable.
+            r.verifyBytesPerCycle =
+                smp.verifyBytesPerCycle != 0
+                    ? smp.verifyBytesPerCycle
+                    : static_cast<double>(
+                          system.hasher().stat_bytes.value()) /
+                          static_cast<double>(smp.cycles);
+            for (const SimResult &core : smp.perCore)
+                r.perCoreIpc.push_back(core.ipc);
+            return r;
+        },
+        configFingerprint(cfg) ^ kDomainSalt);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parseArgs(argc, argv, "ext_shards");
+
+    SystemConfig show = baseConfig("twolf", Scheme::kCached);
+    header("Extension",
+           "sharded trees: parallel verification across subtrees",
+           show);
+
+    const unsigned shard_counts[] = {1, 2, 4, 8};
+    // Both region sizes hold the four staggered 4 GB slices; the
+    // larger one adds a tree level, deepening every ancestor walk.
+    const std::uint64_t regions[] = {32ULL << 30, 64ULL << 30};
+
+    Sweep sweep(opt);
+    // Sweep 1: verify-bandwidth scaling. The paper's 3.2 B/cycle
+    // hash unit already outruns the 1.6 B/cycle data bus, so a single
+    // pipeline can never look like the bottleneck; a 0.4 B/cycle unit
+    // (cheap hash hardware) makes verification the K = 1 limiter and
+    // lets the sweep show lanes scaling until the bus takes over.
+    constexpr double kSlowHash = 0.4;
+    for (const unsigned shards : shard_counts)
+        addRow(sweep, "naive:s" + std::to_string(shards),
+               shardConfig(Scheme::kNaive, shards, regions[0],
+                           kSlowHash));
+    // Sweep 2: end-to-end IPC with the paper's hash unit.
+    for (const std::uint64_t region : regions)
+        for (const unsigned shards : shard_counts)
+            addRow(sweep,
+                   "c:" + std::to_string(region >> 30) + "GB:s" +
+                       std::to_string(shards),
+                   shardConfig(Scheme::kCached, shards, region,
+                               HashEngineParams{}
+                                   .throughputBytesPerCycle));
+    sweep.run();
+
+    Table bw("verify bandwidth vs shard count "
+             "(naive scheme, 0.4 B/cyc hash unit, 32GB)");
+    bw.header({"shards", "verify B/cyc", "scaling vs s1", "agg ipc",
+               "ipc vs s1"});
+    double naive_verify = 0;
+    double naive_ipc = 0;
+    for (const unsigned shards : shard_counts) {
+        const SimResult &r = sweep.take();
+        if (shards == 1) {
+            naive_verify = r.verifyBytesPerCycle;
+            naive_ipc = r.ipc;
+        }
+        bw.row({std::to_string(shards),
+                Table::num(r.verifyBytesPerCycle),
+                naive_verify != 0
+                    ? Table::num(r.verifyBytesPerCycle / naive_verify) +
+                          "x"
+                    : "-",
+                Table::num(r.ipc),
+                naive_ipc != 0 ? Table::num(r.ipc / naive_ipc) + "x"
+                               : "-"});
+    }
+    bw.print(std::cout);
+
+    Table t("aggregate IPC vs shard count and region size (c scheme)");
+    t.header({"region", "shards", "agg ipc", "ipc vs s1",
+              "verify B/cyc"});
+    for (const std::uint64_t region : regions) {
+        double base_ipc = 0;
+        for (const unsigned shards : shard_counts) {
+            const SimResult &r = sweep.take();
+            if (shards == 1)
+                base_ipc = r.ipc;
+            t.row({std::to_string(region >> 30) + "GB",
+                   std::to_string(shards), Table::num(r.ipc),
+                   base_ipc != 0 ? Table::num(r.ipc / base_ipc) + "x"
+                                 : "-",
+                   Table::num(r.verifyBytesPerCycle)});
+        }
+    }
+    t.print(std::cout);
+    std::cout
+        << "\nEach shard owns private root registers, check buffers\n"
+        << "and a hash lane; programs whose slices land in different\n"
+        << "shards verify concurrently instead of serialising behind\n"
+        << "the paper's single root. Scaling stops at the shared\n"
+        << "1.6 B/cycle data bus: once lanes outrun it, verification\n"
+        << "is no longer the machine's bottleneck.\n";
+    sweep.writeJson();
+    return 0;
+}

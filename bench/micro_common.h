@@ -83,7 +83,7 @@ scaledOps(std::uint64_t base)
  */
 inline std::uint64_t
 microFingerprint(const std::string &domain, const std::string &label,
-                 std::uint64_t ops)
+                 std::uint64_t ops, unsigned shards = 1)
 {
     MicroResult fp;
     fp.fold("micro-v1:", 9);
@@ -91,6 +91,10 @@ microFingerprint(const std::string &domain, const std::string &label,
     fp.fold64(0x7f);
     fp.fold(label.data(), label.size());
     fp.fold64(ops);
+    // Folded only when sharding is on so pre-shards cached rows stay
+    // valid (mirrors the SystemConfig fingerprint's conditional tag).
+    if (shards != 1)
+        fp.fold64(shards);
     return fp.checksum;
 }
 
@@ -101,17 +105,20 @@ microFingerprint(const std::string &domain, const std::string &label,
  */
 inline void
 addMicro(Sweep &sweep, const Options &opt, const std::string &label,
-         std::uint64_t ops, std::function<MicroResult()> fn)
+         std::uint64_t ops, std::function<MicroResult()> fn,
+         unsigned shards = 1)
 {
     if (!opt.filter.empty() &&
         label.find(opt.filter) == std::string::npos)
         return;
     // The tag config makes the JSON row self-describing: benchmark
-    // names the workload and the measure window records the op count.
+    // names the workload, the measure window records the op count and
+    // l2.shards carries the workload's shard dimension.
     SystemConfig tag;
     tag.benchmark = label;
     tag.warmupInstructions = 0;
     tag.measureInstructions = ops;
+    tag.l2.shards = shards;
     sweep.add(
         label, tag,
         [fn = std::move(fn), label, ops](const SystemConfig &) {
@@ -127,7 +134,7 @@ addMicro(Sweep &sweep, const Options &opt, const std::string &label,
                                : 0.0;
             return r;
         },
-        microFingerprint(opt.figure, label, ops));
+        microFingerprint(opt.figure, label, ops, shards));
 }
 
 /**
@@ -139,11 +146,14 @@ inline void
 reportMicro(Sweep &sweep, std::size_t rows, const char *what)
 {
     Table t(what);
-    t.header({"workload", "ops", "bytes", "checksum"});
+    t.header({"workload", "shards", "ops", "bytes", "checksum"});
     for (std::size_t i = 0; i < rows; ++i) {
+        const unsigned shards =
+            sweep.runner().job(sweep.cursor()).config.l2.shards;
         const SweepEntry &e = sweep.takeEntry();
         if (!e.ok) {
-            t.row({e.label, "ERROR", "-", e.error});
+            t.row({e.label, std::to_string(shards), "ERROR", "-",
+                   e.error});
             continue;
         }
         char sum[32];
@@ -152,7 +162,8 @@ reportMicro(Sweep &sweep, std::size_t rows, const char *what)
                           e.result.cycles));
         const auto bytes = static_cast<std::uint64_t>(
             e.result.bandwidthBytesPerCycle);
-        t.row({e.label, std::to_string(e.result.instructions),
+        t.row({e.label, std::to_string(shards),
+               std::to_string(e.result.instructions),
                std::to_string(bytes), sum});
         if (e.hostSeconds > 0) {
             std::fprintf(

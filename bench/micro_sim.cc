@@ -109,13 +109,25 @@ main(int argc, char **argv)
     });
 
     // Simulated instructions per host second for one representative
-    // benchmark per scheme: plain config-keyed sweep rows.
-    const Scheme sim_schemes[] = {Scheme::kBase, Scheme::kCached,
-                                  Scheme::kNaive};
+    // benchmark per scheme: plain config-keyed sweep rows. The
+    // sharded variants pin the end-to-end rate of the K-subtree
+    // machine (per-shard buffers + hash lanes).
+    struct SimRow
+    {
+        Scheme scheme;
+        unsigned shards;
+    };
+    const SimRow sim_rows[] = {{Scheme::kBase, 1},
+                               {Scheme::kCached, 1},
+                               {Scheme::kNaive, 1},
+                               {Scheme::kCached, 4},
+                               {Scheme::kNaive, 4}};
     std::vector<std::string> sim_labels;
-    for (const Scheme scheme : sim_schemes) {
-        const std::string label =
-            std::string("sim_instructions/") + schemeName(scheme);
+    for (const SimRow &row : sim_rows) {
+        std::string label =
+            std::string("sim_instructions/") + schemeName(row.scheme);
+        if (row.shards != 1)
+            label += "-s" + std::to_string(row.shards);
         if (!opt.filter.empty() &&
             label.find(opt.filter) == std::string::npos)
             continue;
@@ -125,7 +137,8 @@ main(int argc, char **argv)
             static_cast<std::uint64_t>(20'000 * reproScale());
         cfg.measureInstructions =
             static_cast<std::uint64_t>(100'000 * reproScale());
-        cfg.l2.scheme = scheme;
+        cfg.l2.scheme = row.scheme;
+        cfg.l2.shards = row.shards;
         sweep.add(label, cfg);
         sim_labels.push_back(label);
     }
@@ -138,14 +151,19 @@ main(int argc, char **argv)
                 "simulator substrate: deterministic workload digests");
     if (!sim_labels.empty()) {
         Table t("end-to-end simulation rate (twolf)");
-        t.header({"workload", "instructions", "cycles", "ipc"});
+        t.header({"workload", "shards", "instructions", "cycles",
+                  "ipc"});
         for (const auto &label : sim_labels) {
+            const unsigned shards =
+                sweep.runner().job(sweep.cursor()).config.l2.shards;
             const SweepEntry &e = sweep.takeEntry();
             if (!e.ok) {
-                t.row({label, "ERROR", "-", e.error});
+                t.row({label, std::to_string(shards), "ERROR", "-",
+                       e.error});
                 continue;
             }
-            t.row({label, std::to_string(e.result.instructions),
+            t.row({label, std::to_string(shards),
+                   std::to_string(e.result.instructions),
                    std::to_string(e.result.cycles),
                    Table::num(e.result.ipc)});
             if (e.hostSeconds > 0) {

@@ -89,10 +89,11 @@ main(int argc, char **argv)
     Sweep sweep(opt);
     std::size_t rows = 0;
     auto add = [&](const std::string &label, std::uint64_t base_ops,
-                   std::function<MicroResult()> fn) {
+                   std::function<MicroResult()> fn,
+                   unsigned shards = 1) {
         const std::size_t before = sweep.runner().jobCount();
         addMicro(sweep, opt, label, scaledOps(base_ops),
-                 std::move(fn));
+                 std::move(fn), shards);
         rows += sweep.runner().jobCount() - before;
     };
 
@@ -156,6 +157,32 @@ main(int argc, char **argv)
         m.bytes = ops * 8;
         return m;
     });
+    // Sharded MerkleMemory: the same random-store workload routed
+    // across K independent subtrees, flushed and fully re-verified.
+    // The checksum pins the functional behaviour of every shard count
+    // (K = 1 is the paper's single tree) while the stats witness the
+    // per-shard ancestor walks staying shallower as K grows.
+    for (const unsigned shards : {1u, 2u, 4u, 8u}) {
+        add("sharded_store/" + std::to_string(shards), 20'000,
+            [shards, ops = scaledOps(20'000)] {
+                BackingStore ram;
+                MerkleConfig cfg = config(256);
+                cfg.shards = shards;
+                MerkleMemory mm(ram, cfg);
+                Rng rng(5);
+                MicroResult m;
+                const std::uint64_t words = mm.size() / 8;
+                for (std::uint64_t i = 0; i < ops; ++i)
+                    mm.store64(8 * rng.below(words), rng.next());
+                mm.flush();
+                m.fold64(mm.verifyAll() ? 1 : 0);
+                foldStats(m, mm);
+                m.ops = ops;
+                m.bytes = ops * 8;
+                return m;
+            },
+            shards);
+    }
     add("verify_all", 20, [ops = scaledOps(20)] {
         BackingStore ram;
         MerkleMemory mm(ram, config(256));

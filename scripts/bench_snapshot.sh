@@ -1,0 +1,45 @@
+#!/bin/sh
+# Emit a dated micro-benchmark snapshot: run micro_tree and micro_sim
+# (deterministic checksum rows plus host_seconds timing) and merge
+# their sweeps into one BENCH_<date>.json at the repo root.
+#
+# Usage: scripts/bench_snapshot.sh [OUTFILE]
+#
+# The default OUTFILE is BENCH_$(date +%F).json. Snapshots are run
+# with --no-memo so host_seconds reflects this machine, and at the
+# full REPRO_SCALE unless the caller overrides it. Commit a snapshot
+# alongside changes that move the micro rows so the history records
+# both the behavioural checksums and the machine's throughput at the
+# time.
+set -e
+cd "$(dirname "$0")/.."
+outfile="${1:-BENCH_$(date +%F).json}"
+builddir="${CMT_BUILD_DIR:-build}"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+for bin in micro_tree micro_sim; do
+    echo "== $bin =="
+    "$builddir"/bench/"$bin" --jobs 2 --no-memo \
+        --json "$tmpdir/$bin.json" > /dev/null
+done
+
+python3 - "$outfile" "$tmpdir/micro_tree.json" \
+    "$tmpdir/micro_sim.json" <<'EOF'
+import json
+import sys
+
+out, *parts = sys.argv[1:]
+doc = {"snapshot": "micro", "runs": []}
+for path in parts:
+    with open(path) as fh:
+        sweep = json.load(fh)
+    doc.setdefault("repro_scale", sweep["repro_scale"])
+    for run in sweep["runs"]:
+        run["figure"] = sweep["figure"]
+        doc["runs"].append(run)
+with open(out, "w") as fh:
+    json.dump(doc, fh, indent=2)
+    fh.write("\n")
+print(f"wrote {len(doc['runs'])} rows to {out}")
+EOF

@@ -13,7 +13,7 @@ mkdir -p results
 for b in fig3_ipc_schemes fig4_cache_contention fig5_bandwidth \
          fig6_hash_throughput fig7_buffer_size fig8_chunk_schemes \
          tab_logic_overhead abl_speculation abl_writealloc abl_arity \
-         ext_privacy ext_smp; do
+         ext_privacy ext_smp ext_shards; do
     echo "== $b (REPRO_SCALE=$scale, jobs=$jobs) =="
     REPRO_SCALE="$scale" ./build/bench/"$b" \
         --jobs "$jobs" --json "results/$b.json" \

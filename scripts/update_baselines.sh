@@ -34,5 +34,6 @@ run fig3_ipc_schemes --filter gcc
 run fig5_bandwidth --filter swim
 run fig8_chunk_schemes --filter swim
 run ext_smp
+run ext_shards
 
 echo "baselines written to $outdir (REPRO_SCALE=$scale)"

@@ -102,6 +102,12 @@ simResultFromJson(const Json &json, SimResult *out)
         !getNumber(json, "branch_mispredict_rate",
                    &r.branchMispredictRate))
         return false;
+    // Optional, written only for sharded runs (shards > 1).
+    if (const Json *verify = json.find("verify_bytes_per_cycle")) {
+        if (!verify->isNumber())
+            return false;
+        r.verifyBytesPerCycle = verify->asNumber();
+    }
     if (const Json *per = json.find("per_core_ipc")) {
         if (!per->isArray())
             return false;

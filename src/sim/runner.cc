@@ -120,6 +120,10 @@ foldL2(Fingerprint &fp, const L2Params &l2)
     fp.u64(53).u64(l2.encryptData ? 1 : 0);
     fp.u64(54).u64(l2.decryptLatency);
     fp.u64(55).bytes(l2.key.data(), l2.key.size());
+    // Folded only when sharding is on so every pre-shards fingerprint
+    // (and the memo caches built from them) stays valid.
+    if (l2.shards != 1)
+        fp.u64(56).u64(l2.shards);
 }
 
 void
@@ -447,6 +451,10 @@ toJson(const SimResult &result)
     obj.set("integrity_failures", result.integrityFailures);
     obj.set("buffer_stalls", result.bufferStalls);
     obj.set("branch_mispredict_rate", result.branchMispredictRate);
+    // Sharded runs only (zero otherwise): committed single-tree
+    // baselines predate the key and must keep their exact shape.
+    if (result.verifyBytesPerCycle != 0)
+        obj.set("verify_bytes_per_cycle", result.verifyBytesPerCycle);
     if (!result.perCoreIpc.empty()) {
         Json per = Json::array();
         for (const double ipc : result.perCoreIpc)
@@ -481,6 +489,10 @@ toJson(const SystemConfig &config)
     l2.set("speculative_checks", config.l2.speculativeChecks);
     l2.set("encrypt_data", config.l2.encryptData);
     l2.set("decrypt_latency", config.l2.decryptLatency);
+    // Emitted only when sharding is on, like per_core_ipc: committed
+    // baselines compare config dumps byte-for-byte.
+    if (config.l2.shards != 1)
+        l2.set("shards", config.l2.shards);
     obj.set("l2", std::move(l2));
 
     Json core = Json::object();

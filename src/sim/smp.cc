@@ -27,13 +27,11 @@ constexpr std::uint64_t kSliceStagger = 51ULL << 20;
 SmpSystem::SmpSystem(const SmpConfig &config) : config_(config)
 {
     cmt_assert(!config_.benchmarks.empty());
-    cmt_assert((config_.benchmarks.size() - 1) *
-                       (kSliceBytes + kSliceStagger) +
-                   kSliceBytes <=
-               config_.l2.protectedSize);
 
-    layout_ = std::make_unique<TreeLayout>(config_.l2.chunkSize,
-                                           config_.l2.protectedSize);
+    tree_ = std::make_unique<ShardRouter>(
+        config_.l2.chunkSize, config_.l2.protectedSize,
+        config_.l2.shards, config_.l2.readBufferEntries,
+        config_.l2.writeBufferEntries);
     const Authenticator::Kind kind =
         config_.l2.scheme == Scheme::kIncremental
             ? Authenticator::Kind::kXorMac
@@ -41,23 +39,28 @@ SmpSystem::SmpSystem(const SmpConfig &config) : config_(config)
     auth_ = std::make_unique<Authenticator>(kind, config_.l2.key,
                                             config_.l2.blockSize,
                                             config_.l2.timestamps);
-    ram_ = std::make_unique<ChunkStore>(store_, *layout_, *auth_);
+    ram_ = std::make_unique<ChunkStore>(store_, *tree_, *auth_);
     memory_ = std::make_unique<MainMemory>(events_, *ram_, config_.mem,
                                            stats_);
-    hasher_ =
-        std::make_unique<HashEngine>(events_, config_.hash, stats_);
+    // One hash lane per shard: cores whose misses land in different
+    // shards verify concurrently instead of queueing on one pipeline.
+    hasher_ = std::make_unique<HashEngine>(events_, config_.hash,
+                                           stats_, config_.l2.shards);
 
     L2Params l2_params = config_.l2;
     l2_params.authKind = kind;
     l2_ = std::make_unique<L2Controller>(
-        events_, *memory_, *ram_, *hasher_, *layout_, *auth_, l2_params,
+        events_, *memory_, *ram_, *hasher_, *tree_, *auth_, l2_params,
         stats_, makeIntegrityPolicy);
 
     for (std::size_t i = 0; i < config_.benchmarks.size(); ++i) {
+        const std::uint64_t offset =
+            coreSliceOffset(static_cast<unsigned>(i));
+        cmt_assert(offset + kSliceBytes <= tree_->dataBytes());
         auto gen = std::make_unique<SpecGen>(
             profileFor(config_.benchmarks[i]), config_.seed + i);
-        traces_.push_back(std::make_unique<OffsetTrace>(
-            std::move(gen), sliceOffset(static_cast<unsigned>(i))));
+        traces_.push_back(
+            std::make_unique<OffsetTrace>(std::move(gen), offset));
         cores_.push_back(std::make_unique<Core>(
             events_, *l2_, *traces_.back(), config_.core, stats_));
     }
@@ -75,6 +78,23 @@ std::uint64_t
 SmpSystem::sliceOffset(unsigned i)
 {
     return i * (kSliceBytes + kSliceStagger);
+}
+
+std::uint64_t
+SmpSystem::coreSliceOffset(unsigned i) const
+{
+    const unsigned shards = tree_->shards();
+    if (shards == 1)
+        return sliceOffset(i);
+    // Core i lives in shard i % K; cores sharing a shard stack their
+    // slices like the single-tree layout. The per-shard stagger keeps
+    // slices in different shards off identical L2 sets (shard spans
+    // are powers of two, so bare shard bases would alias).
+    const unsigned shard = i % shards;
+    const unsigned slot = i / shards;
+    return shard * tree_->shardLayout().dataBytes() +
+           slot * (kSliceBytes + kSliceStagger) +
+           shard * kSliceStagger;
 }
 
 SmpResult
@@ -136,6 +156,12 @@ SmpSystem::run()
     result.integrityFailures = l2_->integrityFailures();
     result.bandwidthBytesPerCycle =
         static_cast<double>(memory_->bytesTransferred()) / result.cycles;
+    // Mirror SimResult: only sharded runs report verify bandwidth so
+    // single-tree rows keep the committed baselines' JSON shape.
+    if (config_.l2.shards != 1)
+        result.verifyBytesPerCycle =
+            static_cast<double>(hasher_->stat_bytes.value()) /
+            result.cycles;
     return result;
 }
 

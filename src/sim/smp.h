@@ -38,6 +38,9 @@ struct SmpResult
     std::uint64_t cycles = 0;
     std::uint64_t integrityFailures = 0;
     double bandwidthBytesPerCycle = 0;
+    /** Hash-unit bytes per cycle (verification throughput); nonzero
+     *  only for sharded runs, mirroring SimResult. */
+    double verifyBytesPerCycle = 0;
 };
 
 /** Multiprogrammed-SMP configuration. */
@@ -104,11 +107,21 @@ class SmpSystem
         return static_cast<unsigned>(cores_.size());
     }
 
-    /** CPU-address displacement of core @p i's memory slice. */
+    /** Single-tree CPU-address displacement of core @p i's slice. */
     static std::uint64_t sliceOffset(unsigned i);
+
+    /**
+     * Shard-aware slice placement actually used for core @p i: with
+     * one shard it equals sliceOffset(); with K shards cores go
+     * round-robin across shard spans so their verification traffic
+     * parallelises across root registers, buffers and hash lanes.
+     */
+    std::uint64_t coreSliceOffset(unsigned i) const;
     L2Controller &l2() { return *l2_; }
     Core &core(unsigned i) { return *cores_.at(i); }
     ChunkStore &ram() { return *ram_; }
+    ShardRouter &tree() { return *tree_; }
+    HashEngine &hasher() { return *hasher_; }
     EventQueue &events() { return events_; }
 
   private:
@@ -116,7 +129,7 @@ class SmpSystem
     StatGroup stats_;
     EventQueue events_;
     BackingStore store_;
-    std::unique_ptr<TreeLayout> layout_;
+    std::unique_ptr<ShardRouter> tree_;
     std::unique_ptr<Authenticator> auth_;
     std::unique_ptr<ChunkStore> ram_;
     std::unique_ptr<MainMemory> memory_;

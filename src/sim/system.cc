@@ -61,15 +61,20 @@ printConfigTable(std::ostream &os, const SystemConfig &config)
        << l2.writeBufferEntries << " read/write buffers\n"
        << "  scheme                " << schemeName(l2.scheme)
        << ", chunk " << l2.chunkSize << "B, protected "
-       << (l2.protectedSize >> 30) << "GB\n";
+       << (l2.protectedSize >> 30) << "GB";
+    if (l2.shards != 1)
+        os << ", " << l2.shards << " shards";
+    os << "\n";
 }
 
 System::System(const SystemConfig &config,
                std::unique_ptr<TraceSource> trace)
     : config_(config)
 {
-    layout_ = std::make_unique<TreeLayout>(config_.l2.chunkSize,
-                                           config_.l2.protectedSize);
+    tree_ = std::make_unique<ShardRouter>(
+        config_.l2.chunkSize, config_.l2.protectedSize,
+        config_.l2.shards, config_.l2.readBufferEntries,
+        config_.l2.writeBufferEntries);
     const Authenticator::Kind kind =
         config_.l2.scheme == Scheme::kIncremental
             ? Authenticator::Kind::kXorMac
@@ -77,16 +82,18 @@ System::System(const SystemConfig &config,
     auth_ = std::make_unique<Authenticator>(kind, config_.l2.key,
                                             config_.l2.blockSize,
                                             config_.l2.timestamps);
-    ram_ = std::make_unique<ChunkStore>(store_, *layout_, *auth_);
+    ram_ = std::make_unique<ChunkStore>(store_, *tree_, *auth_);
     memory_ = std::make_unique<MainMemory>(events_, *ram_, config_.mem,
                                            stats_);
-    hasher_ =
-        std::make_unique<HashEngine>(events_, config_.hash, stats_);
+    // One hash-unit lane per shard: independent subtrees verify in
+    // parallel pipelines.
+    hasher_ = std::make_unique<HashEngine>(events_, config_.hash,
+                                           stats_, config_.l2.shards);
 
     L2Params l2_params = config_.l2;
     l2_params.authKind = kind;
     l2_ = std::make_unique<L2Controller>(
-        events_, *memory_, *ram_, *hasher_, *layout_, *auth_, l2_params,
+        events_, *memory_, *ram_, *hasher_, *tree_, *auth_, l2_params,
         stats_, makeIntegrityPolicy);
 
     trace_ = trace ? std::move(trace)
@@ -156,6 +163,11 @@ System::run()
             : 0.0;
     r.bandwidthBytesPerCycle =
         static_cast<double>(memory_->bytesTransferred()) / r.cycles;
+    // Only sharded runs report verify bandwidth: single-tree rows
+    // must keep the exact JSON shape of the committed baselines.
+    if (config_.l2.shards != 1)
+        r.verifyBytesPerCycle =
+            static_cast<double>(hasher_->stat_bytes.value()) / r.cycles;
     r.integrityFailures = l2_->integrityFailures();
     r.bufferStalls = l2_->stat_bufferStallEvents.value();
     const std::uint64_t branches = core_->stat_branches.value();

@@ -23,8 +23,8 @@
 #include "tree/authenticator.h"
 #include "tree/chunk_store.h"
 #include "tree/hash_engine.h"
-#include "tree/layout.h"
 #include "tree/l2_controller.h"
+#include "tree/shard_router.h"
 
 namespace cmt
 {
@@ -45,6 +45,14 @@ struct SimResult
     double extraReadsPerMiss = 0;
     /** DRAM traffic in bytes per cycle (Figure 5b, unnormalised). */
     double bandwidthBytesPerCycle = 0;
+
+    /**
+     * Hash-unit throughput in bytes per cycle (the rate at which the
+     * machine verifies and maintains the tree). Reported only for
+     * sharded runs (shards > 1) so single-tree rows keep the exact
+     * JSON shape the committed baselines were generated with.
+     */
+    double verifyBytesPerCycle = 0;
 
     std::uint64_t l2DemandAccesses = 0;
     std::uint64_t l2DemandMisses = 0;
@@ -86,6 +94,8 @@ class System
     L2Controller &l2() { return *l2_; }
     Core &core() { return *core_; }
     ChunkStore &ram() { return *ram_; }
+    ShardRouter &tree() { return *tree_; }
+    HashEngine &hasher() { return *hasher_; }
     EventQueue &events() { return events_; }
 
   private:
@@ -93,7 +103,7 @@ class System
     StatGroup stats_;
     EventQueue events_;
     BackingStore store_;
-    std::unique_ptr<TreeLayout> layout_;
+    std::unique_ptr<ShardRouter> tree_;
     std::unique_ptr<Authenticator> auth_;
     std::unique_ptr<ChunkStore> ram_;
     std::unique_ptr<MainMemory> memory_;

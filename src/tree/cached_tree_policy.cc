@@ -11,7 +11,7 @@ namespace cmt
 void
 CachedTreePolicy::startDemandMiss(std::uint64_t block_addr)
 {
-    const std::uint64_t chunk = layout_.chunkOf(block_addr);
+    const std::uint64_t chunk = tree_.chunkOf(block_addr);
     fetchChunk(chunk, /*demand=*/true);
     // The chunk may already have filled (fetch raced ahead of this
     // miss); complete immediately in that case.
@@ -32,12 +32,12 @@ CachedTreePolicy::fetchChunk(std::uint64_t chunk, bool demand)
     ChunkFetch &f = it->second;
     f.chunk = chunk;
     f.demand = demand;
-    l2_.buffers().acquireRead();
+    tree_.buffersOfChunk(chunk).acquireRead();
 
     // Issue RAM reads for every block that is not clean-and-complete
     // in the cache: the hash covers the *memory image*, so dirty or
     // partial cached blocks must be re-read from RAM (Section 5.4).
-    const std::uint64_t base = layout_.chunkAddr(chunk);
+    const std::uint64_t base = tree_.chunkAddr(chunk);
     for (unsigned b = 0; b < l2_.blocksPerChunk(); ++b) {
         const std::uint64_t block_addr =
             base + static_cast<std::uint64_t>(b) * params_.blockSize;
@@ -62,7 +62,7 @@ CachedTreePolicy::fetchChunk(std::uint64_t chunk, bool demand)
     }
 
     // Resolve where the parent authenticator will come from.
-    const std::int64_t parent = layout_.parentOf(chunk);
+    const std::int64_t parent = tree_.parentOf(chunk);
     if (parent < 0 || l2_.parentSlotCachedNow(chunk)) {
         f.parentReady = true;
     } else {
@@ -108,11 +108,11 @@ CachedTreePolicy::chunkDataArrived(std::uint64_t chunk)
     }
 
     if (!f.verdictOk && debugVerdictEnabled()) {
-        const std::int64_t parent = layout_.parentOf(chunk);
+        const std::int64_t parent = tree_.parentOf(chunk);
         const Slot ram_slot =
-            parent < 0 ? roots_[chunk]
+            parent < 0 ? tree_.rootOf(chunk)
                        : ram_.readSlot(static_cast<std::uint64_t>(parent),
-                                       layout_.slotIndexOf(chunk));
+                                       tree_.slotIndexOf(chunk));
         const Slot expected = l2_.expectedSlotNow(chunk);
         const Slot computed = auth_.compute(image, expected);
         debugf(
@@ -121,8 +121,8 @@ CachedTreePolicy::chunkDataArrived(std::uint64_t chunk)
             "ram=%02x%02x got=%02x%02x\n",
             static_cast<unsigned long long>(events_.now()),
             static_cast<unsigned long long>(chunk),
-            layout_.levelOf(chunk),
-            static_cast<int>(layout_.isHashChunk(chunk)),
+            tree_.levelOf(chunk),
+            static_cast<int>(tree_.isHashChunk(chunk)),
             static_cast<int>(l2_.parentSlotCachedNow(chunk)),
             static_cast<int>(auth_.verify(image, ram_slot)),
             expected[0], expected[1], ram_slot[0], ram_slot[1],
@@ -154,7 +154,8 @@ CachedTreePolicy::chunkDataArrived(std::uint64_t chunk)
                          return;
                      fit->second.hashDone = true;
                      chunkMaybeComplete(chunk);
-                 });
+                 },
+                 tree_.shardOfChunk(chunk));
 
     chunkMaybeComplete(chunk);
 }
@@ -177,7 +178,7 @@ CachedTreePolicy::chunkMaybeComplete(std::uint64_t chunk)
         l2_.completeMshrsOfChunk(chunk);
 
     fetches_.erase(it);
-    l2_.buffers().releaseRead();
+    tree_.buffersOfChunk(chunk).releaseRead();
     l2_.retryPendingMisses();
 }
 
@@ -185,10 +186,11 @@ void
 CachedTreePolicy::evictDirty(const CacheArray::Victim &victim)
 {
     FlowScope guard(l2_);
-    l2_.buffers().acquireWrite();
+    const std::uint64_t chunk = tree_.chunkOf(victim.blockAddr);
+    const std::uint64_t shard = tree_.shardOfChunk(chunk);
+    tree_.context(shard).buffers.acquireWrite();
 
-    const std::uint64_t chunk = layout_.chunkOf(victim.blockAddr);
-    const std::uint64_t base = layout_.chunkAddr(chunk);
+    const std::uint64_t base = tree_.chunkAddr(chunk);
 
     // Assemble the new chunk image: victim words, other cached valid
     // words, RAM for the rest. Track which blocks must be written and
@@ -258,11 +260,11 @@ CachedTreePolicy::evictDirty(const CacheArray::Victim &victim)
 
     ram_.write(base, image);
 
-    const std::int64_t evict_parent = layout_.parentOf(chunk);
+    const std::int64_t evict_parent = tree_.parentOf(chunk);
     if (evict_parent >= 0) {
-        const std::uint64_t slot_addr = layout_.slotAddr(
+        const std::uint64_t slot_addr = tree_.slotAddr(
             static_cast<std::uint64_t>(evict_parent),
-            layout_.slotIndexOf(chunk));
+            tree_.slotIndexOf(chunk));
         if (array_.lookup(slot_addr, false) == nullptr) {
             ++l2_.stat_writeMisses;
             l2_.allocateLine(array_.blockAddr(slot_addr));
@@ -300,18 +302,20 @@ CachedTreePolicy::evictDirty(const CacheArray::Victim &victim)
     // Timing: optional missing-data read, then the digest (plus one
     // more digest for the ReadAndCheckChunk verification of the
     // missing data), then the block writes.
-    const auto do_hashes = [this, dirty_blocks, base, extra_check =
-                                                          !chunk_fully_cached]() {
+    const auto do_hashes = [this, dirty_blocks, base, shard,
+                            extra_check = !chunk_fully_cached]() {
         const unsigned jobs_total = extra_check ? 2u : 1u;
         auto jobs = std::make_shared<unsigned>(jobs_total);
         for (unsigned i = 0; i < jobs_total; ++i) {
             hasher_.hash(static_cast<unsigned>(params_.chunkSize),
-                         [this, jobs]() {
+                         [this, jobs, shard]() {
                              if (--*jobs > 0)
                                  return;
-                             l2_.buffers().releaseWrite();
+                             tree_.context(shard)
+                                 .buffers.releaseWrite();
                              l2_.retryPendingMisses();
-                         });
+                         },
+                         shard);
         }
         for (unsigned b = 0; b < dirty_blocks; ++b)
             memory_.write(base + b * params_.blockSize,
@@ -340,13 +344,13 @@ CachedTreePolicy::publishSlot(std::uint64_t chunk, const Slot &value)
                static_cast<unsigned long long>(chunk), value[0],
                value[1]);
     }
-    const std::int64_t parent = layout_.parentOf(chunk);
+    const std::int64_t parent = tree_.parentOf(chunk);
     if (parent < 0) {
-        roots_[chunk] = value;
+        tree_.rootOf(chunk) = value;
         return;
     }
-    const std::uint64_t slot_addr = layout_.slotAddr(
-        static_cast<std::uint64_t>(parent), layout_.slotIndexOf(chunk));
+    const std::uint64_t slot_addr = tree_.slotAddr(
+        static_cast<std::uint64_t>(parent), tree_.slotIndexOf(chunk));
 
     // The Write algorithm: the slot lands in the (trusted) cache and
     // flows to RAM when the parent is itself evicted.

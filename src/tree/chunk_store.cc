@@ -6,19 +6,20 @@
 namespace cmt
 {
 
-ChunkStore::ChunkStore(Storage &base, const TreeLayout &layout,
+ChunkStore::ChunkStore(Storage &base, const ShardRouter &tree,
                        const Authenticator &auth)
-    : base_(base), layout_(layout), auth_(auth)
+    : base_(base), tree_(tree), auth_(auth)
 {
     // Build the canonical authenticators bottom-up: a virgin leaf is
     // all zeros; a virgin hash chunk at level k repeats the canonical
-    // level-(k+1) slot across its arity() entries.
-    canonicalSlots_.resize(layout_.levels() + 1);
-    std::vector<std::uint8_t> chunk(layout_.chunkSize(), 0);
+    // level-(k+1) slot across its arity() entries. Every shard has the
+    // same per-shard geometry, so one table covers them all.
+    canonicalSlots_.resize(tree_.levels() + 1);
+    std::vector<std::uint8_t> chunk(tree_.chunkSize(), 0);
     const Slot zero_slot{};
-    canonicalSlots_[layout_.levels()] = auth_.compute(chunk, zero_slot);
-    for (unsigned level = layout_.levels() - 1; level >= 1; --level) {
-        for (std::uint64_t s = 0; s < layout_.arity(); ++s) {
+    canonicalSlots_[tree_.levels()] = auth_.compute(chunk, zero_slot);
+    for (unsigned level = tree_.levels() - 1; level >= 1; --level) {
+        for (std::uint64_t s = 0; s < tree_.arity(); ++s) {
             std::memcpy(chunk.data() + s * TreeLayout::kSlotSize,
                         canonicalSlots_[level + 1].data(),
                         TreeLayout::kSlotSize);
@@ -31,13 +32,13 @@ void
 ChunkStore::canonicalChunk(std::uint64_t chunk,
                            std::span<std::uint8_t> out) const
 {
-    cmt_assert(out.size() == layout_.chunkSize());
-    if (!layout_.isHashChunk(chunk)) {
+    cmt_assert(out.size() == tree_.chunkSize());
+    if (!tree_.isHashChunk(chunk)) {
         std::memset(out.data(), 0, out.size());
         return;
     }
-    const unsigned child_level = layout_.levelOf(chunk) + 1;
-    for (std::uint64_t s = 0; s < layout_.arity(); ++s) {
+    const unsigned child_level = tree_.levelOf(chunk) + 1;
+    for (std::uint64_t s = 0; s < tree_.arity(); ++s) {
         std::memcpy(out.data() + s * TreeLayout::kSlotSize,
                     canonicalSlots_[child_level].data(),
                     TreeLayout::kSlotSize);
@@ -49,9 +50,9 @@ ChunkStore::materialise(std::uint64_t chunk)
 {
     if (touched_.contains(chunk))
         return;
-    std::vector<std::uint8_t> content(layout_.chunkSize());
+    std::vector<std::uint8_t> content(tree_.chunkSize());
     canonicalChunk(chunk, content);
-    base_.write(layout_.chunkAddr(chunk), content);
+    base_.write(tree_.chunkAddr(chunk), content);
     touched_.insert(chunk);
 }
 
@@ -60,14 +61,14 @@ ChunkStore::read(std::uint64_t addr, std::span<std::uint8_t> out)
 {
     std::size_t done = 0;
     while (done < out.size()) {
-        const std::uint64_t chunk = layout_.chunkOf(addr + done);
-        const std::uint64_t offset = (addr + done) % layout_.chunkSize();
+        const std::uint64_t chunk = tree_.chunkOf(addr + done);
+        const std::uint64_t offset = (addr + done) % tree_.chunkSize();
         const std::size_t take = std::min<std::size_t>(
-            out.size() - done, layout_.chunkSize() - offset);
+            out.size() - done, tree_.chunkSize() - offset);
         if (touched_.contains(chunk)) {
             base_.read(addr + done, out.subspan(done, take));
         } else {
-            std::vector<std::uint8_t> content(layout_.chunkSize());
+            std::vector<std::uint8_t> content(tree_.chunkSize());
             canonicalChunk(chunk, content);
             std::memcpy(out.data() + done, content.data() + offset, take);
         }
@@ -80,10 +81,10 @@ ChunkStore::write(std::uint64_t addr, std::span<const std::uint8_t> in)
 {
     std::size_t done = 0;
     while (done < in.size()) {
-        const std::uint64_t chunk = layout_.chunkOf(addr + done);
-        const std::uint64_t offset = (addr + done) % layout_.chunkSize();
+        const std::uint64_t chunk = tree_.chunkOf(addr + done);
+        const std::uint64_t offset = (addr + done) % tree_.chunkSize();
         const std::size_t take = std::min<std::size_t>(
-            in.size() - done, layout_.chunkSize() - offset);
+            in.size() - done, tree_.chunkSize() - offset);
         materialise(chunk);
         base_.write(addr + done, in.subspan(done, take));
         done += take;
@@ -93,17 +94,17 @@ ChunkStore::write(std::uint64_t addr, std::span<const std::uint8_t> in)
 std::vector<std::uint8_t>
 ChunkStore::readChunk(std::uint64_t chunk)
 {
-    std::vector<std::uint8_t> out(layout_.chunkSize());
-    read(layout_.chunkAddr(chunk), out);
+    std::vector<std::uint8_t> out(tree_.chunkSize());
+    read(tree_.chunkAddr(chunk), out);
     return out;
 }
 
 Slot
 ChunkStore::readSlot(std::uint64_t chunk, std::uint64_t slot_index)
 {
-    cmt_assert(layout_.isHashChunk(chunk));
+    cmt_assert(tree_.isHashChunk(chunk));
     Slot out;
-    read(layout_.slotAddr(chunk, slot_index), out);
+    read(tree_.slotAddr(chunk, slot_index), out);
     return out;
 }
 
@@ -111,8 +112,8 @@ void
 ChunkStore::writeSlot(std::uint64_t chunk, std::uint64_t slot_index,
                       const Slot &value)
 {
-    cmt_assert(layout_.isHashChunk(chunk));
-    write(layout_.slotAddr(chunk, slot_index), value);
+    cmt_assert(tree_.isHashChunk(chunk));
+    write(tree_.slotAddr(chunk, slot_index), value);
 }
 
 } // namespace cmt

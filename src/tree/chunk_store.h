@@ -24,7 +24,7 @@
 
 #include "mem/storage.h"
 #include "tree/authenticator.h"
-#include "tree/layout.h"
+#include "tree/shard_router.h"
 
 namespace cmt
 {
@@ -33,7 +33,7 @@ namespace cmt
 class ChunkStore : public Storage
 {
   public:
-    ChunkStore(Storage &base, const TreeLayout &layout,
+    ChunkStore(Storage &base, const ShardRouter &tree,
                const Authenticator &auth);
 
     void read(std::uint64_t addr, std::span<std::uint8_t> out) override;
@@ -60,11 +60,12 @@ class ChunkStore : public Storage
      */
     void markTouched(std::uint64_t chunk) { touched_.insert(chunk); }
 
-    /** Canonical (all-virgin) authenticator for a chunk at @p level. */
+    /** Canonical (all-virgin) authenticator for a chunk at @p level.
+     *  Shards are geometrically identical, so one table serves all. */
     const Slot &
     canonicalSlot(unsigned level) const
     {
-        cmt_assert(level >= 1 && level <= layout_.levels());
+        cmt_assert(level >= 1 && level <= tree_.levels());
         return canonicalSlots_[level];
     }
 
@@ -78,7 +79,11 @@ class ChunkStore : public Storage
     void writeSlot(std::uint64_t chunk, std::uint64_t slot_index,
                    const Slot &value);
 
-    const TreeLayout &layout() const { return layout_; }
+    /** One shard's geometry (identical across shards). */
+    const TreeLayout &layout() const { return tree_.shardLayout(); }
+
+    /** The shard router all addresses resolve through. */
+    const ShardRouter &tree() const { return tree_; }
 
   private:
     /** Fill @p out with the canonical content of @p chunk. */
@@ -89,7 +94,7 @@ class ChunkStore : public Storage
     void materialise(std::uint64_t chunk);
 
     Storage &base_;
-    const TreeLayout &layout_;
+    const ShardRouter &tree_;
     const Authenticator &auth_;
     std::unordered_set<std::uint64_t> touched_;
     /** canonicalSlots_[k] = authenticator of a virgin level-k chunk. */

@@ -9,24 +9,27 @@ namespace cmt
 {
 
 HashEngine::HashEngine(EventQueue &events, const HashEngineParams &params,
-                       StatGroup &stats)
+                       StatGroup &stats, unsigned lanes)
     : stat_jobs(stats, "hash.jobs", "digest jobs issued"),
       stat_bytes(stats, "hash.bytes", "bytes digested"),
-      events_(events), params_(params)
+      events_(events), params_(params),
+      nextFree_(lanes == 0 ? 1 : lanes, 0)
 {
     cmt_assert(params_.throughputBytesPerCycle > 0);
 }
 
 void
-HashEngine::hash(unsigned bytes, std::function<void()> on_done)
+HashEngine::hash(unsigned bytes, std::function<void()> on_done,
+                 std::uint64_t lane)
 {
     ++stat_jobs;
     stat_bytes += bytes;
 
+    Cycle &next_free = nextFree_[lane % nextFree_.size()];
     const Cycle occupancy = static_cast<Cycle>(
         std::ceil(bytes / params_.throughputBytesPerCycle));
-    const Cycle start = std::max(events_.now(), nextFree_);
-    nextFree_ = start + occupancy;
+    const Cycle start = std::max(events_.now(), next_free);
+    next_free = start + occupancy;
     busy_ += occupancy;
 
     events_.schedule(start + occupancy + params_.latency,

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "support/event.h"
 #include "support/stats.h"
@@ -35,20 +36,34 @@ struct HashEngineParams
     double throughputBytesPerCycle = 3.2;
 };
 
-/** In-order pipelined hash unit. */
+/**
+ * In-order pipelined hash unit. With @p lanes > 1 the unit replicates
+ * into independent pipelines (one per integrity shard): jobs on
+ * different lanes overlap, jobs on one lane stay in order. Lane count
+ * is hardware provisioning, not a per-run knob, so it is a
+ * constructor argument rather than a HashEngineParams field.
+ */
 class HashEngine
 {
   public:
     HashEngine(EventQueue &events, const HashEngineParams &params,
-               StatGroup &stats);
+               StatGroup &stats, unsigned lanes = 1);
 
     /**
-     * Enqueue a digest of @p bytes bytes; @p on_done fires when the
-     * digest would be available.
+     * Enqueue a digest of @p bytes bytes on @p lane (clamped modulo
+     * the lane count, so shard ids are safe to pass directly);
+     * @p on_done fires when the digest would be available.
      */
-    void hash(unsigned bytes, std::function<void()> on_done);
+    void hash(unsigned bytes, std::function<void()> on_done,
+              std::uint64_t lane = 0);
 
-    /** Cycles the pipeline front-end has been occupied. */
+    unsigned lanes() const
+    {
+        return static_cast<unsigned>(nextFree_.size());
+    }
+
+    /** Cycles the pipeline front-ends have been occupied (summed
+     *  across lanes). */
     Cycle busyCycles() const { return busy_; }
 
     Counter stat_jobs;
@@ -57,7 +72,8 @@ class HashEngine
   private:
     EventQueue &events_;
     HashEngineParams params_;
-    Cycle nextFree_ = 0;
+    /** Next cycle each lane's front-end can accept a job. */
+    std::vector<Cycle> nextFree_;
     Cycle busy_ = 0;
 };
 

@@ -15,9 +15,10 @@ void
 IncrementalPolicy::evictDirty(const CacheArray::Victim &victim)
 {
     FlowScope guard(l2_);
-    l2_.buffers().acquireWrite();
+    const std::uint64_t chunk = tree_.chunkOf(victim.blockAddr);
+    const std::uint64_t shard = tree_.shardOfChunk(chunk);
+    tree_.context(shard).buffers.acquireWrite();
 
-    const std::uint64_t chunk = layout_.chunkOf(victim.blockAddr);
     const unsigned block_idx = static_cast<unsigned>(
         (victim.blockAddr % params_.chunkSize) / params_.blockSize);
 
@@ -43,11 +44,11 @@ IncrementalPolicy::evictDirty(const CacheArray::Victim &victim)
     // read-update-publish below is atomic. Nested same-chunk slot
     // updates that do land during this allocation commute with ours:
     // each fixes only its own xor term.
-    const std::int64_t parent = layout_.parentOf(chunk);
+    const std::int64_t parent = tree_.parentOf(chunk);
     if (parent >= 0) {
         const std::uint64_t slot_addr =
-            layout_.slotAddr(static_cast<std::uint64_t>(parent),
-                             layout_.slotIndexOf(chunk));
+            tree_.slotAddr(static_cast<std::uint64_t>(parent),
+                           tree_.slotIndexOf(chunk));
         if (array_.lookup(slot_addr, false) == nullptr) {
             ++l2_.stat_writeMisses;
             l2_.allocateLine(array_.blockAddr(slot_addr));
@@ -65,26 +66,28 @@ IncrementalPolicy::evictDirty(const CacheArray::Victim &victim)
     // slot is cached, a recursive chunk fetch otherwise), the old
     // block is read straight from RAM, two h_k terms are computed,
     // then the block is written.
-    if (!parent_was_cached && layout_.parentOf(chunk) >= 0) {
+    if (!parent_was_cached && tree_.parentOf(chunk) >= 0) {
         ++l2_.stat_hashChunkFetches;
-        fetchChunk(static_cast<std::uint64_t>(layout_.parentOf(chunk)),
+        fetchChunk(static_cast<std::uint64_t>(tree_.parentOf(chunk)),
                    /*demand=*/false);
     }
 
     ++l2_.stat_integrityBlockReads; // the unchecked old-value read
     memory_.read(
         victim.blockAddr, params_.blockSize,
-        [this, block_addr = victim.blockAddr](
+        [this, block_addr = victim.blockAddr, shard](
             std::span<const std::uint8_t>) {
             auto jobs = std::make_shared<unsigned>(2);
             for (int i = 0; i < 2; ++i) {
                 hasher_.hash(static_cast<unsigned>(params_.blockSize),
-                             [this, jobs]() {
+                             [this, jobs, shard]() {
                                  if (--*jobs > 0)
                                      return;
-                                 l2_.buffers().releaseWrite();
+                                 tree_.context(shard)
+                                     .buffers.releaseWrite();
                                  l2_.retryPendingMisses();
-                             });
+                             },
+                             shard);
             }
             memory_.write(block_addr, params_.blockSize);
         });

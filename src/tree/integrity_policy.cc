@@ -13,9 +13,8 @@ namespace cmt
 
 IntegrityPolicy::IntegrityPolicy(L2Controller &l2)
     : l2_(l2), events_(l2.events()), memory_(l2.memory()),
-      ram_(l2.ram()), hasher_(l2.hasher()), layout_(l2.layout()),
-      auth_(l2.auth()), params_(l2.params()), array_(l2.array()),
-      roots_(l2.roots())
+      ram_(l2.ram()), hasher_(l2.hasher()), tree_(l2.tree()),
+      auth_(l2.auth()), params_(l2.params()), array_(l2.array())
 {}
 
 std::vector<std::uint8_t>

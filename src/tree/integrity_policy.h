@@ -35,9 +35,10 @@ namespace cmt
  * Scheme-specific miss/write-back behaviour behind an L2Controller.
  *
  * The base class captures references to the controller's shared
- * machinery (event queue, bus, RAM image, hash engine, tree layout,
- * cache array, root registers) so subclasses read like the paper's
- * algorithms rather than plumbing.
+ * machinery (event queue, bus, RAM image, hash engine, shard router,
+ * cache array) so subclasses read like the paper's algorithms rather
+ * than plumbing. Root registers and check buffers are reached through
+ * the router's per-shard TreeContext, never directly.
  */
 class IntegrityPolicy
 {
@@ -72,7 +73,7 @@ class IntegrityPolicy
     virtual bool
     storeMissAllocatesWithoutFetch(std::uint64_t ram_addr) const
     {
-        return layout_.isHashChunk(layout_.chunkOf(ram_addr)) ||
+        return tree_.isHashChunk(tree_.chunkOf(ram_addr)) ||
                params_.writeAllocNoFetch;
     }
 
@@ -90,11 +91,12 @@ class IntegrityPolicy
     MainMemory &memory_;
     ChunkStore &ram_;
     HashEngine &hasher_;
-    const TreeLayout &layout_;
+    /** Global geometry + per-shard roots and check buffers. All slot
+     *  resolution, ancestor walks and root access go through here. */
+    ShardRouter &tree_;
     const Authenticator &auth_;
     const L2Params &params_;
     CacheArray &array_;
-    std::vector<Slot> &roots_;
 };
 
 /**

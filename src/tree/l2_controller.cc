@@ -14,7 +14,7 @@ namespace cmt
 
 L2Controller::L2Controller(EventQueue &events, MainMemory &memory,
                            ChunkStore &ram, HashEngine &hasher,
-                           const TreeLayout &layout,
+                           ShardRouter &tree,
                            const Authenticator &auth,
                            const L2Params &params, StatGroup &stats,
                            PolicyFactory factory)
@@ -39,17 +39,15 @@ L2Controller::L2Controller(EventQueue &events, MainMemory &memory,
       stat_bufferStallEvents(stats, "l2.buffer_stalls",
                              "demand misses queued on full buffers"),
       events_(events), memory_(memory), ram_(ram), hasher_(hasher),
-      layout_(layout), auth_(auth), params_(params),
+      tree_(tree), auth_(auth), params_(params),
       array_(CacheParams{"l2", params.sizeBytes, params.assoc,
-                         params.blockSize, /*storesData=*/true}),
-      buffers_(params.readBufferEntries, params.writeBufferEntries)
+                         params.blockSize, /*storesData=*/true})
 {
     cmt_assert(params_.chunkSize % params_.blockSize == 0);
-    cmt_assert(params_.chunkSize == layout_.chunkSize());
+    cmt_assert(params_.chunkSize == tree_.chunkSize());
+    cmt_assert(params_.shards == tree_.shards());
 
-    roots_.resize(layout_.arity());
-    for (std::uint64_t i = 0; i < layout_.arity(); ++i)
-        roots_[i] = ram_.canonicalSlot(1);
+    tree_.resetRoots(ram_.canonicalSlot(1));
 
     policy_ = factory ? factory(params_.scheme, *this)
                       : makeIntegrityPolicy(params_.scheme, *this);
@@ -81,7 +79,7 @@ L2Controller::debugCheckInvariant(const char *tag)
 bool
 L2Controller::demandStalled() const
 {
-    return policy_->verifiesIntegrity() && !buffers_.available();
+    return policy_->verifiesIntegrity() && !tree_.anyBufferAvailable();
 }
 
 // --------------------------------------------------------------------
@@ -156,7 +154,7 @@ L2Controller::writeRam(std::uint64_t ram_addr,
         }
     }
     if (traceChunkId() >= 0 &&
-        layout_.chunkOf(ram_addr) ==
+        tree_.chunkOf(ram_addr) ==
             static_cast<std::uint64_t>(traceChunkId())) {
         debugf("@%llu writeRam into chunk=%lld addr=%llx size=%zu\n",
                static_cast<unsigned long long>(events_.now()),
@@ -177,10 +175,13 @@ void
 L2Controller::startMiss(std::uint64_t ram_addr, std::uint64_t need_mask,
                         Callback on_data)
 {
-    if (policy_->verifiesIntegrity() && !buffers_.available()) {
+    // Admission control is per shard: a miss only competes for its own
+    // shard's check buffers, so shards verify in parallel.
+    VerifyBuffer &buffers = tree_.buffersOfRam(ram_addr);
+    if (policy_->verifiesIntegrity() && !buffers.available()) {
         ++stat_bufferStallEvents;
-        buffers_.defer(VerifyBuffer::DeferredMiss{ram_addr, need_mask,
-                                                  std::move(on_data)});
+        buffers.defer(VerifyBuffer::DeferredMiss{ram_addr, need_mask,
+                                                 std::move(on_data)});
         return;
     }
 
@@ -196,15 +197,22 @@ L2Controller::startMiss(std::uint64_t ram_addr, std::uint64_t need_mask,
 void
 L2Controller::retryPendingMisses()
 {
-    while (buffers_.hasDeferred() && buffers_.available()) {
-        VerifyBuffer::DeferredMiss pm = buffers_.popDeferred();
-        // Re-check: the block may have been filled meanwhile.
-        CacheArray::Line *line = array_.lookup(pm.ramAddr);
-        if (line && (line->validWords & pm.needMask) == pm.needMask) {
-            events_.scheduleIn(params_.hitLatency, std::move(pm.onData));
-            continue;
+    // Deterministic shard order keeps K = 1 behaviour bit-identical
+    // (one shard, one queue) and K > 1 reproducible.
+    for (unsigned s = 0; s < tree_.shards(); ++s) {
+        VerifyBuffer &buffers = tree_.context(s).buffers;
+        while (buffers.hasDeferred() && buffers.available()) {
+            VerifyBuffer::DeferredMiss pm = buffers.popDeferred();
+            // Re-check: the block may have been filled meanwhile.
+            CacheArray::Line *line = array_.lookup(pm.ramAddr);
+            if (line &&
+                (line->validWords & pm.needMask) == pm.needMask) {
+                events_.scheduleIn(params_.hitLatency,
+                                   std::move(pm.onData));
+                continue;
+            }
+            startMiss(pm.ramAddr, pm.needMask, std::move(pm.onData));
         }
-        startMiss(pm.ramAddr, pm.needMask, std::move(pm.onData));
     }
 }
 
@@ -221,7 +229,7 @@ L2Controller::completeMshr(std::uint64_t block_addr)
     // Privacy extension: data blocks decrypt on the way in.
     const Cycle extra =
         params_.encryptData &&
-                !layout_.isHashChunk(layout_.chunkOf(block_addr))
+                !tree_.isHashChunk(tree_.chunkOf(block_addr))
             ? params_.decryptLatency
             : 0;
     for (auto &cb : it->second.waiters)
@@ -232,7 +240,7 @@ L2Controller::completeMshr(std::uint64_t block_addr)
 void
 L2Controller::completeMshrsOfChunk(std::uint64_t chunk)
 {
-    const std::uint64_t base = layout_.chunkAddr(chunk);
+    const std::uint64_t base = tree_.chunkAddr(chunk);
     for (unsigned b = 0; b < blocksPerChunk(); ++b)
         completeMshr(base + static_cast<std::uint64_t>(b) *
                                 params_.blockSize);
@@ -270,7 +278,7 @@ L2Controller::fillBlockFromRam(std::uint64_t block_addr)
 void
 L2Controller::fillChunkFromRam(std::uint64_t chunk)
 {
-    const std::uint64_t base = layout_.chunkAddr(chunk);
+    const std::uint64_t base = tree_.chunkAddr(chunk);
     for (unsigned b = 0; b < blocksPerChunk(); ++b)
         fillBlockFromRam(base + static_cast<std::uint64_t>(b) *
                                     params_.blockSize);
@@ -283,11 +291,11 @@ L2Controller::fillChunkFromRam(std::uint64_t chunk)
 bool
 L2Controller::parentSlotCachedNow(std::uint64_t chunk)
 {
-    const std::int64_t parent = layout_.parentOf(chunk);
+    const std::int64_t parent = tree_.parentOf(chunk);
     if (parent < 0)
         return true;
-    const std::uint64_t slot_addr = layout_.slotAddr(
-        static_cast<std::uint64_t>(parent), layout_.slotIndexOf(chunk));
+    const std::uint64_t slot_addr = tree_.slotAddr(
+        static_cast<std::uint64_t>(parent), tree_.slotIndexOf(chunk));
     CacheArray::Line *line = array_.lookup(slot_addr, false);
     if (line == nullptr)
         return false;
@@ -299,13 +307,13 @@ L2Controller::parentSlotCachedNow(std::uint64_t chunk)
 Slot
 L2Controller::expectedSlotNow(std::uint64_t chunk)
 {
-    const std::int64_t parent = layout_.parentOf(chunk);
+    const std::int64_t parent = tree_.parentOf(chunk);
     if (parent < 0)
-        return roots_[chunk];
+        return tree_.rootOf(chunk);
 
     const std::uint64_t pchunk = static_cast<std::uint64_t>(parent);
-    const std::uint64_t slot_index = layout_.slotIndexOf(chunk);
-    const std::uint64_t slot_addr = layout_.slotAddr(pchunk, slot_index);
+    const std::uint64_t slot_index = tree_.slotIndexOf(chunk);
+    const std::uint64_t slot_addr = tree_.slotAddr(pchunk, slot_index);
 
     CacheArray::Line *line = array_.lookup(slot_addr, false);
     if (line != nullptr) {
@@ -352,12 +360,12 @@ L2Controller::handleEviction(CacheArray::Victim &&victim)
 {
     // Inclusion: tell the L1s their copies are gone.
     if (onBackInvalidate &&
-        !layout_.isHashChunk(layout_.chunkOf(victim.blockAddr))) {
-        onBackInvalidate(layout_.ramToData(victim.blockAddr),
+        !tree_.isHashChunk(tree_.chunkOf(victim.blockAddr))) {
+        onBackInvalidate(tree_.ramToData(victim.blockAddr),
                          params_.blockSize);
     }
 
-    if (static_cast<std::int64_t>(layout_.chunkOf(victim.blockAddr)) ==
+    if (static_cast<std::int64_t>(tree_.chunkOf(victim.blockAddr)) ==
         traceChunkId()) {
         debugf("@%llu handleEviction chunk=%lld dirty=%d valid=%llx\n",
                static_cast<unsigned long long>(events_.now()),
@@ -381,12 +389,12 @@ L2Controller::verifyTreeConsistency()
         return true;
     for (const std::uint64_t chunk : ram_.touchedChunks()) {
         const std::vector<std::uint8_t> image = ramChunkImage(chunk);
-        const std::int64_t parent = layout_.parentOf(chunk);
+        const std::int64_t parent = tree_.parentOf(chunk);
         const Slot expected =
             parent < 0
-                ? roots_[chunk]
+                ? tree_.rootOf(chunk)
                 : ram_.readSlot(static_cast<std::uint64_t>(parent),
-                                layout_.slotIndexOf(chunk));
+                                tree_.slotIndexOf(chunk));
         if (!auth_.verify(image, expected))
             return false;
     }

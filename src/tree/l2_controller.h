@@ -7,8 +7,10 @@
  * The controller owns everything every scheme shares: the CacheArray,
  * MSHRs and demand-miss queueing, the write-back/eviction flow
  * (inclusion back-invalidation, clean/dirty accounting, the
- * allocation/eviction cascade), per-word-valid store handling, the
- * trusted root registers, and the VerifyBuffer occupancy gate. What a
+ * allocation/eviction cascade), and per-word-valid store handling.
+ * The trusted root registers and the VerifyBuffer occupancy gates
+ * live in the ShardRouter (shard_router.h), one TreeContext per
+ * shard, which the controller routes every address through. What a
  * scheme *does* on a demand miss or a dirty eviction is delegated to
  * an IntegrityPolicy (integrity_policy.h), created through
  * makeIntegrityPolicy(): NullPolicy (base), NaivePolicy,
@@ -45,8 +47,8 @@
 #include "tree/authenticator.h"
 #include "tree/chunk_store.h"
 #include "tree/hash_engine.h"
-#include "tree/layout.h"
 #include "tree/scheme.h"
+#include "tree/shard_router.h"
 #include "tree/verify_buffer.h"
 
 namespace cmt
@@ -90,6 +92,13 @@ struct L2Params
     /** Section 5.8: return data before its check completes. */
     bool speculativeChecks = true;
     /**
+     * Shard dimension: the protected region splits into this many
+     * independent subtrees, each with its own root registers and
+     * VerifyBuffer (shard_router.h). 1 reproduces the paper's single
+     * tree bit-for-bit.
+     */
+    unsigned shards = 1;
+    /**
      * Extension (beyond the paper, toward AEGIS): encrypt data blocks
      * off-chip. Modelled as a pipelined decrypt latency on the miss
      * return path for data (not hash) blocks - one-time-pad style
@@ -115,7 +124,7 @@ class L2Controller
      */
     L2Controller(EventQueue &events, MainMemory &memory,
                  ChunkStore &ram, HashEngine &hasher,
-                 const TreeLayout &layout, const Authenticator &auth,
+                 ShardRouter &tree, const Authenticator &auth,
                  const L2Params &params, StatGroup &stats,
                  PolicyFactory factory = {});
     ~L2Controller();
@@ -163,13 +172,14 @@ class L2Controller
     }
 
     /**
-     * Checks still in flight (read- plus write-buffer occupancy);
-     * crypto barrier instructions drain this to zero before they
-     * commit (Section 5.8).
+     * Checks still in flight across every shard (read- plus
+     * write-buffer occupancy); crypto barrier instructions drain this
+     * to zero before they commit (Section 5.8).
      */
-    unsigned pendingChecks() const { return buffers_.pending(); }
+    unsigned pendingChecks() const { return tree_.pendingChecks(); }
 
-    const TreeLayout &layout() const { return layout_; }
+    /** One shard's geometry (identical across shards). */
+    const TreeLayout &layout() const { return tree_.shardLayout(); }
     Scheme scheme() const { return params_.scheme; }
 
     // ----- statistics -------------------------------------------------
@@ -200,10 +210,9 @@ class L2Controller
     const Authenticator &auth() const { return auth_; }
     const L2Params &params() const { return params_; }
     CacheArray &array() { return array_; }
-    /** On-chip root registers (level-1 authenticators). */
-    std::vector<Slot> &roots() { return roots_; }
-    /** Hash read/write buffer occupancy + deferred demand misses. */
-    VerifyBuffer &buffers() { return buffers_; }
+    /** Shard router: global tree geometry plus every shard's root
+     *  registers and check buffers (TreeContext). */
+    ShardRouter &tree() { return tree_; }
 
     unsigned blocksPerChunk() const
     {
@@ -272,7 +281,7 @@ class L2Controller
     /** RAM address helpers. */
     std::uint64_t ramOf(std::uint64_t cpu_addr) const
     {
-        return layout_.dataToRam(cpu_addr);
+        return tree_.dataToRam(cpu_addr);
     }
 
     /** Internal read access in RAM address space. */
@@ -290,14 +299,10 @@ class L2Controller
     MainMemory &memory_;
     ChunkStore &ram_;
     HashEngine &hasher_;
-    const TreeLayout &layout_;
+    ShardRouter &tree_;
     const Authenticator &auth_;
     L2Params params_;
     CacheArray array_;
-    VerifyBuffer buffers_;
-
-    /** On-chip root registers (level-1 authenticators). */
-    std::vector<Slot> roots_;
 
     std::map<std::uint64_t, Mshr> mshrs_; ///< by block address
 

@@ -8,32 +8,34 @@ namespace cmt
 void
 NaivePolicy::startDemandMiss(std::uint64_t block_addr)
 {
-    l2_.buffers().acquireRead();
-    const std::uint64_t chunk = layout_.chunkOf(block_addr);
+    const std::uint64_t chunk = tree_.chunkOf(block_addr);
+    const std::uint64_t shard = tree_.shardOfChunk(chunk);
+    tree_.context(shard).buffers.acquireRead();
 
-    // Read the whole leaf chunk plus every ancestor hash chunk.
+    // Read the whole leaf chunk plus every ancestor hash chunk (the
+    // walk stays inside the chunk's shard by construction).
     std::vector<std::uint64_t> path;
     path.push_back(chunk);
-    std::int64_t cur = layout_.parentOf(chunk);
+    std::int64_t cur = tree_.parentOf(chunk);
     while (cur >= 0) {
         path.push_back(static_cast<std::uint64_t>(cur));
-        cur = layout_.parentOf(static_cast<std::uint64_t>(cur));
+        cur = tree_.parentOf(static_cast<std::uint64_t>(cur));
     }
 
     auto pending = std::make_shared<unsigned>(
         static_cast<unsigned>(path.size()));
 
-    const auto all_arrived = [this, block_addr, path]() {
+    const auto all_arrived = [this, block_addr, path, shard]() {
         // Verdict: walk the chain bottom-up against current RAM.
         bool ok = true;
         for (const std::uint64_t c : path) {
             const std::vector<std::uint8_t> image = l2_.ramChunkImage(c);
-            const std::int64_t parent = layout_.parentOf(c);
+            const std::int64_t parent = tree_.parentOf(c);
             const Slot expected =
                 parent < 0
-                    ? roots_[c]
+                    ? tree_.rootOf(c)
                     : ram_.readSlot(static_cast<std::uint64_t>(parent),
-                                    layout_.slotIndexOf(c));
+                                    tree_.slotIndexOf(c));
             ok = ok && auth_.verify(image, expected);
         }
 
@@ -49,7 +51,7 @@ NaivePolicy::startDemandMiss(std::uint64_t block_addr)
             static_cast<unsigned>(path.size()));
         for (std::size_t i = 0; i < path.size(); ++i) {
             hasher_.hash(static_cast<unsigned>(params_.chunkSize),
-                         [this, jobs, ok, block_addr]() {
+                         [this, jobs, ok, block_addr, shard]() {
                              if (--*jobs > 0)
                                  return;
                              ++l2_.stat_checks;
@@ -57,9 +59,10 @@ NaivePolicy::startDemandMiss(std::uint64_t block_addr)
                                  ++l2_.stat_checkFailures;
                              if (!params_.speculativeChecks)
                                  l2_.completeMshr(block_addr);
-                             l2_.buffers().releaseRead();
+                             tree_.context(shard).buffers.releaseRead();
                              l2_.retryPendingMisses();
-                         });
+                         },
+                         shard);
         }
     };
 
@@ -68,7 +71,7 @@ NaivePolicy::startDemandMiss(std::uint64_t block_addr)
             ++l2_.stat_demandBlockReads;
         else
             ++l2_.stat_integrityBlockReads;
-        memory_.read(layout_.chunkAddr(path[i]),
+        memory_.read(tree_.chunkAddr(path[i]),
                      static_cast<unsigned>(params_.chunkSize),
                      [pending, all_arrived](std::span<const std::uint8_t>) {
                          if (--*pending == 0)
@@ -81,13 +84,14 @@ void
 NaivePolicy::evictDirty(const CacheArray::Victim &victim)
 {
     FlowScope guard(l2_);
-    l2_.buffers().acquireWrite();
+    const std::uint64_t chunk = tree_.chunkOf(victim.blockAddr);
+    const std::uint64_t shard = tree_.shardOfChunk(chunk);
+    tree_.context(shard).buffers.acquireWrite();
 
     // Functional: merge, write, and rebuild the ancestor path now.
     const std::vector<std::uint8_t> merged =
         mergeVictimOverRam(victim, ram_, params_.blockSize);
     ram_.write(victim.blockAddr, merged);
-    const std::uint64_t chunk = layout_.chunkOf(victim.blockAddr);
     const unsigned ancestors = recomputePath(chunk);
 
     // Timing: read every ancestor (read-modify-write) plus the block's
@@ -98,26 +102,28 @@ NaivePolicy::evictDirty(const CacheArray::Victim &victim)
     const unsigned reads = ancestors + (partial ? 1 : 0);
     l2_.stat_integrityBlockReads += reads;
 
-    const auto after_reads = [this, ancestors, chunk]() {
+    const auto after_reads = [this, ancestors, chunk, shard]() {
         const unsigned jobs_total = ancestors + 1;
         auto jobs = std::make_shared<unsigned>(jobs_total);
         for (unsigned i = 0; i < jobs_total; ++i) {
             hasher_.hash(static_cast<unsigned>(params_.chunkSize),
-                         [this, jobs]() {
+                         [this, jobs, shard]() {
                              if (--*jobs > 0)
                                  return;
-                             l2_.buffers().releaseWrite();
+                             tree_.context(shard)
+                                 .buffers.releaseWrite();
                              l2_.retryPendingMisses();
-                         });
+                         },
+                         shard);
         }
         // Write the block plus every ancestor chunk.
-        memory_.write(layout_.chunkAddr(chunk), params_.blockSize);
-        std::int64_t cur = layout_.parentOf(chunk);
+        memory_.write(tree_.chunkAddr(chunk), params_.blockSize);
+        std::int64_t cur = tree_.parentOf(chunk);
         while (cur >= 0) {
             memory_.write(
-                layout_.chunkAddr(static_cast<std::uint64_t>(cur)),
+                tree_.chunkAddr(static_cast<std::uint64_t>(cur)),
                 static_cast<unsigned>(params_.chunkSize));
-            cur = layout_.parentOf(static_cast<std::uint64_t>(cur));
+            cur = tree_.parentOf(static_cast<std::uint64_t>(cur));
         }
     };
 
@@ -126,14 +132,14 @@ NaivePolicy::evictDirty(const CacheArray::Victim &victim)
         return;
     }
     *pending = reads;
-    std::int64_t cur = layout_.parentOf(chunk);
+    std::int64_t cur = tree_.parentOf(chunk);
     for (unsigned i = 0; i < reads; ++i) {
         // Addresses only matter for bus occupancy; use the path.
         const std::uint64_t addr =
-            cur >= 0 ? layout_.chunkAddr(static_cast<std::uint64_t>(cur))
+            cur >= 0 ? tree_.chunkAddr(static_cast<std::uint64_t>(cur))
                      : victim.blockAddr;
         if (cur >= 0)
-            cur = layout_.parentOf(static_cast<std::uint64_t>(cur));
+            cur = tree_.parentOf(static_cast<std::uint64_t>(cur));
         memory_.read(addr, static_cast<unsigned>(params_.chunkSize),
                      [pending, after_reads](std::span<const std::uint8_t>) {
                          if (--*pending == 0)
@@ -150,13 +156,13 @@ NaivePolicy::recomputePath(std::uint64_t chunk)
     const Slot zero{};
     for (;;) {
         const Slot slot = auth_.compute(l2_.ramChunkImage(cur), zero);
-        const std::int64_t parent = layout_.parentOf(cur);
+        const std::int64_t parent = tree_.parentOf(cur);
         if (parent < 0) {
-            roots_[cur] = slot;
+            tree_.rootOf(cur) = slot;
             break;
         }
         ram_.writeSlot(static_cast<std::uint64_t>(parent),
-                       layout_.slotIndexOf(cur), slot);
+                       tree_.slotIndexOf(cur), slot);
         cur = static_cast<std::uint64_t>(parent);
         ++updated;
     }

@@ -1,0 +1,27 @@
+#include "tree/shard_router.h"
+
+#include "support/bitops.h"
+
+namespace cmt
+{
+
+ShardRouter::ShardRouter(std::uint64_t chunk_size,
+                         std::uint64_t protected_size, unsigned shards,
+                         unsigned read_buffer_entries,
+                         unsigned write_buffer_entries)
+    : shards_(shards),
+      layout_(chunk_size, [&] {
+          cmt_assert(isPow2(shards));
+          cmt_assert(protected_size % shards == 0);
+          return protected_size / shards;
+      }()),
+      span_(layout_.totalChunks()),
+      spanBytes_(span_ * layout_.chunkSize())
+{
+    contexts_.reserve(shards_);
+    for (unsigned s = 0; s < shards_; ++s)
+        contexts_.emplace_back(layout_.arity(), read_buffer_entries,
+                               write_buffer_entries);
+}
+
+} // namespace cmt

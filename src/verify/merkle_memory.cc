@@ -40,10 +40,10 @@ MerkleMemory::MerkleMemory(Storage &untrusted, const MerkleConfig &config)
       statCacheHits(stats_, "mm.cache_hits", "trusted-cache hits"),
       statCacheMisses(stats_, "mm.cache_misses", "trusted-cache misses"),
       untrusted_(untrusted), config_(config),
-      layout_(config.chunkSize, config.protectedSize),
+      tree_(config.chunkSize, config.protectedSize, config.shards),
       auth_(config.auth, config.key, config.blockSize,
             config.timestamps),
-      chunks_(untrusted, layout_, auth_)
+      chunks_(untrusted, tree_, auth_)
 {
     cmt_assert(isPow2(config_.blockSize));
     cmt_assert(config_.blockSize <= config_.chunkSize);
@@ -51,16 +51,15 @@ MerkleMemory::MerkleMemory(Storage &untrusted, const MerkleConfig &config)
                XorMac::kMaxBlocks);
     if (config_.cacheChunks > 0) {
         // The cached mode pins a root-to-leaf path while loading, so
-        // the cache must comfortably exceed the tree height.
-        cmt_assert(config_.cacheChunks >= 2 * layout_.levels() + 2);
+        // the cache must comfortably exceed the (per-shard) tree
+        // height.
+        cmt_assert(config_.cacheChunks >= 2 * tree_.levels() + 2);
     }
 
-    // Root registers start at the canonical (all-virgin) values; this
-    // *is* the paper's initialisation procedure, collapsed by the
-    // lazily-materialising chunk store.
-    roots_.resize(layout_.arity());
-    for (auto &r : roots_)
-        r = chunks_.canonicalSlot(1);
+    // Every shard's root registers start at the canonical
+    // (all-virgin) values; this *is* the paper's initialisation
+    // procedure, collapsed by the lazily-materialising chunk store.
+    tree_.resetRoots(chunks_.canonicalSlot(1));
 }
 
 Scheme
@@ -96,10 +95,10 @@ MerkleMemory::store64(std::uint64_t addr, std::uint64_t value)
 Slot
 MerkleMemory::trustedSlotOf(std::uint64_t chunk)
 {
-    const std::int64_t parent = layout_.parentOf(chunk);
+    const std::int64_t parent = tree_.parentOf(chunk);
     if (parent < 0)
-        return roots_[chunk];
-    const std::uint64_t slot_index = layout_.slotIndexOf(chunk);
+        return tree_.rootOf(chunk);
+    const std::uint64_t slot_index = tree_.slotIndexOf(chunk);
     if (config_.cacheChunks > 0) {
         CacheEntry &entry = getCached(static_cast<std::uint64_t>(parent));
         return slotFromImage(entry.data, slot_index);
@@ -144,13 +143,13 @@ MerkleMemory::getCached(std::uint64_t chunk)
     // path into the cache (each fetched node becomes the trusted root
     // of its subtree, exactly the c-scheme intuition).
     Slot expected;
-    const std::int64_t parent = layout_.parentOf(chunk);
+    const std::int64_t parent = tree_.parentOf(chunk);
     if (parent < 0) {
-        expected = roots_[chunk];
+        expected = tree_.rootOf(chunk);
     } else {
         CacheEntry &pentry =
             getCached(static_cast<std::uint64_t>(parent));
-        expected = slotFromImage(pentry.data, layout_.slotIndexOf(chunk));
+        expected = slotFromImage(pentry.data, tree_.slotIndexOf(chunk));
     }
 
     // The parent fetch can itself pull this chunk into the cache (a
@@ -235,7 +234,7 @@ MerkleMemory::writeBack(std::uint64_t chunk, CacheEntry &entry)
                 continue;
             std::vector<std::uint8_t> old_block(config_.blockSize);
             const std::uint64_t baddr =
-                layout_.chunkAddr(chunk) + j * config_.blockSize;
+                tree_.chunkAddr(chunk) + j * config_.blockSize;
             chunks_.read(baddr, old_block);
             const std::span<const std::uint8_t> new_block{
                 entry.data.data() + j * config_.blockSize,
@@ -252,7 +251,7 @@ MerkleMemory::writeBack(std::uint64_t chunk, CacheEntry &entry)
         const Slot prev{};
         new_slot = auth_.compute(entry.data, prev);
         ++statAuthComputes;
-        chunks_.write(layout_.chunkAddr(chunk), entry.data);
+        chunks_.write(tree_.chunkAddr(chunk), entry.data);
         ++statUntrustedWrites;
     }
 
@@ -264,14 +263,14 @@ MerkleMemory::writeBack(std::uint64_t chunk, CacheEntry &entry)
 void
 MerkleMemory::updateParentSlot(std::uint64_t child, const Slot &value)
 {
-    const std::int64_t parent = layout_.parentOf(child);
+    const std::int64_t parent = tree_.parentOf(child);
     if (parent < 0) {
-        roots_[child] = value;
+        tree_.rootOf(child) = value;
         return;
     }
     const std::uint64_t pchunk = static_cast<std::uint64_t>(parent);
     const std::uint64_t offset =
-        layout_.slotIndexOf(child) * TreeLayout::kSlotSize;
+        tree_.slotIndexOf(child) * TreeLayout::kSlotSize;
 
     if (config_.cacheChunks > 0) {
         CacheEntry &entry = getCached(pchunk);
@@ -287,7 +286,7 @@ void
 MerkleMemory::storeDirect(std::uint64_t chunk, std::uint64_t offset,
                           std::span<const std::uint8_t> in)
 {
-    cmt_assert(offset + in.size() <= layout_.chunkSize());
+    cmt_assert(offset + in.size() <= tree_.chunkSize());
     cmt_assert(config_.cacheChunks == 0);
 
     // Single walk: collect and verify the ancestor path bottom-up,
@@ -296,7 +295,7 @@ MerkleMemory::storeDirect(std::uint64_t chunk, std::uint64_t offset,
     std::vector<std::uint64_t> path; // leaf first
     std::vector<std::vector<std::uint8_t>> images;
     for (std::int64_t cur = static_cast<std::int64_t>(chunk); cur >= 0;
-         cur = layout_.parentOf(static_cast<std::uint64_t>(cur))) {
+         cur = tree_.parentOf(static_cast<std::uint64_t>(cur))) {
         path.push_back(static_cast<std::uint64_t>(cur));
         images.push_back(
             chunks_.readChunk(static_cast<std::uint64_t>(cur)));
@@ -307,7 +306,7 @@ MerkleMemory::storeDirect(std::uint64_t chunk, std::uint64_t offset,
         Slot s;
         std::memcpy(s.data(),
                     images[level].data() +
-                        layout_.slotIndexOf(child) *
+                        tree_.slotIndexOf(child) *
                             TreeLayout::kSlotSize,
                     s.size());
         return s;
@@ -318,7 +317,7 @@ MerkleMemory::storeDirect(std::uint64_t chunk, std::uint64_t offset,
     for (std::size_t i = 0; i < path.size(); ++i) {
         current_slots[i] = i + 1 < path.size()
                                ? slot_in(i + 1, path[i])
-                               : roots_[path[i]];
+                               : tree_.rootOf(path[i]);
         ++statChecks;
         ++statAuthComputes;
         if (!auth_.verify(images[i], current_slots[i])) {
@@ -354,13 +353,13 @@ MerkleMemory::storeDirect(std::uint64_t chunk, std::uint64_t offset,
         new_slot = auth_.compute(images[0], current_slots[0]);
         ++statAuthComputes;
     }
-    chunks_.write(layout_.chunkAddr(path[0]), images[0]);
+    chunks_.write(tree_.chunkAddr(path[0]), images[0]);
     ++statUntrustedWrites;
 
     // Ripple the new authenticators up the (already verified) path.
     for (std::size_t i = 1; i < path.size(); ++i) {
         const std::uint64_t slot_offset =
-            layout_.slotIndexOf(path[i - 1]) * TreeLayout::kSlotSize;
+            tree_.slotIndexOf(path[i - 1]) * TreeLayout::kSlotSize;
         if (auth_.incremental()) {
             std::vector<std::uint8_t> new_bytes = images[i];
             std::memcpy(new_bytes.data() + slot_offset, new_slot.data(),
@@ -381,10 +380,10 @@ MerkleMemory::storeDirect(std::uint64_t chunk, std::uint64_t offset,
             new_slot = auth_.compute(images[i], current_slots[i]);
             ++statAuthComputes;
         }
-        chunks_.write(layout_.chunkAddr(path[i]), images[i]);
+        chunks_.write(tree_.chunkAddr(path[i]), images[i]);
         ++statUntrustedWrites;
     }
-    roots_[path.back()] = new_slot;
+    tree_.rootOf(path.back()) = new_slot;
 }
 
 void
@@ -395,11 +394,11 @@ MerkleMemory::load(std::uint64_t addr, std::span<std::uint8_t> out)
 
     std::size_t done = 0;
     while (done < out.size()) {
-        const std::uint64_t ram = layout_.dataToRam(addr + done);
-        const std::uint64_t chunk = layout_.chunkOf(ram);
-        const std::uint64_t offset = ram % layout_.chunkSize();
+        const std::uint64_t ram = tree_.dataToRam(addr + done);
+        const std::uint64_t chunk = tree_.chunkOf(ram);
+        const std::uint64_t offset = ram % tree_.chunkSize();
         const std::size_t take = std::min<std::size_t>(
-            out.size() - done, layout_.chunkSize() - offset);
+            out.size() - done, tree_.chunkSize() - offset);
         if (config_.cacheChunks > 0) {
             CacheEntry &entry = getCached(chunk);
             std::memcpy(out.data() + done, entry.data.data() + offset,
@@ -420,11 +419,11 @@ MerkleMemory::store(std::uint64_t addr, std::span<const std::uint8_t> in)
 
     std::size_t done = 0;
     while (done < in.size()) {
-        const std::uint64_t ram = layout_.dataToRam(addr + done);
-        const std::uint64_t chunk = layout_.chunkOf(ram);
-        const std::uint64_t offset = ram % layout_.chunkSize();
+        const std::uint64_t ram = tree_.dataToRam(addr + done);
+        const std::uint64_t chunk = tree_.chunkOf(ram);
+        const std::uint64_t offset = ram % tree_.chunkSize();
         const std::size_t take = std::min<std::size_t>(
-            in.size() - done, layout_.chunkSize() - offset);
+            in.size() - done, tree_.chunkSize() - offset);
         if (config_.cacheChunks > 0) {
             CacheEntry &entry = getCached(chunk);
             std::memcpy(entry.data.data() + offset, in.data() + done,
@@ -479,17 +478,24 @@ MerkleMemory::dmaWrite(std::uint64_t addr,
                        std::span<const std::uint8_t> in)
 {
     cmt_assert(addr + in.size() <= size());
-    chunks_.write(layout_.dataToRam(addr), in);
-    // Drop (without write-back) any cached copies the DMA bypassed.
-    std::uint64_t first = layout_.chunkOf(layout_.dataToRam(addr));
-    std::uint64_t last =
-        layout_.chunkOf(layout_.dataToRam(addr + in.size() - 1));
-    for (std::uint64_t chunk = first; chunk <= last; ++chunk) {
+    // Chunk-by-chunk: with shards the RAM image of a data range is
+    // not contiguous (each shard interleaves its own hash chunks), so
+    // the landing addresses must be resolved per chunk.
+    std::size_t done = 0;
+    while (done < in.size()) {
+        const std::uint64_t ram = tree_.dataToRam(addr + done);
+        const std::uint64_t chunk = tree_.chunkOf(ram);
+        const std::uint64_t offset = ram % tree_.chunkSize();
+        const std::size_t take = std::min<std::size_t>(
+            in.size() - done, tree_.chunkSize() - offset);
+        chunks_.write(ram, in.subspan(done, take));
+        // Drop (without write-back) any cached copy the DMA bypassed.
         auto it = cache_.find(chunk);
         if (it != cache_.end()) {
             lru_.erase(it->second.lruIt);
             cache_.erase(it);
         }
+        done += take;
     }
 }
 
@@ -497,11 +503,12 @@ void
 MerkleMemory::rebuild(std::uint64_t addr, std::uint64_t len)
 {
     cmt_assert(len > 0 && addr + len <= size());
-    const std::uint64_t first =
-        layout_.chunkOf(layout_.dataToRam(addr));
-    const std::uint64_t last =
-        layout_.chunkOf(layout_.dataToRam(addr + len - 1));
-    for (std::uint64_t chunk = first; chunk <= last; ++chunk) {
+    // Walk the data address space (not chunk indices): between two
+    // shards the chunk range would sweep the next shard's hash
+    // chunks, which a rebuild must never touch.
+    for (std::uint64_t a = alignDown(addr, tree_.chunkSize());
+         a < addr + len; a += tree_.chunkSize()) {
+        const std::uint64_t chunk = tree_.chunkOf(tree_.dataToRam(a));
         const std::vector<std::uint8_t> bytes = chunks_.readChunk(chunk);
         ++statUntrustedReads;
         const Slot prev = trustedSlotOf(chunk);
@@ -515,16 +522,26 @@ std::vector<Slot>
 MerkleMemory::exportRoots()
 {
     flush();
-    return roots_;
+    std::vector<Slot> out;
+    out.reserve(static_cast<std::size_t>(tree_.shards()) *
+                tree_.arity());
+    for (unsigned s = 0; s < tree_.shards(); ++s)
+        for (const Slot &root : tree_.context(s).roots)
+            out.push_back(root);
+    return out;
 }
 
 void
 MerkleMemory::importRoots(const std::vector<Slot> &roots)
 {
-    cmt_assert(roots.size() == roots_.size());
+    cmt_assert(roots.size() == static_cast<std::size_t>(tree_.shards()) *
+                                  tree_.arity());
     cache_.clear();
     lru_.clear();
-    roots_ = roots;
+    std::size_t next = 0;
+    for (unsigned s = 0; s < tree_.shards(); ++s)
+        for (Slot &root : tree_.context(s).roots)
+            root = roots[next++];
 }
 
 bool
@@ -534,19 +551,19 @@ MerkleMemory::verifyAll()
     // Every chunk, touched or canonical, must verify against its
     // trusted parent slot. Canonical chunks verify by construction;
     // walk only the materialised ones plus their ancestors.
-    for (std::uint64_t chunk = 0; chunk < layout_.totalChunks();
+    for (std::uint64_t chunk = 0; chunk < tree_.totalChunks();
          ++chunk) {
         if (!chunks_.touched(chunk))
             continue;
         const std::vector<std::uint8_t> bytes = chunks_.readChunk(chunk);
         Slot expected;
-        const std::int64_t parent = layout_.parentOf(chunk);
+        const std::int64_t parent = tree_.parentOf(chunk);
         if (parent < 0) {
-            expected = roots_[chunk];
+            expected = tree_.rootOf(chunk);
         } else {
             expected = chunks_.readSlot(
                 static_cast<std::uint64_t>(parent),
-                layout_.slotIndexOf(chunk));
+                tree_.slotIndexOf(chunk));
         }
         if (!auth_.verify(bytes, expected))
             return false;

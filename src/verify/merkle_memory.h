@@ -38,8 +38,8 @@
 #include "support/stats.h"
 #include "tree/authenticator.h"
 #include "tree/chunk_store.h"
-#include "tree/layout.h"
 #include "tree/scheme.h"
+#include "tree/shard_router.h"
 
 namespace cmt
 {
@@ -74,6 +74,10 @@ struct MerkleConfig
     bool timestamps = true;
     /** Trusted chunk cache capacity; 0 selects the naive mode. */
     std::size_t cacheChunks = 0;
+    /** Independent subtrees over the protected region (power of two);
+     *  1 reproduces the paper's single tree. Each shard gets its own
+     *  root registers (shard_router.h). */
+    unsigned shards = 1;
     /** MAC key (kXorMac). */
     Key128 key{};
 };
@@ -89,8 +93,8 @@ class MerkleMemory
      */
     MerkleMemory(Storage &untrusted, const MerkleConfig &config);
 
-    /** Protected capacity in bytes. */
-    std::uint64_t size() const { return layout_.dataBytes(); }
+    /** Protected capacity in bytes (all shards together). */
+    std::uint64_t size() const { return tree_.dataBytes(); }
 
     /** Verified load; throws IntegrityException on tampering. */
     void load(std::uint64_t addr, std::span<std::uint8_t> out);
@@ -133,7 +137,11 @@ class MerkleMemory
      */
     bool verifyAll();
 
-    const TreeLayout &layout() const { return layout_; }
+    /** One shard's geometry (identical across shards). */
+    const TreeLayout &layout() const { return tree_.shardLayout(); }
+
+    /** The shard router (global geometry + per-shard roots). */
+    const ShardRouter &tree() const { return tree_; }
 
     /**
      * Which of the paper's schemes this configuration corresponds to,
@@ -157,11 +165,13 @@ class MerkleMemory
     /** The chunk-store view (persistence and diagnostics). */
     ChunkStore &chunkStore() { return chunks_; }
 
-    /** Trusted root registers, after flushing (persistence). */
+    /** Trusted root registers of every shard, shard-major
+     *  (shards() * arity() slots), after flushing (persistence). */
     std::vector<Slot> exportRoots();
 
-    /** Replace the root registers (state restore); clears the cache
-     *  so subsequent loads verify against the restored image. */
+    /** Replace every shard's root registers (state restore); clears
+     *  the cache so subsequent loads verify against the restored
+     *  image. @p roots must hold shards() * arity() slots. */
     void importRoots(const std::vector<Slot> &roots);
 
     // --- statistics ---------------------------------------------------
@@ -229,13 +239,10 @@ class MerkleMemory
 
     Storage &untrusted_;
     MerkleConfig config_;
-    TreeLayout layout_;
+    /** Per-shard geometry plus the on-chip root registers. */
+    ShardRouter tree_;
     Authenticator auth_;
     ChunkStore chunks_;
-
-    /** On-chip root authenticators of the level-1 chunks. */
-    std::vector<Slot> roots_;
-    bool rootsInitialised_ = false;
 
     /** Trusted chunk cache (cached mode). */
     std::unordered_map<std::uint64_t, CacheEntry> cache_;

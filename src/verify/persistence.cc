@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "crypto/md5.h"
 #include "support/logging.h"
 
 namespace cmt
@@ -15,7 +16,7 @@ namespace
 {
 
 constexpr char kRamMagic[8] = {'C', 'M', 'T', 'R', 'A', 'M', '0', '1'};
-constexpr char kRootMagic[8] = {'C', 'M', 'T', 'R', 'T', 'S', '0', '1'};
+constexpr char kRootMagic[8] = {'C', 'M', 'T', 'R', 'T', 'S', '0', '2'};
 
 struct FileCloser
 {
@@ -59,14 +60,33 @@ get64(std::FILE *f)
     return v;
 }
 
+/** Append a little-endian 64-bit value to @p out. */
+void
+app64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+/** Read a little-endian 64-bit value at @p pos of @p in. */
+std::uint64_t
+peek64(const std::vector<std::uint8_t> &in, std::size_t pos)
+{
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | in[pos + static_cast<std::size_t>(i)];
+    return v;
+}
+
 /** Geometry fingerprint so mismatched configs fail loudly. */
 std::uint64_t
 fingerprint(const MerkleMemory &memory)
 {
-    const TreeLayout &layout =
-        const_cast<MerkleMemory &>(memory).layout();
-    return layout.chunkSize() * 0x1000003ULL ^
-           layout.totalChunks() * 0x10001ULL ^ layout.levels();
+    const ShardRouter &tree = memory.tree();
+    return tree.chunkSize() * 0x1000003ULL ^
+           tree.totalChunks() * 0x10001ULL ^ tree.levels() ^
+           static_cast<std::uint64_t>(tree.shards()) *
+               0x9E3779B97F4A7C15ULL;
 }
 
 } // namespace
@@ -98,15 +118,34 @@ void
 saveTrustedRoots(MerkleMemory &memory, const std::string &root_path)
 {
     const std::vector<Slot> roots = memory.exportRoots();
+    const ShardRouter &tree = memory.tree();
+    const std::uint64_t arity = tree.arity();
+    cmt_assert(roots.size() == tree.shards() * arity);
+
+    // Build the whole payload in memory so the trailing digest covers
+    // every per-shard record: a crash between two shard writes leaves
+    // a truncated or torn file that the load-time digest check (or a
+    // short read) rejects.
+    std::vector<std::uint8_t> payload;
+    app64(payload, fingerprint(memory));
+    app64(payload, tree.shards());
+    app64(payload, arity);
+    for (std::uint64_t s = 0; s < tree.shards(); ++s) {
+        app64(payload, s);
+        for (std::uint64_t i = 0; i < arity; ++i) {
+            const Slot &root = roots[s * arity + i];
+            payload.insert(payload.end(), root.begin(), root.end());
+        }
+    }
+    const Hash128 digest = Md5::digest(payload);
+
     File f = openOrDie(root_path, "wb");
     std::fwrite(kRootMagic, 1, sizeof(kRootMagic), f.get());
-    put64(f.get(), fingerprint(memory));
-    put64(f.get(), roots.size());
-    for (const Slot &root : roots) {
-        if (std::fwrite(root.data(), 1, root.size(), f.get()) !=
-            root.size())
-            cmt_fatal("short write during root save");
-    }
+    if (std::fwrite(payload.data(), 1, payload.size(), f.get()) !=
+            payload.size() ||
+        std::fwrite(digest.data(), 1, digest.size(), f.get()) !=
+            digest.size())
+        cmt_fatal("short write during root save");
 }
 
 void
@@ -143,16 +182,61 @@ loadState(MerkleMemory &memory, BackingStore &ram,
         if (std::fread(magic, 1, 8, f.get()) != 8 ||
             std::memcmp(magic, kRootMagic, 8) != 0)
             cmt_fatal("'%s' is not a CMT root file", root_path.c_str());
-        if (get64(f.get()) != fingerprint(memory))
-            cmt_fatal("root file geometry does not match this memory "
-                      "(different chunk size / protected size?)");
 
-        const std::uint64_t count = get64(f.get());
-        std::vector<Slot> roots(count);
-        for (Slot &root : roots) {
-            if (std::fread(root.data(), 1, root.size(), f.get()) !=
-                root.size())
-                cmt_fatal("short read during root load");
+        // Slurp payload + trailing digest; verify the digest before
+        // trusting a single field. Torn or truncated multi-root state
+        // must never verify.
+        std::vector<std::uint8_t> rest;
+        std::uint8_t buf[4096];
+        for (;;) {
+            const std::size_t got =
+                std::fread(buf, 1, sizeof(buf), f.get());
+            rest.insert(rest.end(), buf, buf + got);
+            if (got < sizeof(buf))
+                break;
+        }
+        Hash128 digest;
+        if (rest.size() < digest.size())
+            cmt_fatal("root file '%s' is truncated", root_path.c_str());
+        std::vector<std::uint8_t> payload(rest.begin(),
+                                          rest.end() - digest.size());
+        std::memcpy(digest.data(), rest.data() + payload.size(),
+                    digest.size());
+        if (Md5::digest(payload) != digest)
+            cmt_fatal("root file '%s' fails its integrity digest "
+                      "(torn or tampered save)",
+                      root_path.c_str());
+
+        const ShardRouter &tree = memory.tree();
+        const std::uint64_t arity = tree.arity();
+        const std::uint64_t record =
+            8 + arity * TreeLayout::kSlotSize; // index + slots
+        if (payload.size() != 24 + tree.shards() * record)
+            cmt_fatal("root file '%s' has the wrong shape for this "
+                      "memory",
+                      root_path.c_str());
+        if (peek64(payload, 0) != fingerprint(memory))
+            cmt_fatal("root file geometry does not match this memory "
+                      "(different chunk size / protected size / "
+                      "shards?)");
+        if (peek64(payload, 8) != tree.shards() ||
+            peek64(payload, 16) != arity)
+            cmt_fatal("root file shard layout does not match this "
+                      "memory");
+
+        std::vector<Slot> roots(tree.shards() * arity);
+        for (std::uint64_t s = 0; s < tree.shards(); ++s) {
+            const std::size_t base =
+                24 + static_cast<std::size_t>(s * record);
+            if (peek64(payload, base) != s)
+                cmt_fatal("root file '%s' has out-of-order shard "
+                          "records (torn save?)",
+                          root_path.c_str());
+            for (std::uint64_t i = 0; i < arity; ++i)
+                std::memcpy(roots[s * arity + i].data(),
+                            payload.data() + base + 8 +
+                                i * TreeLayout::kSlotSize,
+                            TreeLayout::kSlotSize);
         }
         memory.importRoots(roots);
     }

@@ -13,11 +13,18 @@
  *   <ram_path>   : the untrusted image (sparse pages + touched set)
  *   <root_path>  : the trusted root registers + geometry fingerprint
  *
+ * The root file (format CMTRTS02) stores one record per shard - the
+ * shard index followed by its root registers - and ends with an MD5
+ * digest over the whole payload. A crash between two per-shard root
+ * writes therefore leaves a file that fails at load time (truncated,
+ * or digest mismatch for a torn in-place update): a torn multi-root
+ * state never verifies, it is rejected before any data is trusted.
+ *
  * `loadState` restores both into a fresh BackingStore/MerkleMemory
  * pair; any offline tampering with the RAM image surfaces as an
  * IntegrityException on the next verified load, while tampering with
  * the root file is rejected at load time by the geometry fingerprint
- * (and, in a real system, by the seal).
+ * and payload digest (and, in a real system, by the seal).
  */
 
 #ifndef CMT_VERIFY_PERSISTENCE_H

@@ -97,7 +97,7 @@ struct CoreFixture
     EventQueue events;
     StatGroup stats;
     BackingStore store;
-    TreeLayout layout;
+    ShardRouter layout;
     Authenticator auth;
     ChunkStore ram;
     MainMemory mem;
@@ -276,7 +276,7 @@ TEST(CoreTest, CryptoOpsDrainPendingChecks)
         EventQueue events;
         StatGroup stats;
         BackingStore store;
-        TreeLayout layout;
+        ShardRouter layout;
         Authenticator auth;
         ChunkStore ram;
         MainMemory mem;

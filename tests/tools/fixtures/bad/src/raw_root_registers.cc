@@ -1,0 +1,26 @@
+// Negative fixture: root-registers rule. A controller hoarding its
+// own root-register array instead of routing through ShardRouter.
+#include <cstdint>
+
+struct Slot;
+
+struct Controller
+{
+    Slot *roots_ = nullptr;
+
+    Slot &topOf(std::uint64_t chunk, Slot *ctx_roots)
+    {
+        return ctx_roots ? ctx_roots[chunk] : roots_[chunk];
+    }
+};
+
+struct Context
+{
+    Slot *roots = nullptr;
+};
+
+Slot &
+bypassRouter(Context &ctx, std::uint64_t chunk)
+{
+    return ctx.roots[chunk];
+}

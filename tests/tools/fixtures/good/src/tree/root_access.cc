@@ -1,0 +1,24 @@
+// Positive fixture: sanctioned root-register access (root-registers
+// rule must stay quiet). Never compiled; linted by test_lint.cc and
+// the lint_positive_fixtures ctest entry.
+#include <cstdint>
+
+struct Slot;
+struct TreeContext;
+
+struct Router
+{
+    Slot &rootOf(std::uint64_t chunk);
+    TreeContext &context(std::uint64_t shard);
+};
+
+template <typename Fn>
+void
+touchRoots(Router &tree, std::uint64_t chunk, Fn fn)
+{
+    // rootOf() and whole-context iteration are the ShardRouter API;
+    // identifiers merely containing "roots_" stay legal too.
+    fn(tree.rootOf(chunk));
+    unsigned roots_seen = 0;
+    (void)roots_seen;
+}

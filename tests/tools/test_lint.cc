@@ -208,6 +208,41 @@ TEST(LintCatchAll, AllowsNarrowCatchesAndTests)
     EXPECT_FALSE(fires("tests/x.cc", "catch (...) {}", "catch-all"));
 }
 
+// --- root-registers ---------------------------------------------------
+
+TEST(LintRootRegisters, FlagsRawMemberAndDirectIndexing)
+{
+    EXPECT_TRUE(fires("src/tree/x.h", "std::vector<Slot> roots_;",
+                      "root-registers"));
+    EXPECT_TRUE(
+        fires("src/tree/x.cc", "return roots_[i];", "root-registers"));
+    EXPECT_TRUE(fires("src/verify/x.cc", "ctx.roots[chunk] = slot;",
+                      "root-registers"));
+    EXPECT_TRUE(fires("src/tree/x.cc", "tree->roots[0] = s;",
+                      "root-registers"));
+}
+
+TEST(LintRootRegisters, AllowsRouterAndSanctionedAccess)
+{
+    // The router itself owns the registers.
+    EXPECT_FALSE(fires("src/tree/shard_router.h",
+                       "return contexts_[s].roots[c];",
+                       "root-registers"));
+    // rootOf() and whole-context iteration are the sanctioned API.
+    EXPECT_FALSE(fires("src/verify/x.cc", "tree_.rootOf(chunk) = v;",
+                       "root-registers"));
+    EXPECT_FALSE(fires("src/verify/x.cc",
+                       "for (Slot &r : tree_.context(s).roots)\n"
+                       "    fold(r);\n",
+                       "root-registers"));
+    // Longer identifiers must not match.
+    EXPECT_FALSE(fires("src/tree/x.cc", "unsigned roots_seen = 0;",
+                       "root-registers"));
+    // Outside src/ the rule is off (tests poke internals freely).
+    EXPECT_FALSE(fires("tests/tree/x.cc", "Slot roots_[4];",
+                       "root-registers"));
+}
+
 // --- suppression directives -------------------------------------------
 
 TEST(LintAllow, TrailingDirectiveSuppressesItsLine)

@@ -15,7 +15,7 @@ namespace
 struct Fixture
 {
     BackingStore base;
-    TreeLayout layout{64, 4096}; // arity 4, 3 levels, 84 chunks
+    ShardRouter layout{64, 4096}; // arity 4, 3 levels, 84 chunks
     Key128 key{};
     Authenticator auth{Authenticator::Kind::kMd5, key, 64};
     ChunkStore store{base, layout, auth};
@@ -112,7 +112,7 @@ TEST(ChunkStoreTest, CrossChunkAccess)
 TEST(ChunkStoreTest, XorMacCanonicalSlotsVerify)
 {
     BackingStore base;
-    TreeLayout layout(64, 4096);
+    ShardRouter layout(64, 4096);
     Key128 key;
     key.fill(3);
     Authenticator auth(Authenticator::Kind::kXorMac, key, 64);

@@ -26,15 +26,15 @@ struct L2Fixture
                        unsigned block_size = 64,
                        unsigned buffers = 16,
                        bool speculative = true)
-        : layout(chunk_size, 1 << 16),
+        : tree(chunk_size, 1 << 16, 1, buffers, buffers),
           auth(scheme == Scheme::kIncremental
                    ? Authenticator::Kind::kXorMac
                    : Authenticator::Kind::kMd5,
                key(), block_size),
-          ram(base, layout, auth),
+          ram(base, tree, auth),
           mem(events, ram, MemTimingParams{}, stats),
           hasher(events, HashEngineParams{}, stats),
-          l2(events, mem, ram, hasher, layout, auth,
+          l2(events, mem, ram, hasher, tree, auth,
              makeParams(scheme, l2_size, chunk_size, block_size,
                         buffers, speculative),
              stats)
@@ -124,7 +124,9 @@ struct L2Fixture
     EventQueue events;
     StatGroup stats;
     BackingStore base;
-    TreeLayout layout;
+    ShardRouter tree;
+    /** Global geometry view (same as the old TreeLayout at K = 1). */
+    const ShardRouter &layout{tree};
     Authenticator auth;
     ChunkStore ram;
     MainMemory mem;
@@ -411,8 +413,11 @@ TEST(L2ControllerTest, WriteAllocFetchAblation)
     L2Params p = L2Fixture::makeParams(Scheme::kCached, 4096, 64,
                                              64, 16, true);
     p.writeAllocNoFetch = false;
-    L2Controller classic(g.events, g.mem, g.ram, g.hasher, g.layout, g.auth,
-                     p, g.stats);
+    // Own router: root registers and verify buffers belong to one
+    // controller, so a second controller needs its own set.
+    ShardRouter classic_tree(64, 1 << 16);
+    L2Controller classic(g.events, g.mem, g.ram, g.hasher, classic_tree,
+                         g.auth, p, g.stats);
 
     f.write64(0x200, 7);
     f.drain();
@@ -546,8 +551,9 @@ TEST(L2ControllerTest, PrivacyExtensionAddsDecryptLatency)
                                              64, 16, true);
     p.encryptData = true;
     p.decryptLatency = 40;
+    ShardRouter enc_tree(64, 1 << 16);
     L2Controller enc_l2(enc.events, enc.mem, enc.ram, enc.hasher,
-                    enc.layout, enc.auth, p, enc.stats);
+                        enc_tree, enc.auth, p, enc.stats);
 
     Cycle t_plain = 0, t_enc = 0;
     {

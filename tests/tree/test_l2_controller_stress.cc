@@ -30,15 +30,15 @@ struct DeepFixture
                          unsigned assoc,
                          std::uint64_t chunk_size = 64,
                          unsigned block_size = 64)
-        : layout(chunk_size, 4ULL << 30), // 13-level tree, like twolf
+        : tree(chunk_size, 4ULL << 30), // 13-level tree, like twolf
           auth(scheme == Scheme::kIncremental
                    ? Authenticator::Kind::kXorMac
                    : Authenticator::Kind::kMd5,
                key(), block_size),
-          ram(base, layout, auth),
+          ram(base, tree, auth),
           mem(events, ram, MemTimingParams{}, stats),
           hasher(events, HashEngineParams{}, stats),
-          l2(events, mem, ram, hasher, layout, auth,
+          l2(events, mem, ram, hasher, tree, auth,
              params(scheme, l2_size, assoc, chunk_size, block_size),
              stats)
     {}
@@ -107,7 +107,9 @@ struct DeepFixture
     EventQueue events;
     StatGroup stats;
     BackingStore base;
-    TreeLayout layout;
+    ShardRouter tree;
+    /** Global geometry view (same as the old TreeLayout at K = 1). */
+    const ShardRouter &layout{tree};
     Authenticator auth;
     ChunkStore ram;
     MainMemory mem;

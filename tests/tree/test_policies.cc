@@ -30,17 +30,19 @@ struct PolicyFixture
                            unsigned assoc = 4,
                            std::uint64_t chunk_size = 64,
                            unsigned block_size = 64,
-                           PolicyFactory factory = {})
-        : layout(chunk_size, 4ULL << 30),
+                           PolicyFactory factory = {},
+                           unsigned shards = 1)
+        : tree(chunk_size, 4ULL << 30, shards),
           auth(scheme == Scheme::kIncremental
                    ? Authenticator::Kind::kXorMac
                    : Authenticator::Kind::kMd5,
                key(), block_size),
-          ram(base, layout, auth),
+          ram(base, tree, auth),
           mem(events, ram, MemTimingParams{}, stats),
-          hasher(events, HashEngineParams{}, stats),
-          l2(events, mem, ram, hasher, layout, auth,
-             params(scheme, l2_size, assoc, chunk_size, block_size),
+          hasher(events, HashEngineParams{}, stats, shards),
+          l2(events, mem, ram, hasher, tree, auth,
+             params(scheme, l2_size, assoc, chunk_size, block_size,
+                    shards),
              stats, std::move(factory))
     {}
 
@@ -54,7 +56,8 @@ struct PolicyFixture
 
     static L2Params
     params(Scheme scheme, std::uint64_t l2_size, unsigned assoc,
-           std::uint64_t chunk_size, unsigned block_size)
+           std::uint64_t chunk_size, unsigned block_size,
+           unsigned shards = 1)
     {
         L2Params p;
         p.scheme = scheme;
@@ -63,6 +66,7 @@ struct PolicyFixture
         p.blockSize = block_size;
         p.chunkSize = chunk_size;
         p.protectedSize = 4ULL << 30;
+        p.shards = shards;
         p.key = key();
         return p;
     }
@@ -120,7 +124,10 @@ struct PolicyFixture
     EventQueue events;
     StatGroup stats;
     BackingStore base;
-    TreeLayout layout;
+    ShardRouter tree;
+    /** Global geometry view; identical to the old single TreeLayout
+     *  when shards == 1. */
+    const ShardRouter &layout{tree};
     Authenticator auth;
     ChunkStore ram;
     MainMemory mem;
@@ -193,6 +200,39 @@ TEST_P(TamperingAdversary, ReplayedStaleChunkIsDetected)
     f.drain();
 
     EXPECT_GT(f.l2.integrityFailures(), before) << pc.name;
+}
+
+// Shard isolation: with K independent subtrees, tampering inside
+// shard i's region must be detected the moment shard i is touched,
+// while every other shard keeps verifying clean - the failure domain
+// is one subtree, not the whole protected space.
+TEST_P(TamperingAdversary, TamperedShardDetectedWhileOthersVerifyClean)
+{
+    const PolicyCase &pc = GetParam();
+    constexpr unsigned kShards = 4;
+    constexpr unsigned kVictimShard = 2;
+    PolicyFixture f(pc.scheme, 4096, 4, pc.chunkSize, pc.blockSize, {},
+                    kShards);
+    Adversary mallory(f.ram);
+
+    const std::uint64_t per_shard = f.tree.dataBytes() / kShards;
+    const std::uint64_t victim_addr = kVictimShard * per_shard + 8 * 5;
+    ASSERT_EQ(f.tree.shardOfData(victim_addr), kVictimShard);
+    mallory.flipBit(f.tree.dataToRam(victim_addr), 3);
+
+    // Every clean shard verifies clean, before and after.
+    for (unsigned s = 0; s < kShards; ++s) {
+        if (s == kVictimShard)
+            continue;
+        f.readWait(s * per_shard + 8 * 7);
+    }
+    f.drain();
+    EXPECT_EQ(f.l2.integrityFailures(), 0u) << pc.name;
+
+    // The tampered shard is caught on its first demand fetch.
+    f.readWait(victim_addr);
+    f.drain();
+    EXPECT_GE(f.l2.integrityFailures(), 1u) << pc.name;
 }
 
 INSTANTIATE_TEST_SUITE_P(

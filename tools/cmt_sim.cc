@@ -9,6 +9,7 @@
  *     --l2-size <bytes>   L2 capacity            (default 1048576)
  *     --l2-block <bytes>  L2 line size           (default 64)
  *     --chunk <bytes>     tree chunk size        (default = block)
+ *     --shards <k>        independent subtrees   (default 1)
  *     --buffers <n>       hash read/write buffer entries (default 16)
  *     --hash-gbps <f>     hash throughput        (default 3.2)
  *     --no-spec           block until checks complete (ablation)
@@ -46,7 +47,7 @@ usage()
     std::cerr << "usage: cmt_sim [--bench NAME | --trace FILE] "
                  "[--scheme base|naive|cached|incremental]\n"
                  "  [--l2-size N] [--l2-block N] [--chunk N] "
-                 "[--buffers N] [--hash-gbps F]\n"
+                 "[--shards K] [--buffers N] [--hash-gbps F]\n"
                  "  [--no-spec] [--encrypt] [--warmup N] [--instr N] "
                  "[--seed N] [--stats] [--json PATH]\n";
     std::exit(2);
@@ -97,6 +98,8 @@ main(int argc, char **argv)
         } else if (arg == "--chunk") {
             cfg.l2.chunkSize = std::stoull(value());
             chunk_set = true;
+        } else if (arg == "--shards") {
+            cfg.l2.shards = static_cast<unsigned>(std::stoul(value()));
         } else if (arg == "--buffers") {
             cfg.l2.readBufferEntries =
                 static_cast<unsigned>(std::stoul(value()));

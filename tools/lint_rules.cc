@@ -213,6 +213,23 @@ stdoutPatterns()
 }
 
 const std::vector<Pattern> &
+rootRegisterPatterns()
+{
+    static const std::vector<Pattern> patterns = {
+        {"root-registers",
+         std::regex(R"((^|[^A-Za-z0-9_])roots_($|[^A-Za-z0-9_]))"),
+         "raw root-register storage outside ShardRouter; the "
+         "per-shard TreeContexts own the registers - go through "
+         "rootOf()/context()"},
+        {"root-registers", std::regex(R"((\.|->)roots\s*\[)"),
+         "indexing TreeContext::roots directly bypasses rootOf()'s "
+         "shard routing and root-level assertion; use "
+         "rootOf(chunk)"},
+    };
+    return patterns;
+}
+
+const std::vector<Pattern> &
 catchAllPatterns()
 {
     static const std::vector<Pattern> patterns = {
@@ -298,7 +315,7 @@ ruleNames()
 {
     static const std::vector<std::string> names = {
         "nondeterminism", "stdout-discipline", "naked-new",
-        "header-guard", "catch-all",
+        "header-guard", "catch-all", "root-registers",
     };
     return names;
 }
@@ -317,6 +334,10 @@ lintSource(const std::string &rawPath, const std::string &source)
     const bool inSupport = inDir(path, "src/support/");
     const bool inBenchOrTools =
         inDir(path, "bench/") || inDir(path, "tools/");
+    // The ShardRouter is the one module allowed to touch root
+    // registers directly; everyone else uses its accessors.
+    const bool isShardRouter =
+        path.find("tree/shard_router.") != std::string::npos;
 
     std::vector<Diagnostic> diags;
 
@@ -408,6 +429,8 @@ lintSource(const std::string &rawPath, const std::string &source)
         checkNakedNewDelete(path, lines, allowed, &diags);
     if (inSrc || inBenchOrTools)
         apply(catchAllPatterns());
+    if (inSrc && !isShardRouter)
+        apply(rootRegisterPatterns());
 
     std::sort(diags.begin(), diags.end(),
               [](const Diagnostic &a, const Diagnostic &b) {

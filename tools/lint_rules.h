@@ -24,6 +24,12 @@
  *                     catch-all swallows the SimError that
  *                     ScopedThrowOnError turns panics into, hiding
  *                     integrity violations instead of isolating them.
+ *  - root-registers : no raw root-register storage (a roots_ member)
+ *                     or direct TreeContext::roots[] indexing in src/
+ *                     outside src/tree/shard_router.h. The ShardRouter
+ *                     owns the per-shard root registers; everyone else
+ *                     goes through rootOf() / context(), which carry
+ *                     the shard routing and root-level assertions.
  *
  * Suppression: append `// cmt-lint: allow(<rule>)` to the offending
  * line, or put it alone on the line directly above.
