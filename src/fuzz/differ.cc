@@ -1,0 +1,472 @@
+#include "fuzz/differ.h"
+
+#include <cstring>
+#include <map>
+
+#include "fuzz/oracle.h"
+#include "mem/backing_store.h"
+#include "support/logging.h"
+#include "verify/adversary.h"
+#include "verify/merkle_memory.h"
+
+namespace cmt::fuzz
+{
+
+namespace
+{
+
+/** The unprotected reference: defines correct data, never detects. */
+class BaseTarget : public FuzzTarget
+{
+  public:
+    explicit BaseTarget(const FuzzConfig &config)
+        : config_(config), data_(config.protectedSize, 0)
+    {
+    }
+
+    const char *name() const override { return "base"; }
+    bool verifies() const override { return false; }
+
+    void
+    load(std::uint64_t addr, std::span<std::uint8_t> out) override
+    {
+        std::memcpy(out.data(), &data_[addr], out.size());
+    }
+
+    void
+    store(std::uint64_t addr, std::span<const std::uint8_t> in) override
+    {
+        std::memcpy(&data_[addr], in.data(), in.size());
+    }
+
+    void flush() override {}
+    void clearCache() override {}
+    void sync() override {}
+
+    void
+    flipData(std::uint64_t addr, unsigned bit) override
+    {
+        data_[addr] ^= static_cast<std::uint8_t>(1u << bit);
+    }
+
+    void
+    tamperTree(std::uint64_t, unsigned, unsigned) override
+    {
+        // No tree: authenticator tampering has no unprotected analogue.
+    }
+
+    void
+    splice(std::uint64_t fromDataChunk, std::uint64_t toDataChunk) override
+    {
+        std::memcpy(&data_[toDataChunk * config_.chunkSize],
+                    &data_[fromDataChunk * config_.chunkSize],
+                    config_.chunkSize);
+    }
+
+    void
+    capture(std::uint64_t id, std::uint64_t dataChunk) override
+    {
+        const std::uint64_t off = dataChunk * config_.chunkSize;
+        snaps_[id] = {off,
+                      {data_.begin() + static_cast<std::ptrdiff_t>(off),
+                       data_.begin() + static_cast<std::ptrdiff_t>(
+                                           off + config_.chunkSize)}};
+    }
+
+    void
+    restore(std::uint64_t id) override
+    {
+        const auto &snap = snaps_.at(id);
+        std::memcpy(&data_[snap.first], snap.second.data(),
+                    config_.chunkSize);
+    }
+
+  private:
+    FuzzConfig config_;
+    std::vector<std::uint8_t> data_;
+    std::map<std::uint64_t,
+             std::pair<std::uint64_t, std::vector<std::uint8_t>>>
+        snaps_;
+};
+
+/** The independent full-recompute reference model. */
+class OracleTarget : public FuzzTarget
+{
+  public:
+    explicit OracleTarget(const FuzzConfig &config) : oracle_(config) {}
+
+    const char *name() const override { return "oracle"; }
+    bool verifies() const override { return true; }
+
+    void
+    load(std::uint64_t addr, std::span<std::uint8_t> out) override
+    {
+        oracle_.load(addr, out);
+    }
+
+    void
+    store(std::uint64_t addr, std::span<const std::uint8_t> in) override
+    {
+        oracle_.store(addr, in);
+    }
+
+    // The oracle holds no state outside RAM + trusted roots.
+    void flush() override {}
+    void clearCache() override {}
+    void sync() override {}
+
+    void
+    flipData(std::uint64_t addr, unsigned bit) override
+    {
+        oracle_.flipData(addr, bit);
+    }
+
+    void
+    tamperTree(std::uint64_t dataChunk, unsigned byte,
+               unsigned bit) override
+    {
+        oracle_.tamperTree(dataChunk, byte, bit);
+    }
+
+    void
+    splice(std::uint64_t fromDataChunk, std::uint64_t toDataChunk) override
+    {
+        oracle_.splice(fromDataChunk, toDataChunk);
+    }
+
+    void
+    capture(std::uint64_t id, std::uint64_t dataChunk) override
+    {
+        oracle_.captureChunk(id, dataChunk);
+    }
+
+    void restore(std::uint64_t id) override { oracle_.restoreChunk(id); }
+
+  private:
+    RefOracle oracle_;
+};
+
+/** A real MerkleMemory policy under adversary access to its RAM. */
+class MerkleTarget : public FuzzTarget
+{
+  public:
+    MerkleTarget(const char *name, const FuzzConfig &config,
+                 const MerkleConfig &mc)
+        : name_(name), mm_(ram_, mc), adv_(mm_.ram()),
+          chunkSize_(config.chunkSize)
+    {
+    }
+
+    const char *name() const override { return name_; }
+    bool verifies() const override { return true; }
+
+    void
+    load(std::uint64_t addr, std::span<std::uint8_t> out) override
+    {
+        mm_.load(addr, out);
+    }
+
+    void
+    store(std::uint64_t addr, std::span<const std::uint8_t> in) override
+    {
+        mm_.store(addr, in);
+    }
+
+    void flush() override { mm_.flush(); }
+    void clearCache() override { mm_.clearCache(); }
+
+    void
+    sync() override
+    {
+        // clearCache() flushes dirty chunks first, then drops trust,
+        // so RAM holds the authoritative image for the adversary.
+        mm_.clearCache();
+    }
+
+    void
+    flipData(std::uint64_t addr, unsigned bit) override
+    {
+        adv_.flipBit(mm_.tree().dataToRam(addr), bit);
+    }
+
+    void
+    tamperTree(std::uint64_t dataChunk, unsigned byte,
+               unsigned bit) override
+    {
+        const ShardRouter &t = mm_.tree();
+        const std::uint64_t global = dataChunkToGlobal(dataChunk);
+        const std::int64_t parent = t.parentOf(global);
+        cmt_assert(parent >= 0);
+        adv_.flipBit(t.slotAddr(static_cast<std::uint64_t>(parent),
+                                t.slotIndexOf(global)) +
+                         byte,
+                     bit);
+    }
+
+    void
+    splice(std::uint64_t fromDataChunk, std::uint64_t toDataChunk) override
+    {
+        const ShardRouter &t = mm_.tree();
+        const auto image = adv_.capture(
+            t.chunkAddr(dataChunkToGlobal(fromDataChunk)), chunkSize_);
+        adv_.replay(t.chunkAddr(dataChunkToGlobal(toDataChunk)), image);
+    }
+
+    void
+    capture(std::uint64_t id, std::uint64_t dataChunk) override
+    {
+        const std::uint64_t addr =
+            mm_.tree().chunkAddr(dataChunkToGlobal(dataChunk));
+        snaps_[id] = {addr, adv_.capture(addr, chunkSize_)};
+    }
+
+    void
+    restore(std::uint64_t id) override
+    {
+        const auto &snap = snaps_.at(id);
+        adv_.replay(snap.first, snap.second);
+    }
+
+  private:
+    std::uint64_t
+    dataChunkToGlobal(std::uint64_t dataChunk) const
+    {
+        const ShardRouter &t = mm_.tree();
+        const std::uint64_t perShard =
+            t.shardLayout().dataBytes() / t.chunkSize();
+        const std::uint64_t shard = dataChunk / perShard;
+        return shard * t.chunkSpan() + t.firstDataChunk() +
+               dataChunk % perShard;
+    }
+
+    const char *name_;
+    BackingStore ram_;
+    MerkleMemory mm_;
+    Adversary adv_;
+    std::uint64_t chunkSize_;
+    std::map<std::uint64_t,
+             std::pair<std::uint64_t, std::vector<std::uint8_t>>>
+        snaps_;
+};
+
+MerkleConfig
+merkleConfigFor(const FuzzConfig &config, Scheme scheme)
+{
+    MerkleConfig mc;
+    mc.chunkSize = config.chunkSize;
+    mc.blockSize = config.blockSize;
+    mc.protectedSize = config.protectedSize;
+    mc.shards = config.shards;
+    switch (scheme) {
+    case Scheme::kNaive:
+        mc.auth = Authenticator::Kind::kMd5;
+        mc.cacheChunks = 0;
+        break;
+    case Scheme::kCached:
+        mc.auth = Authenticator::Kind::kMd5;
+        mc.cacheChunks = config.cacheChunks;
+        break;
+    case Scheme::kIncremental:
+        mc.auth = Authenticator::Kind::kXorMac;
+        mc.cacheChunks = config.cacheChunks;
+        mc.timestamps = true;
+        mc.key.fill(0xA5);
+        break;
+    default:
+        cmt_panic("merkleConfigFor: not a policy scheme");
+    }
+    return mc;
+}
+
+} // namespace
+
+std::vector<std::unique_ptr<FuzzTarget>>
+makeTargets(const FuzzConfig &config)
+{
+    std::vector<std::unique_ptr<FuzzTarget>> targets;
+    targets.push_back(std::make_unique<BaseTarget>(config));
+    targets.push_back(std::make_unique<OracleTarget>(config));
+    targets.push_back(std::make_unique<MerkleTarget>(
+        "naive", config, merkleConfigFor(config, Scheme::kNaive)));
+    targets.push_back(std::make_unique<MerkleTarget>(
+        "cached", config, merkleConfigFor(config, Scheme::kCached)));
+    targets.push_back(std::make_unique<MerkleTarget>(
+        "incremental", config,
+        merkleConfigFor(config, Scheme::kIncremental)));
+    return targets;
+}
+
+RunOutcome
+runTarget(const FuzzCase &c, FuzzTarget &target)
+{
+    RunOutcome out;
+    ScopedThrowOnError guard;
+    std::int64_t at = -1;
+    try {
+        for (std::size_t i = 0; i < c.ops.size(); ++i) {
+            const FuzzOp &op = c.ops[i];
+            at = static_cast<std::int64_t>(i);
+            if (isAdversaryOp(op.kind))
+                target.sync();
+            switch (op.kind) {
+            case OpKind::kLoad: {
+                std::vector<std::uint8_t> buf(op.len);
+                target.load(op.addr, buf);
+                out.loads.push_back(std::move(buf));
+                break;
+            }
+            case OpKind::kStore:
+                target.store(op.addr, op.data);
+                break;
+            case OpKind::kFlush:
+                target.flush();
+                break;
+            case OpKind::kClearCache:
+                target.clearCache();
+                break;
+            case OpKind::kFlip:
+                target.flipData(op.addr, op.bit);
+                break;
+            case OpKind::kTamperTree:
+                target.tamperTree(op.chunk, op.byte, op.bit);
+                break;
+            case OpKind::kSplice:
+                target.splice(op.from, op.to);
+                break;
+            case OpKind::kCapture:
+                target.capture(op.id, op.chunk);
+                break;
+            case OpKind::kRestore:
+                target.restore(op.id);
+                break;
+            }
+        }
+        // Final readback sweep: give tampering of never-again-accessed
+        // chunks a well-defined detection point and capture the final
+        // data image for the no-detection equivalence check.
+        Md5 md5;
+        std::vector<std::uint8_t> buf(c.config.chunkSize);
+        for (std::uint64_t k = 0; k < c.config.dataChunks(); ++k) {
+            at = static_cast<std::int64_t>(c.ops.size() + k);
+            target.load(k * c.config.chunkSize, buf);
+            md5.update(buf);
+        }
+        out.finalDigest = md5.finish();
+        out.hasFinalDigest = true;
+    } catch (const IntegrityException &e) {
+        out.detectedAt = at;
+        out.detail = e.what();
+    } catch (const OracleDetection &e) {
+        out.detectedAt = at;
+        out.detail = e.what();
+    } catch (const std::exception &e) {
+        out.crashed = true;
+        out.detail = e.what();
+    }
+    return out;
+}
+
+Divergence
+runDifferential(const FuzzCase &c, RunOutcome *oracleOutcome)
+{
+    auto targets = makeTargets(c.config);
+    std::vector<RunOutcome> outs;
+    outs.reserve(targets.size());
+    for (auto &t : targets)
+        outs.push_back(runTarget(c, *t));
+
+    const RunOutcome &base = outs[0];
+    const RunOutcome &oracle = outs[1];
+    if (oracleOutcome)
+        *oracleOutcome = oracle;
+
+    Divergence d;
+    auto diverge = [&](const std::string &kind, const char *target,
+                       const std::string &detail) {
+        d.found = true;
+        d.kind = kind;
+        d.target = target;
+        d.detail = detail;
+        return d;
+    };
+
+    for (std::size_t j = 0; j < outs.size(); ++j)
+        if (outs[j].crashed)
+            return diverge("crash", targets[j]->name(), outs[j].detail);
+
+    cmt_assert(!base.crashed && base.detectedAt == -1);
+
+    // Every verified target must detect exactly when the oracle does.
+    for (std::size_t j = 2; j < outs.size(); ++j) {
+        if (outs[j].detectedAt != oracle.detectedAt)
+            return diverge(
+                "detection-mismatch", targets[j]->name(),
+                std::string(targets[j]->name()) + " detected at " +
+                    std::to_string(outs[j].detectedAt) +
+                    ", oracle at " +
+                    std::to_string(oracle.detectedAt));
+    }
+
+    // Data returned before any detection must match base exactly.
+    for (std::size_t j = 1; j < outs.size(); ++j) {
+        for (std::size_t k = 0; k < outs[j].loads.size(); ++k) {
+            if (outs[j].loads[k] != base.loads[k])
+                return diverge("data-mismatch", targets[j]->name(),
+                               std::string(targets[j]->name()) +
+                                   " load #" + std::to_string(k) +
+                                   " differs from base");
+        }
+    }
+
+    // Clean end state: every target's final sweep digest must agree.
+    if (oracle.detectedAt == -1) {
+        for (std::size_t j = 1; j < outs.size(); ++j) {
+            if (!outs[j].hasFinalDigest ||
+                outs[j].finalDigest != base.finalDigest)
+                return diverge("final-state-mismatch",
+                               targets[j]->name(),
+                               std::string(targets[j]->name()) +
+                                   " final data image differs from base");
+        }
+    }
+    return d;
+}
+
+FuzzCase
+minimizeCase(const FuzzCase &input, const std::string &kind)
+{
+    FuzzCase best = input;
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        std::size_t window = best.ops.size() / 2;
+        if (window == 0)
+            window = 1;
+        for (; window >= 1; window /= 2) {
+            std::size_t start = 0;
+            while (start + window <= best.ops.size()) {
+                FuzzCase trial = best;
+                trial.ops.erase(
+                    trial.ops.begin() +
+                        static_cast<std::ptrdiff_t>(start),
+                    trial.ops.begin() +
+                        static_cast<std::ptrdiff_t>(start + window));
+                std::string error;
+                if (validateCase(trial, &error) &&
+                    runDifferential(trial).kind == kind) {
+                    best = std::move(trial);
+                    progress = true;
+                    // Retry the same start: the window now holds the
+                    // ops that slid left into the gap.
+                } else {
+                    start += window;
+                }
+            }
+            if (window == 1)
+                break;
+        }
+    }
+    return best;
+}
+
+} // namespace cmt::fuzz

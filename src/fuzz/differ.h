@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Differential execution of one FuzzCase across every integrity
+ * policy plus two references:
+ *
+ *  - `base`:   an unprotected flat byte array - defines the data a
+ *              clean run must return and never detects anything;
+ *  - `oracle`: the naive full-recompute RefOracle (oracle.h),
+ *              independent of src/tree/;
+ *  - `naive` / `cached` / `incremental`: real MerkleMemory
+ *              configurations of the same geometry.
+ *
+ * Equivalence contract (the paper's Section 5 claim, ISSUE 7): on a
+ * clean trace every target returns byte-identical data to `base`; on
+ * a tampered trace every *verified* target (oracle included) detects
+ * at the same operation index. The differ enforces a sync point
+ * (flush + cache clear) immediately before every adversary action so
+ * all schemes face the attack with identical trust state - without
+ * it, a cached scheme legitimately masks RAM tampering of a resident
+ * chunk and detection points are incomparable by design, not by bug.
+ *
+ * After the trace, every target takes a full readback sweep of the
+ * data space so tampering of never-again-accessed chunks still has a
+ * detection point (index ops.size() + sweptChunk).
+ */
+
+#ifndef CMT_FUZZ_DIFFER_H
+#define CMT_FUZZ_DIFFER_H
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "crypto/md5.h"
+#include "fuzz/trace_gen.h"
+
+namespace cmt::fuzz
+{
+
+/** One execution target of a differential run. */
+class FuzzTarget
+{
+  public:
+    virtual ~FuzzTarget() = default;
+
+    virtual const char *name() const = 0;
+    /** False only for `base`: its runs define expected data. */
+    virtual bool verifies() const = 0;
+
+    // Trace surface. Detection is reported by throwing (the concrete
+    // target's exception type); runTarget() normalizes it.
+    virtual void load(std::uint64_t addr,
+                      std::span<std::uint8_t> out) = 0;
+    virtual void store(std::uint64_t addr,
+                       std::span<const std::uint8_t> in) = 0;
+    virtual void flush() = 0;
+    virtual void clearCache() = 0;
+    /** Force trust state into RAM (flush + clearCache); the differ
+     *  calls this before every adversary op. No-op for base/oracle. */
+    virtual void sync() = 0;
+
+    // Adversary surface, in data-space coordinates.
+    virtual void flipData(std::uint64_t addr, unsigned bit) = 0;
+    virtual void tamperTree(std::uint64_t dataChunk, unsigned byte,
+                            unsigned bit) = 0;
+    virtual void splice(std::uint64_t fromDataChunk,
+                        std::uint64_t toDataChunk) = 0;
+    virtual void capture(std::uint64_t id, std::uint64_t dataChunk) = 0;
+    virtual void restore(std::uint64_t id) = 0;
+};
+
+/**
+ * The five standard targets for @p config, in fixed order: base,
+ * oracle, naive, cached, incremental.
+ */
+std::vector<std::unique_ptr<FuzzTarget>>
+makeTargets(const FuzzConfig &config);
+
+/** What one target did with one case. */
+struct RunOutcome
+{
+    /** Data returned by each kLoad op, in trace order (stops at the
+     *  detection point). */
+    std::vector<std::vector<std::uint8_t>> loads;
+    /** Detection index: op index, or ops.size()+k for data chunk k of
+     *  the final sweep; -1 = never detected. */
+    std::int64_t detectedAt = -1;
+    /** True when the target died on a non-detection error. */
+    bool crashed = false;
+    /** Exception message of the detection or crash. */
+    std::string detail;
+    /** MD5 over the final sweep (valid only when hasFinalDigest). */
+    Hash128 finalDigest{};
+    bool hasFinalDigest = false;
+};
+
+/** Execute @p c against one target (fresh state assumed). */
+RunOutcome runTarget(const FuzzCase &c, FuzzTarget &target);
+
+/** A contract violation between targets. */
+struct Divergence
+{
+    bool found = false;
+    /** "crash", "detection-mismatch", "data-mismatch", or
+     *  "final-state-mismatch". */
+    std::string kind;
+    /** Offending target name. */
+    std::string target;
+    std::string detail;
+};
+
+/** Run @p c across makeTargets() and check the equivalence contract.
+ *  When @p oracleOutcome is non-null it receives the oracle's run. */
+Divergence runDifferential(const FuzzCase &c,
+                           RunOutcome *oracleOutcome = nullptr);
+
+/**
+ * ddmin-style shrink: repeatedly drop op windows while the divergence
+ * kind @p kind still reproduces. @return the smallest case found.
+ */
+FuzzCase minimizeCase(const FuzzCase &input, const std::string &kind);
+
+} // namespace cmt::fuzz
+
+#endif // CMT_FUZZ_DIFFER_H

@@ -1,0 +1,255 @@
+#include "fuzz/oracle.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/logging.h"
+
+namespace cmt::fuzz
+{
+
+namespace
+{
+
+constexpr std::uint64_t kSlotSize = 16;
+
+} // namespace
+
+RefOracle::RefOracle(const FuzzConfig &config) : config_(config)
+{
+    std::string error;
+    FuzzCase probe;
+    probe.config = config;
+    if (!validateCase(probe, &error))
+        cmt_panic("RefOracle: invalid config: %s", error.c_str());
+
+    arity_ = config_.arity();
+    const std::uint64_t perShard =
+        config_.protectedSize / (config_.shards * config_.chunkSize);
+
+    // Re-derive the perfect-tree span: data chunks are the last m^L
+    // local chunks; above them sit m^(L-1) + ... + m hash chunks (the
+    // m root-level chunks' digests live off-RAM in rootAuth_).
+    levels_ = 0;
+    std::uint64_t width = 1;
+    while (width < perShard) {
+        width *= arity_;
+        ++levels_;
+    }
+    span_ = 0;
+    for (std::uint64_t w = arity_; w <= perShard; w *= arity_)
+        span_ += w;
+    firstData_ = span_ - perShard;
+
+    ram_.assign(config_.shards * span_ * config_.chunkSize, 0);
+
+    // Zeroed memory: build shard 0's slots bottom-up (descending local
+    // chunk index reaches children before parents), seed the trusted
+    // roots, then replicate - shards start identical.
+    for (std::uint64_t c = span_; c-- > 0;) {
+        const std::uint64_t parent = c / arity_;
+        const Hash128 digest = digestChunk(c);
+        if (parent == 0) {
+            rootAuth_.push_back(digest);
+        } else {
+            const std::uint64_t slot = c % arity_;
+            std::memcpy(&ram_[chunkRamOffset(parent - 1) +
+                              slot * kSlotSize],
+                        digest.data(), kSlotSize);
+        }
+    }
+    // rootAuth_ was filled in descending local order; store ascending.
+    std::reverse(rootAuth_.begin(), rootAuth_.end());
+    cmt_assert(rootAuth_.size() == arity_);
+    rootAuth_.resize(config_.shards * arity_);
+    for (unsigned s = 1; s < config_.shards; ++s) {
+        std::memcpy(&ram_[static_cast<std::uint64_t>(s) * span_ *
+                          config_.chunkSize],
+                    ram_.data(), span_ * config_.chunkSize);
+        for (std::uint64_t r = 0; r < arity_; ++r)
+            rootAuth_[s * arity_ + r] = rootAuth_[r];
+    }
+}
+
+std::uint64_t
+RefOracle::globalChunk(unsigned shard, std::uint64_t local) const
+{
+    return static_cast<std::uint64_t>(shard) * span_ + local;
+}
+
+std::uint64_t
+RefOracle::chunkRamOffset(std::uint64_t global) const
+{
+    return global * config_.chunkSize;
+}
+
+std::uint64_t
+RefOracle::dataChunkToGlobal(std::uint64_t dataChunk) const
+{
+    const std::uint64_t perShard = span_ - firstData_;
+    const unsigned shard =
+        static_cast<unsigned>(dataChunk / perShard);
+    const std::uint64_t local = firstData_ + dataChunk % perShard;
+    return globalChunk(shard, local);
+}
+
+Hash128
+RefOracle::digestChunk(std::uint64_t global) const
+{
+    return Md5::digest(std::span<const std::uint8_t>(
+        ram_.data() + chunkRamOffset(global), config_.chunkSize));
+}
+
+void
+RefOracle::verifyPath(std::uint64_t global) const
+{
+    const std::uint64_t shard = global / span_;
+    std::uint64_t local = global % span_;
+    while (true) {
+        const Hash128 digest = digestChunk(globalChunk(
+            static_cast<unsigned>(shard), local));
+        const std::uint64_t parent = local / arity_;
+        const std::uint64_t slot = local % arity_;
+        const std::uint8_t *expect;
+        if (parent == 0) {
+            expect = rootAuth_[shard * arity_ + slot].data();
+        } else {
+            expect = &ram_[chunkRamOffset(globalChunk(
+                               static_cast<unsigned>(shard),
+                               parent - 1)) +
+                           slot * kSlotSize];
+        }
+        if (std::memcmp(digest.data(), expect, kSlotSize) != 0)
+            throw OracleDetection(
+                globalChunk(static_cast<unsigned>(shard), local),
+                "oracle: chunk digest mismatch");
+        if (parent == 0)
+            return;
+        local = parent - 1;
+    }
+}
+
+void
+RefOracle::updatePath(std::uint64_t global)
+{
+    const std::uint64_t shard = global / span_;
+    std::uint64_t local = global % span_;
+    while (true) {
+        const Hash128 digest = digestChunk(globalChunk(
+            static_cast<unsigned>(shard), local));
+        const std::uint64_t parent = local / arity_;
+        const std::uint64_t slot = local % arity_;
+        if (parent == 0) {
+            rootAuth_[shard * arity_ + slot] = digest;
+            return;
+        }
+        std::memcpy(&ram_[chunkRamOffset(globalChunk(
+                              static_cast<unsigned>(shard),
+                              parent - 1)) +
+                          slot * kSlotSize],
+                    digest.data(), kSlotSize);
+        local = parent - 1;
+    }
+}
+
+void
+RefOracle::load(std::uint64_t addr, std::span<std::uint8_t> out)
+{
+    cmt_assert(addr + out.size() <= config_.protectedSize);
+    std::uint64_t done = 0;
+    while (done < out.size()) {
+        const std::uint64_t a = addr + done;
+        const std::uint64_t dataChunk = a / config_.chunkSize;
+        const std::uint64_t offset = a % config_.chunkSize;
+        const std::uint64_t n = std::min<std::uint64_t>(
+            config_.chunkSize - offset, out.size() - done);
+        const std::uint64_t global = dataChunkToGlobal(dataChunk);
+        verifyPath(global);
+        std::memcpy(out.data() + done,
+                    &ram_[chunkRamOffset(global) + offset], n);
+        done += n;
+    }
+}
+
+void
+RefOracle::store(std::uint64_t addr,
+                 std::span<const std::uint8_t> in)
+{
+    cmt_assert(addr + in.size() <= config_.protectedSize);
+    std::uint64_t done = 0;
+    while (done < in.size()) {
+        const std::uint64_t a = addr + done;
+        const std::uint64_t dataChunk = a / config_.chunkSize;
+        const std::uint64_t offset = a % config_.chunkSize;
+        const std::uint64_t n = std::min<std::uint64_t>(
+            config_.chunkSize - offset, in.size() - done);
+        const std::uint64_t global = dataChunkToGlobal(dataChunk);
+        verifyPath(global);
+        std::memcpy(&ram_[chunkRamOffset(global) + offset],
+                    in.data() + done, n);
+        updatePath(global);
+        done += n;
+    }
+}
+
+void
+RefOracle::flipData(std::uint64_t addr, unsigned bit)
+{
+    cmt_assert(addr < config_.protectedSize && bit < 8);
+    const std::uint64_t global =
+        dataChunkToGlobal(addr / config_.chunkSize);
+    ram_[chunkRamOffset(global) + addr % config_.chunkSize] ^=
+        static_cast<std::uint8_t>(1u << bit);
+}
+
+void
+RefOracle::tamperTree(std::uint64_t dataChunk, unsigned byte,
+                      unsigned bit)
+{
+    cmt_assert(byte < kSlotSize && bit < 8);
+    const std::uint64_t global = dataChunkToGlobal(dataChunk);
+    const std::uint64_t shard = global / span_;
+    const std::uint64_t local = global % span_;
+    const std::uint64_t parent = local / arity_;
+    // Root-level slots live in trusted registers; validateCase()
+    // guarantees levels >= 2, so data chunks always have a RAM parent.
+    cmt_assert(parent != 0);
+    const std::uint64_t slot = local % arity_;
+    ram_[chunkRamOffset(globalChunk(static_cast<unsigned>(shard),
+                                    parent - 1)) +
+         slot * kSlotSize + byte] ^= static_cast<std::uint8_t>(1u << bit);
+}
+
+void
+RefOracle::splice(std::uint64_t fromDataChunk,
+                  std::uint64_t toDataChunk)
+{
+    const std::uint64_t from =
+        chunkRamOffset(dataChunkToGlobal(fromDataChunk));
+    const std::uint64_t to =
+        chunkRamOffset(dataChunkToGlobal(toDataChunk));
+    std::memcpy(&ram_[to], &ram_[from], config_.chunkSize);
+}
+
+void
+RefOracle::captureChunk(std::uint64_t id, std::uint64_t dataChunk)
+{
+    const std::uint64_t off =
+        chunkRamOffset(dataChunkToGlobal(dataChunk));
+    captures_[id] = {ram_.begin() + static_cast<std::ptrdiff_t>(off),
+                     ram_.begin() + static_cast<std::ptrdiff_t>(
+                                        off + config_.chunkSize)};
+    // Remember where it came from so restore() replays in place.
+    captureAt_[id] = off;
+}
+
+void
+RefOracle::restoreChunk(std::uint64_t id)
+{
+    auto it = captures_.find(id);
+    cmt_assert(it != captures_.end());
+    std::memcpy(&ram_[captureAt_[id]], it->second.data(),
+                config_.chunkSize);
+}
+
+} // namespace cmt::fuzz

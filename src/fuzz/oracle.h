@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Reference integrity oracle for the differential fuzzer.
+ *
+ * RefOracle is a deliberately naive full-recompute Merkle model in
+ * the style of the tvm-fork memory_integrity_tree reference: on every
+ * access it re-digests the touched chunk's entire ancestor path
+ * bottom-up against trusted root registers, with zero caching and
+ * zero incrementality. It re-derives the shard-major m-ary geometry
+ * from first principles and links against *none* of src/tree/, so a
+ * bug shared by all the real policies (layout, router, authenticator)
+ * cannot mask itself in the differential run (DESIGN.md section 9).
+ */
+
+#ifndef CMT_FUZZ_ORACLE_H
+#define CMT_FUZZ_ORACLE_H
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "crypto/md5.h"
+#include "fuzz/trace_gen.h"
+
+namespace cmt::fuzz
+{
+
+/** Thrown by RefOracle when a chunk digest mismatches its parent. */
+class OracleDetection : public std::runtime_error
+{
+  public:
+    OracleDetection(std::uint64_t chunk, const std::string &what)
+        : std::runtime_error(what), chunk_(chunk)
+    {
+    }
+
+    /** Global chunk index that failed verification. */
+    std::uint64_t chunk() const { return chunk_; }
+
+  private:
+    std::uint64_t chunk_;
+};
+
+/**
+ * Naive full-recompute reference model over a flat byte array.
+ *
+ * Geometry (independently re-derived, shard-major like ShardRouter):
+ * K shards of `span` chunks each; within a shard, local chunk c has
+ * parent c/m - 1 (negative = root register), occupies slot c % m of
+ * its parent, and child s of c is m*(c+1) + s. The last m^L local
+ * chunks of a shard are the data chunks. Hash chunks store m 16-byte
+ * slots; each slot is the truncated MD5 digest of the child chunk's
+ * raw bytes. The m root-register digests per shard live off-RAM in
+ * rootAuth_ (trusted by construction, like the paper's on-chip root).
+ */
+class RefOracle
+{
+  public:
+    explicit RefOracle(const FuzzConfig &config);
+
+    /** Verified read of [addr, addr+out.size()) in data space. */
+    void load(std::uint64_t addr, std::span<std::uint8_t> out);
+
+    /** Verified read-modify-write in data space. */
+    void store(std::uint64_t addr, std::span<const std::uint8_t> in);
+
+    // Adversary surface (data-space coordinates, like the fuzz ops).
+    void flipData(std::uint64_t addr, unsigned bit);
+    void tamperTree(std::uint64_t dataChunk, unsigned byte,
+                    unsigned bit);
+    void splice(std::uint64_t fromDataChunk, std::uint64_t toDataChunk);
+    void captureChunk(std::uint64_t id, std::uint64_t dataChunk);
+    void restoreChunk(std::uint64_t id);
+
+    std::uint64_t chunksPerShard() const { return span_; }
+    std::uint64_t dataChunks() const { return config_.dataChunks(); }
+
+  private:
+    std::uint64_t globalChunk(unsigned shard,
+                              std::uint64_t local) const;
+    std::uint64_t chunkRamOffset(std::uint64_t global) const;
+    std::uint64_t dataChunkToGlobal(std::uint64_t dataChunk) const;
+    Hash128 digestChunk(std::uint64_t global) const;
+    /** Verify `global`'s whole ancestor path bottom-up. */
+    void verifyPath(std::uint64_t global) const;
+    /** Recompute `global`'s ancestor slots after a mutation. */
+    void updatePath(std::uint64_t global);
+
+    FuzzConfig config_;
+    std::uint64_t arity_;
+    std::uint64_t span_;      ///< chunks per shard (hash + data)
+    std::uint64_t levels_;    ///< data-chunk depth below the root
+    std::uint64_t firstData_; ///< first local data chunk index
+    std::vector<std::uint8_t> ram_;
+    /** Trusted digests of each shard's root-level chunks. */
+    std::vector<Hash128> rootAuth_;
+    std::map<std::uint64_t, std::vector<std::uint8_t>> captures_;
+    /** RAM offset each capture id snapshotted, for in-place replay. */
+    std::map<std::uint64_t, std::uint64_t> captureAt_;
+};
+
+} // namespace cmt::fuzz
+
+#endif // CMT_FUZZ_ORACLE_H

@@ -1,0 +1,552 @@
+#include "fuzz/trace_gen.h"
+
+#include <cmath>
+
+#include "support/logging.h"
+#include "support/random.h"
+
+namespace cmt::fuzz
+{
+
+namespace
+{
+
+constexpr const char *kSchema = "cmt-fuzz-case-v1";
+
+/** Slot width of every authenticator in RAM (tree/layout.h). */
+constexpr std::uint64_t kSlotSize = 16;
+
+/** XOR-MAC term bound (crypto/xor_mac.h kMaxBlocks). */
+constexpr std::uint64_t kMaxBlocksPerChunk = 16;
+
+std::string
+toHex(const std::vector<std::uint8_t> &bytes)
+{
+    static const char *digits = "0123456789abcdef";
+    std::string out;
+    out.reserve(bytes.size() * 2);
+    for (std::uint8_t b : bytes) {
+        out.push_back(digits[b >> 4]);
+        out.push_back(digits[b & 0xf]);
+    }
+    return out;
+}
+
+bool
+fromHex(const std::string &hex, std::vector<std::uint8_t> *out)
+{
+    if (hex.size() % 2 != 0)
+        return false;
+    out->clear();
+    out->reserve(hex.size() / 2);
+    for (std::size_t i = 0; i < hex.size(); i += 2) {
+        unsigned value = 0;
+        for (int k = 0; k < 2; ++k) {
+            const char c = hex[i + k];
+            value <<= 4;
+            if (c >= '0' && c <= '9')
+                value |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                value |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                value |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                return false;
+        }
+        out->push_back(static_cast<std::uint8_t>(value));
+    }
+    return true;
+}
+
+bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Read an exactly-integral non-negative number member. */
+bool
+readU64(const Json &obj, const std::string &key, std::uint64_t *out,
+        std::string *error)
+{
+    const Json *v = obj.find(key);
+    if (v == nullptr || !v->isNumber()) {
+        if (error)
+            *error = "missing numeric field '" + key + "'";
+        return false;
+    }
+    const double d = v->asNumber();
+    if (d < 0 || d != std::floor(d) || d > 0x1.0p53) {
+        if (error)
+            *error = "field '" + key + "' is not a valid u64";
+        return false;
+    }
+    *out = static_cast<std::uint64_t>(d);
+    return true;
+}
+
+} // namespace
+
+const char *
+opName(OpKind kind)
+{
+    switch (kind) {
+    case OpKind::kLoad:
+        return "load";
+    case OpKind::kStore:
+        return "store";
+    case OpKind::kFlush:
+        return "flush";
+    case OpKind::kClearCache:
+        return "clear_cache";
+    case OpKind::kFlip:
+        return "flip";
+    case OpKind::kTamperTree:
+        return "tamper_tree";
+    case OpKind::kSplice:
+        return "splice";
+    case OpKind::kCapture:
+        return "capture";
+    case OpKind::kRestore:
+        return "restore";
+    }
+    cmt_panic("opName: bad OpKind %d", static_cast<int>(kind));
+}
+
+bool
+opFromName(const std::string &name, OpKind *out)
+{
+    static const OpKind kAll[] = {
+        OpKind::kLoad,    OpKind::kStore,  OpKind::kFlush,
+        OpKind::kClearCache, OpKind::kFlip, OpKind::kTamperTree,
+        OpKind::kSplice,  OpKind::kCapture, OpKind::kRestore,
+    };
+    for (OpKind k : kAll) {
+        if (name == opName(k)) {
+            *out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+isAdversaryOp(OpKind kind)
+{
+    switch (kind) {
+    case OpKind::kFlip:
+    case OpKind::kTamperTree:
+    case OpKind::kSplice:
+    case OpKind::kCapture:
+    case OpKind::kRestore:
+        return true;
+    default:
+        return false;
+    }
+}
+
+Json
+FuzzCase::toJson() const
+{
+    Json doc = Json::object();
+    doc.set("schema", kSchema);
+    doc.set("seed", seed);
+    doc.set("note", note);
+    doc.set("expect_detection", expectDetection);
+
+    Json cfg = Json::object();
+    cfg.set("chunk_size", config.chunkSize);
+    cfg.set("block_size", config.blockSize);
+    cfg.set("protected_size", config.protectedSize);
+    cfg.set("shards", config.shards);
+    cfg.set("cache_chunks", config.cacheChunks);
+    doc.set("config", cfg);
+
+    Json list = Json::array();
+    for (const FuzzOp &op : ops) {
+        Json o = Json::object();
+        o.set("op", opName(op.kind));
+        switch (op.kind) {
+        case OpKind::kLoad:
+            o.set("addr", op.addr);
+            o.set("len", op.len);
+            break;
+        case OpKind::kStore:
+            o.set("addr", op.addr);
+            o.set("data", toHex(op.data));
+            break;
+        case OpKind::kFlush:
+        case OpKind::kClearCache:
+            break;
+        case OpKind::kFlip:
+            o.set("addr", op.addr);
+            o.set("bit", op.bit);
+            break;
+        case OpKind::kTamperTree:
+            o.set("chunk", op.chunk);
+            o.set("byte", op.byte);
+            o.set("bit", op.bit);
+            break;
+        case OpKind::kSplice:
+            o.set("from", op.from);
+            o.set("to", op.to);
+            break;
+        case OpKind::kCapture:
+            o.set("id", op.id);
+            o.set("chunk", op.chunk);
+            break;
+        case OpKind::kRestore:
+            o.set("id", op.id);
+            break;
+        }
+        list.push(o);
+    }
+    doc.set("ops", list);
+    return doc;
+}
+
+std::string
+FuzzCase::dump() const
+{
+    return toJson().dump(2) + "\n";
+}
+
+bool
+FuzzCase::fromJson(const Json &doc, FuzzCase *out, std::string *error)
+{
+    if (!doc.isObject()) {
+        if (error)
+            *error = "case document is not an object";
+        return false;
+    }
+    const Json *schema = doc.find("schema");
+    if (schema == nullptr || !schema->isString() ||
+        schema->asString() != kSchema) {
+        if (error)
+            *error = "missing or unsupported schema (want cmt-fuzz-case-v1)";
+        return false;
+    }
+
+    FuzzCase c;
+    if (!readU64(doc, "seed", &c.seed, error))
+        return false;
+    if (const Json *note = doc.find("note"); note && note->isString())
+        c.note = note->asString();
+    if (const Json *ed = doc.find("expect_detection");
+        ed && ed->isBool())
+        c.expectDetection = ed->asBool();
+
+    const Json *cfg = doc.find("config");
+    if (cfg == nullptr || !cfg->isObject()) {
+        if (error)
+            *error = "missing config object";
+        return false;
+    }
+    std::uint64_t shards = 0;
+    if (!readU64(*cfg, "chunk_size", &c.config.chunkSize, error) ||
+        !readU64(*cfg, "block_size", &c.config.blockSize, error) ||
+        !readU64(*cfg, "protected_size", &c.config.protectedSize,
+                 error) ||
+        !readU64(*cfg, "shards", &shards, error) ||
+        !readU64(*cfg, "cache_chunks", &c.config.cacheChunks, error))
+        return false;
+    c.config.shards = static_cast<unsigned>(shards);
+
+    const Json *list = doc.find("ops");
+    if (list == nullptr || !list->isArray()) {
+        if (error)
+            *error = "missing ops array";
+        return false;
+    }
+    for (std::size_t i = 0; i < list->size(); ++i) {
+        const Json &o = list->at(i);
+        const Json *name = o.find("op");
+        FuzzOp op;
+        if (name == nullptr || !name->isString() ||
+            !opFromName(name->asString(), &op.kind)) {
+            if (error)
+                *error = "ops[" + std::to_string(i) +
+                         "]: missing or unknown op name";
+            return false;
+        }
+        std::uint64_t byteField = 0;
+        std::uint64_t bitField = 0;
+        bool ok = true;
+        switch (op.kind) {
+        case OpKind::kLoad:
+            ok = readU64(o, "addr", &op.addr, error) &&
+                 readU64(o, "len", &op.len, error);
+            break;
+        case OpKind::kStore: {
+            ok = readU64(o, "addr", &op.addr, error);
+            const Json *data = o.find("data");
+            if (ok && (data == nullptr || !data->isString() ||
+                       !fromHex(data->asString(), &op.data))) {
+                if (error)
+                    *error = "ops[" + std::to_string(i) +
+                             "]: store needs a hex 'data' string";
+                ok = false;
+            }
+            break;
+        }
+        case OpKind::kFlush:
+        case OpKind::kClearCache:
+            break;
+        case OpKind::kFlip:
+            ok = readU64(o, "addr", &op.addr, error) &&
+                 readU64(o, "bit", &bitField, error);
+            op.bit = static_cast<unsigned>(bitField);
+            break;
+        case OpKind::kTamperTree:
+            ok = readU64(o, "chunk", &op.chunk, error) &&
+                 readU64(o, "byte", &byteField, error) &&
+                 readU64(o, "bit", &bitField, error);
+            op.byte = static_cast<unsigned>(byteField);
+            op.bit = static_cast<unsigned>(bitField);
+            break;
+        case OpKind::kSplice:
+            ok = readU64(o, "from", &op.from, error) &&
+                 readU64(o, "to", &op.to, error);
+            break;
+        case OpKind::kCapture:
+            ok = readU64(o, "id", &op.id, error) &&
+                 readU64(o, "chunk", &op.chunk, error);
+            break;
+        case OpKind::kRestore:
+            ok = readU64(o, "id", &op.id, error);
+            break;
+        }
+        if (!ok) {
+            if (error && error->empty())
+                *error = "ops[" + std::to_string(i) + "]: bad fields";
+            return false;
+        }
+        c.ops.push_back(std::move(op));
+    }
+
+    if (!validateCase(c, error))
+        return false;
+    *out = std::move(c);
+    return true;
+}
+
+bool
+FuzzCase::parse(const std::string &text, FuzzCase *out,
+                std::string *error)
+{
+    Json doc;
+    if (!Json::parse(text, &doc, error))
+        return false;
+    return fromJson(doc, out, error);
+}
+
+bool
+validateCase(const FuzzCase &c, std::string *error)
+{
+    const FuzzConfig &cfg = c.config;
+    auto fail = [&](const std::string &msg) {
+        if (error)
+            *error = msg;
+        return false;
+    };
+
+    if (!isPow2(cfg.chunkSize) || cfg.chunkSize < 2 * kSlotSize)
+        return fail("chunk_size must be a power of two >= 32");
+    if (!isPow2(cfg.blockSize) || cfg.blockSize < kSlotSize ||
+        cfg.blockSize > cfg.chunkSize)
+        return fail("block_size must be a power of two in [16, chunk_size]");
+    if (cfg.chunkSize / cfg.blockSize > kMaxBlocksPerChunk)
+        return fail("chunk_size/block_size exceeds the XOR-MAC term bound");
+    if (cfg.shards == 0 || !isPow2(cfg.shards))
+        return fail("shards must be a nonzero power of two");
+    if (cfg.protectedSize == 0 ||
+        cfg.protectedSize % (cfg.shards * cfg.chunkSize) != 0)
+        return fail("protected_size must be a multiple of shards*chunk_size");
+
+    // Exactly m^L data chunks per shard, L >= 2, so every data chunk's
+    // authenticator lives in an in-RAM parent (kTamperTree target).
+    const std::uint64_t m = cfg.arity();
+    const std::uint64_t perShard =
+        cfg.protectedSize / (cfg.shards * cfg.chunkSize);
+    std::uint64_t levels = 0;
+    std::uint64_t span = 1;
+    while (span < perShard) {
+        span *= m;
+        ++levels;
+    }
+    if (span != perShard)
+        return fail("per-shard data chunks must be an exact power of arity");
+    if (levels < 2)
+        return fail("per-shard tree must have at least 2 levels");
+
+    if (cfg.cacheChunks != 0 && cfg.cacheChunks < 2 * levels + 2)
+        return fail("cache_chunks below the 2*levels+2 deadlock floor");
+
+    const std::uint64_t dataBytes = cfg.protectedSize;
+    const std::uint64_t dataChunks = cfg.dataChunks();
+    std::vector<bool> captured;
+    for (std::size_t i = 0; i < c.ops.size(); ++i) {
+        const FuzzOp &op = c.ops[i];
+        auto opFail = [&](const std::string &msg) {
+            return fail("ops[" + std::to_string(i) + "]: " + msg);
+        };
+        switch (op.kind) {
+        case OpKind::kLoad:
+            if (op.len == 0 || op.addr + op.len > dataBytes)
+                return opFail("load out of range");
+            break;
+        case OpKind::kStore:
+            if (op.data.empty() ||
+                op.addr + op.data.size() > dataBytes)
+                return opFail("store out of range");
+            break;
+        case OpKind::kFlush:
+        case OpKind::kClearCache:
+            break;
+        case OpKind::kFlip:
+            if (op.addr >= dataBytes || op.bit > 7)
+                return opFail("flip out of range");
+            break;
+        case OpKind::kTamperTree:
+            if (op.chunk >= dataChunks || op.byte >= kSlotSize ||
+                op.bit > 7)
+                return opFail("tamper_tree out of range");
+            break;
+        case OpKind::kSplice:
+            if (op.from >= dataChunks || op.to >= dataChunks ||
+                op.from == op.to)
+                return opFail("splice chunks out of range or equal");
+            break;
+        case OpKind::kCapture:
+            if (op.chunk >= dataChunks)
+                return opFail("capture chunk out of range");
+            if (op.id >= captured.size())
+                captured.resize(op.id + 1, false);
+            captured[op.id] = true;
+            break;
+        case OpKind::kRestore:
+            if (op.id >= captured.size() || !captured[op.id])
+                return opFail("restore of an id never captured");
+            break;
+        }
+    }
+    return true;
+}
+
+FuzzCase
+generateCase(std::uint64_t seed)
+{
+    Rng rng(seed ^ 0xc0ffee5eedULL);
+    FuzzCase c;
+    c.seed = seed;
+    c.note = "generated";
+
+    // --- Config point -------------------------------------------------
+    static const std::uint64_t kChunkSizes[] = {32, 64, 128};
+    FuzzConfig &cfg = c.config;
+    cfg.chunkSize = kChunkSizes[rng.below(3)];
+    // blockSize in [max(16, chunk/16), chunk], power of two; the
+    // blocks-per-chunk bound (16) caps the divisor.
+    {
+        std::vector<std::uint64_t> choices;
+        for (std::uint64_t b = kSlotSize; b <= cfg.chunkSize; b *= 2)
+            if (cfg.chunkSize / b <= kMaxBlocksPerChunk)
+                choices.push_back(b);
+        cfg.blockSize = choices[rng.below(choices.size())];
+    }
+    static const unsigned kShardChoices[] = {1, 2, 4};
+    cfg.shards = kShardChoices[rng.below(3)];
+
+    const std::uint64_t m = cfg.arity();
+    const std::uint64_t levels = rng.range(2, 3);
+    std::uint64_t perShard = 1;
+    for (std::uint64_t l = 0; l < levels; ++l)
+        perShard *= m;
+    cfg.protectedSize = cfg.shards * perShard * cfg.chunkSize;
+    cfg.cacheChunks = 2 * levels + 2 + rng.below(13);
+
+    // --- Trace + adversary schedule ----------------------------------
+    const std::uint64_t dataBytes = cfg.protectedSize;
+    const std::uint64_t dataChunks = cfg.dataChunks();
+    const std::size_t opCount = static_cast<std::size_t>(rng.range(20, 120));
+    const bool withAdversary = rng.chance(0.7);
+    std::uint64_t nextCaptureId = 0;
+    std::vector<std::uint64_t> liveCaptures;
+
+    for (std::size_t i = 0; i < opCount; ++i) {
+        FuzzOp op;
+        const bool adversary = withAdversary && rng.chance(0.12);
+        if (adversary) {
+            switch (rng.below(5)) {
+            case 0:
+                op.kind = OpKind::kFlip;
+                op.addr = rng.below(dataBytes);
+                op.bit = static_cast<unsigned>(rng.below(8));
+                break;
+            case 1:
+                op.kind = OpKind::kTamperTree;
+                op.chunk = rng.below(dataChunks);
+                op.byte = static_cast<unsigned>(rng.below(kSlotSize));
+                op.bit = static_cast<unsigned>(rng.below(8));
+                break;
+            case 2:
+                if (dataChunks < 2) {
+                    op.kind = OpKind::kFlip;
+                    op.addr = rng.below(dataBytes);
+                    op.bit = static_cast<unsigned>(rng.below(8));
+                    break;
+                }
+                op.kind = OpKind::kSplice;
+                op.from = rng.below(dataChunks);
+                do {
+                    op.to = rng.below(dataChunks);
+                } while (op.to == op.from);
+                break;
+            case 3:
+                op.kind = OpKind::kCapture;
+                op.id = nextCaptureId++;
+                op.chunk = rng.below(dataChunks);
+                liveCaptures.push_back(op.id);
+                break;
+            case 4:
+                if (liveCaptures.empty()) {
+                    op.kind = OpKind::kCapture;
+                    op.id = nextCaptureId++;
+                    op.chunk = rng.below(dataChunks);
+                    liveCaptures.push_back(op.id);
+                    break;
+                }
+                op.kind = OpKind::kRestore;
+                op.id = liveCaptures[rng.below(liveCaptures.size())];
+                break;
+            }
+        } else {
+            const double roll = rng.real();
+            if (roll < 0.45) {
+                op.kind = OpKind::kLoad;
+                op.len = rng.range(1, 64);
+                op.addr = rng.below(dataBytes - op.len + 1);
+            } else if (roll < 0.9) {
+                op.kind = OpKind::kStore;
+                const std::uint64_t len = rng.range(1, 32);
+                op.addr = rng.below(dataBytes - len + 1);
+                op.data.resize(len);
+                for (auto &b : op.data)
+                    b = static_cast<std::uint8_t>(rng.below(256));
+            } else if (roll < 0.96) {
+                op.kind = OpKind::kFlush;
+            } else {
+                op.kind = OpKind::kClearCache;
+            }
+        }
+        c.ops.push_back(std::move(op));
+    }
+
+    std::string error;
+    if (!validateCase(c, &error))
+        cmt_panic("generateCase(%llu) produced an invalid case: %s",
+                  static_cast<unsigned long long>(seed), error.c_str());
+    return c;
+}
+
+} // namespace cmt::fuzz

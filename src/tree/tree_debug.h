@@ -6,9 +6,15 @@
  *  - CMT_TRACE_CHUNK=<index> traces every functional mutation touching
  *    that chunk and enables the cascade-exit invariant probe;
  *  - CMT_DEBUG_VERDICT=1 prints a diagnostic line for every failed
- *    chunk verification.
+ *    chunk verification;
+ *  - CMT_FAULT_SKIP_VERIFY_SHARD=<shard> deliberately disables chunk
+ *    verification on one shard of the functional MerkleMemory - a
+ *    fault-injection hook that exists so the differential fuzzer
+ *    (tools/cmt_fuzz, DESIGN.md section 9) can prove it detects a
+ *    policy that silently stops checking. Never set it outside fuzz
+ *    or test harnesses.
  *
- * Both resolve their environment variable once and are free when
+ * All resolve their environment variable once and are free when
  * unset. Output goes through cmt::debugf (logging.h), never a raw
  * FILE*.
  */
@@ -26,6 +32,19 @@ std::int64_t traceChunkId();
 
 /** True when CMT_DEBUG_VERDICT is set in the environment. */
 bool debugVerdictEnabled();
+
+/**
+ * Shard whose MerkleMemory chunk verifications are deliberately
+ * skipped (fault injection for the differential fuzzer), or -1 when
+ * the fault is unarmed. First call resolves
+ * CMT_FAULT_SKIP_VERIFY_SHARD; setFaultSkipVerifyShard() overrides it
+ * programmatically (gtest cases cannot rely on pre-exec environment).
+ */
+std::int64_t faultSkipVerifyShard();
+
+/** Arm (@p shard >= 0) or clear (@p shard == -1) the skip-verify
+ *  fault. Test/fuzz harness use only. */
+void setFaultSkipVerifyShard(std::int64_t shard);
 
 } // namespace cmt
 

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "support/bitops.h"
+#include "tree/tree_debug.h"
 
 namespace cmt
 {
@@ -19,6 +20,20 @@ slotFromImage(const std::vector<std::uint8_t> &image, std::uint64_t index)
     std::memcpy(out.data(), image.data() + index * TreeLayout::kSlotSize,
                 out.size());
     return out;
+}
+
+/**
+ * Fault-injection seam (tree_debug.h): true when the skip-verify
+ * fault is armed for @p chunk's shard, i.e. this verification must be
+ * deliberately skipped so the differential fuzzer can prove the
+ * cross-policy diff catches a scheme that stops checking.
+ */
+bool
+verificationDisabled(const ShardRouter &tree, std::uint64_t chunk)
+{
+    const std::int64_t shard = faultSkipVerifyShard();
+    return shard >= 0 &&
+           static_cast<std::uint64_t>(shard) == tree.shardOfChunk(chunk);
 }
 
 } // namespace
@@ -116,7 +131,8 @@ MerkleMemory::readAndCheckDirect(std::uint64_t chunk)
     const Slot expected = trustedSlotOf(chunk);
     ++statChecks;
     ++statAuthComputes;
-    if (!auth_.verify(bytes, expected)) {
+    if (!auth_.verify(bytes, expected) &&
+        !verificationDisabled(tree_, chunk)) {
         ++statCheckFailures;
         throw IntegrityException(chunk, "integrity check failed on "
                                         "chunk " +
@@ -167,7 +183,8 @@ MerkleMemory::getCached(std::uint64_t chunk)
     ++statUntrustedReads;
     ++statChecks;
     ++statAuthComputes;
-    if (!auth_.verify(bytes, expected)) {
+    if (!auth_.verify(bytes, expected) &&
+        !verificationDisabled(tree_, chunk)) {
         ++statCheckFailures;
         throw IntegrityException(chunk, "integrity check failed on "
                                         "chunk " +
@@ -320,7 +337,8 @@ MerkleMemory::storeDirect(std::uint64_t chunk, std::uint64_t offset,
                                : tree_.rootOf(path[i]);
         ++statChecks;
         ++statAuthComputes;
-        if (!auth_.verify(images[i], current_slots[i])) {
+        if (!auth_.verify(images[i], current_slots[i]) &&
+            !verificationDisabled(tree_, path[i])) {
             ++statCheckFailures;
             throw IntegrityException(path[i],
                                      "integrity check failed on chunk " +

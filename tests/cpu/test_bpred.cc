@@ -1,0 +1,116 @@
+/**
+ * @file
+ * GsharePredictor behaviour: counter saturation and hysteresis,
+ * bimodal degeneration at history_bits = 0, genuine global-history
+ * sensitivity in gshare mode, and rollback of a mispredicted stream
+ * (retraining after a phase change).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "cpu/bpred.h"
+
+using namespace cmt;
+
+namespace
+{
+
+constexpr std::uint64_t kPc = 0x400100;
+
+/** Train one PC with a constant outcome @p n times. */
+void
+train(GsharePredictor &bp, std::uint64_t pc, bool taken, int n)
+{
+    for (int i = 0; i < n; ++i)
+        bp.update(pc, taken);
+}
+
+} // namespace
+
+TEST(Bpred, StartsWeaklyTaken)
+{
+    GsharePredictor bp(10, 0);
+    EXPECT_TRUE(bp.predict(kPc));
+}
+
+TEST(Bpred, SaturatesAndHoldsDirection)
+{
+    GsharePredictor bp(10, 0);
+    train(bp, kPc, false, 8); // far past saturation at 0
+    EXPECT_FALSE(bp.predict(kPc));
+
+    // 2-bit hysteresis: one contrary outcome must not flip a
+    // saturated counter...
+    bp.update(kPc, true);
+    EXPECT_FALSE(bp.predict(kPc));
+    // ...but the second one reaches weakly-taken and does.
+    bp.update(kPc, true);
+    EXPECT_TRUE(bp.predict(kPc));
+}
+
+TEST(Bpred, RollbackRetrainsAfterPhaseChange)
+{
+    // A loop branch flips behaviour (e.g. after a mispredicted exit
+    // the trace rolls into a not-taken phase): the predictor must
+    // mispredict briefly, then track the new direction.
+    GsharePredictor bp(12, 0);
+    train(bp, kPc, true, 16);
+    EXPECT_TRUE(bp.predict(kPc));
+
+    int mispredicts = 0;
+    for (int i = 0; i < 16; ++i) {
+        if (bp.predict(kPc))
+            ++mispredicts;
+        bp.update(kPc, false);
+    }
+    // Exactly the counter depth (3..0 crossing at 2) mispredicts.
+    EXPECT_EQ(mispredicts, 2);
+    EXPECT_FALSE(bp.predict(kPc));
+}
+
+TEST(Bpred, BimodalIgnoresHistory)
+{
+    // history_bits = 0: interleaving unrelated outcomes on another PC
+    // must not disturb this PC's prediction (no xor scatter).
+    GsharePredictor bp(12, 0);
+    const std::uint64_t other = kPc + 0x1000;
+    train(bp, kPc, false, 4);
+    for (int i = 0; i < 50; ++i)
+        bp.update(other, (i % 3) == 0);
+    EXPECT_FALSE(bp.predict(kPc));
+}
+
+TEST(Bpred, GshareLearnsHistoryCorrelatedPattern)
+{
+    // Alternating taken/not-taken is unlearnable for a bimodal table
+    // (the counter oscillates around the threshold) but trivial for
+    // gshare: the previous outcome selects a distinct counter.
+    GsharePredictor bp(12, 4);
+    bool outcome = false;
+    // Warm up both history contexts.
+    for (int i = 0; i < 64; ++i) {
+        bp.update(kPc, outcome);
+        outcome = !outcome;
+    }
+    int correct = 0;
+    for (int i = 0; i < 32; ++i) {
+        if (bp.predict(kPc) == outcome)
+            ++correct;
+        bp.update(kPc, outcome);
+        outcome = !outcome;
+    }
+    EXPECT_EQ(correct, 32);
+}
+
+TEST(Bpred, DistinctPcsTrainIndependently)
+{
+    GsharePredictor bp(12, 0);
+    const std::uint64_t a = 0x1000;
+    const std::uint64_t b = 0x2000;
+    train(bp, a, true, 4);
+    train(bp, b, false, 4);
+    EXPECT_TRUE(bp.predict(a));
+    EXPECT_FALSE(bp.predict(b));
+}

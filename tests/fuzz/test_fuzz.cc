@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Unit and property tests for the differential fuzzer (ISSUE 7):
+ * generator determinism, JSON round-trips, the independent RefOracle,
+ * cross-policy agreement on clean and tampered traces, and the
+ * end-to-end fault-injection contract - a policy that silently stops
+ * verifying one shard must be caught and minimized to a tiny case.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fuzz/differ.h"
+#include "fuzz/oracle.h"
+#include "fuzz/trace_gen.h"
+#include "tree/tree_debug.h"
+
+using namespace cmt;
+using namespace cmt::fuzz;
+
+namespace
+{
+
+/** RAII: arm the skip-verify fault for one test, always disarm. */
+class ScopedFault
+{
+  public:
+    explicit ScopedFault(std::int64_t shard)
+    {
+        setFaultSkipVerifyShard(shard);
+    }
+    ~ScopedFault() { setFaultSkipVerifyShard(-1); }
+};
+
+FuzzConfig
+smallConfig()
+{
+    FuzzConfig config;
+    config.chunkSize = 32; // arity 2
+    config.blockSize = 32;
+    config.protectedSize = 256; // 8 data chunks, 3 levels
+    config.shards = 1;
+    config.cacheChunks = 8;
+    return config;
+}
+
+} // namespace
+
+TEST(TraceGen, SameSeedSameCase)
+{
+    const FuzzCase a = generateCase(42);
+    const FuzzCase b = generateCase(42);
+    EXPECT_EQ(a.dump(), b.dump());
+    EXPECT_NE(a.dump(), generateCase(43).dump());
+}
+
+TEST(TraceGen, GeneratedCasesAreValidAndDiverse)
+{
+    std::set<unsigned> shardCounts;
+    std::set<std::uint64_t> chunkSizes;
+    bool sawAdversary = false;
+    for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+        const FuzzCase c = generateCase(seed);
+        std::string error;
+        EXPECT_TRUE(validateCase(c, &error)) << "seed " << seed << ": "
+                                             << error;
+        shardCounts.insert(c.config.shards);
+        chunkSizes.insert(c.config.chunkSize);
+        for (const FuzzOp &op : c.ops)
+            sawAdversary = sawAdversary || isAdversaryOp(op.kind);
+    }
+    // 50 seeds must exercise the whole config lattice.
+    EXPECT_EQ(shardCounts.size(), 3u);
+    EXPECT_EQ(chunkSizes.size(), 3u);
+    EXPECT_TRUE(sawAdversary);
+}
+
+TEST(TraceGen, JsonRoundTrip)
+{
+    const FuzzCase original = generateCase(7);
+    FuzzCase reparsed;
+    std::string error;
+    ASSERT_TRUE(FuzzCase::parse(original.dump(), &reparsed, &error))
+        << error;
+    EXPECT_EQ(original.dump(), reparsed.dump());
+}
+
+TEST(TraceGen, ParseRejectsBadDocuments)
+{
+    FuzzCase out;
+    std::string error;
+    EXPECT_FALSE(FuzzCase::parse("{\"schema\":\"nope\"}", &out, &error));
+    EXPECT_FALSE(FuzzCase::parse("not json at all", &out, &error));
+
+    // Structurally sound JSON, semantically invalid case.
+    FuzzCase bad = generateCase(1);
+    bad.ops.clear();
+    FuzzOp op;
+    op.kind = OpKind::kLoad;
+    op.addr = bad.config.protectedSize; // one past the end
+    op.len = 1;
+    bad.ops.push_back(op);
+    EXPECT_FALSE(FuzzCase::parse(bad.dump(), &out, &error));
+    EXPECT_NE(error.find("load out of range"), std::string::npos);
+}
+
+TEST(TraceGen, ValidateRejectsBrokenCases)
+{
+    std::string error;
+
+    FuzzCase c;
+    c.config = smallConfig();
+    FuzzOp restore;
+    restore.kind = OpKind::kRestore;
+    restore.id = 0;
+    c.ops.push_back(restore);
+    EXPECT_FALSE(validateCase(c, &error));
+    EXPECT_NE(error.find("never captured"), std::string::npos);
+
+    c.ops.clear();
+    c.config.cacheChunks = 3; // below the 2*levels+2 floor
+    EXPECT_FALSE(validateCase(c, &error));
+
+    c.config = smallConfig();
+    c.config.protectedSize = 192; // 6 chunks: not a power of arity
+    EXPECT_FALSE(validateCase(c, &error));
+}
+
+TEST(Oracle, CleanRoundTrip)
+{
+    RefOracle oracle(smallConfig());
+    const std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5};
+    oracle.store(30, payload); // straddles chunks 0 and 1
+    std::vector<std::uint8_t> readBack(payload.size());
+    oracle.load(30, readBack);
+    EXPECT_EQ(readBack, payload);
+}
+
+TEST(Oracle, DetectsDataFlip)
+{
+    RefOracle oracle(smallConfig());
+    const std::vector<std::uint8_t> payload = {0xaa, 0xbb};
+    oracle.store(64, payload);
+    oracle.flipData(65, 3);
+    std::vector<std::uint8_t> buf(2);
+    EXPECT_THROW(oracle.load(64, buf), OracleDetection);
+}
+
+TEST(Oracle, DetectsTreeTampering)
+{
+    RefOracle oracle(smallConfig());
+    oracle.tamperTree(5, 9, 2);
+    std::vector<std::uint8_t> buf(1);
+    EXPECT_THROW(oracle.load(5 * 32, buf), OracleDetection);
+}
+
+TEST(Oracle, DetectsSpliceAndReplay)
+{
+    RefOracle splicedOracle(smallConfig());
+    const std::vector<std::uint8_t> payload = {9, 8, 7};
+    splicedOracle.store(0, payload);
+    splicedOracle.splice(0, 4);
+    std::vector<std::uint8_t> buf(1);
+    EXPECT_THROW(splicedOracle.load(4 * 32, buf), OracleDetection);
+
+    RefOracle replayedOracle(smallConfig());
+    replayedOracle.store(96, payload);
+    replayedOracle.captureChunk(0, 3);
+    replayedOracle.store(96, {payload.data(), 2});
+    // Same prefix, so only the third byte distinguishes the states...
+    replayedOracle.store(98, std::vector<std::uint8_t>{0x55});
+    replayedOracle.restoreChunk(0);
+    std::vector<std::uint8_t> out(3);
+    EXPECT_THROW(replayedOracle.load(96, out), OracleDetection);
+}
+
+TEST(Differ, CleanSeedsNeverDiverge)
+{
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        const FuzzCase c = generateCase(seed);
+        const Divergence d = runDifferential(c);
+        EXPECT_FALSE(d.found)
+            << "seed " << seed << ": " << d.kind << " on " << d.target
+            << " (" << d.detail << ")";
+    }
+}
+
+TEST(Differ, TamperedCorpusShapeDetectsEverywhere)
+{
+    // A flip with no later access is only caught by the final sweep;
+    // every verified target must agree on the sweep index too.
+    FuzzCase c;
+    c.config = smallConfig();
+    FuzzOp flip;
+    flip.kind = OpKind::kFlip;
+    flip.addr = 100;
+    flip.bit = 0;
+    c.ops.push_back(flip);
+
+    RunOutcome oracle;
+    const Divergence d = runDifferential(c, &oracle);
+    EXPECT_FALSE(d.found) << d.detail;
+    // Chunk 3 holds address 100; detection at sweep index ops + 3.
+    EXPECT_EQ(oracle.detectedAt,
+              static_cast<std::int64_t>(c.ops.size()) + 3);
+}
+
+TEST(Differ, InjectedShardBugIsCaughtAndMinimized)
+{
+    ScopedFault fault(0);
+
+    // The acceptance criterion of ISSUE 7: with verification silently
+    // disabled on shard 0, some generated case must diverge, and the
+    // divergence must shrink to a <= 20-action replay.
+    Divergence found;
+    FuzzCase divergent;
+    for (std::uint64_t seed = 1; seed <= 30 && !found.found; ++seed) {
+        divergent = generateCase(seed);
+        found = runDifferential(divergent);
+    }
+    ASSERT_TRUE(found.found);
+    EXPECT_EQ(found.kind, "detection-mismatch");
+
+    const FuzzCase minimized = minimizeCase(divergent, found.kind);
+    EXPECT_LE(minimized.ops.size(), 20u);
+    EXPECT_LE(minimized.ops.size(), divergent.ops.size());
+    const Divergence still = runDifferential(minimized);
+    ASSERT_TRUE(still.found);
+    EXPECT_EQ(still.kind, found.kind);
+}
+
+TEST(Differ, FaultCleanupRestoresAgreement)
+{
+    // After the previous test's RAII disarm, the same seeds are clean
+    // again - the hook must not leak across runs.
+    for (std::uint64_t seed = 1; seed <= 5; ++seed)
+        EXPECT_FALSE(runDifferential(generateCase(seed)).found);
+}

@@ -1,0 +1,18 @@
+// Bad: fuzz/test harness seeding its RNG from wall-clock time, the
+// process id, and the hardware entropy source. Every run generates a
+// different trace, so a failure seen in CI can never be replayed
+// locally. [seed-nondeterminism]
+
+namespace fixture
+{
+
+unsigned long long
+freshSeed()
+{
+    unsigned long long seed = time(nullptr);
+    seed = seed * 31 + static_cast<unsigned long long>(getpid());
+    seed ^= std::random_device{}();
+    return seed;
+}
+
+} // namespace fixture

@@ -1,0 +1,22 @@
+// Good: test code that derives all randomness from an explicit,
+// committed seed, so any trace it generates replays bit-identically.
+
+namespace fixture
+{
+
+struct Rng
+{
+    explicit Rng(unsigned long long seed) : state(seed) {}
+    unsigned long long state;
+};
+
+unsigned long long
+traceChecksum(unsigned long long seedFromCommandLine)
+{
+    Rng rng(seedFromCommandLine ? seedFromCommandLine : 0x5eedULL);
+    // Identifier substrings like `runtime(` or `cmt_getpid(` must not
+    // trip the seed rule.
+    return rng.state;
+}
+
+} // namespace fixture

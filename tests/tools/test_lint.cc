@@ -243,6 +243,40 @@ TEST(LintRootRegisters, AllowsRouterAndSanctionedAccess)
                        "root-registers"));
 }
 
+// --- seed-nondeterminism ----------------------------------------------
+
+TEST(LintSeedNondeterminism, FlagsWallClockSeedsInTestsBenchTools)
+{
+    EXPECT_TRUE(fires("tests/fuzz/x.cc",
+                      "cmt::Rng rng(time(nullptr));",
+                      "seed-nondeterminism"));
+    EXPECT_TRUE(fires("tests/fuzz/x.cc",
+                      "unsigned s = getpid() ^ 7;",
+                      "seed-nondeterminism"));
+    EXPECT_TRUE(fires("bench/x.cc", "std::random_device rd;",
+                      "seed-nondeterminism"));
+    EXPECT_TRUE(fires("tools/x.cc", "seed ^= time(0);",
+                      "seed-nondeterminism"));
+}
+
+TEST(LintSeedNondeterminism, AllowsFixedSeedsAndDefersToSrcRule)
+{
+    // Explicit seeds and identifier substrings stay clean.
+    EXPECT_FALSE(fires("tests/fuzz/x.cc", "cmt::Rng rng(12345);",
+                       "seed-nondeterminism"));
+    EXPECT_FALSE(fires("tests/x.cc", "auto d = runtime(cfg);",
+                       "seed-nondeterminism"));
+    EXPECT_FALSE(fires("tests/x.cc", "long p = cmt_getpid();",
+                       "seed-nondeterminism"));
+    EXPECT_FALSE(fires("tests/x.cc", "// seed from time() is bad",
+                       "seed-nondeterminism"));
+    // src/ wall-clock use is the stricter nondeterminism rule's job.
+    EXPECT_FALSE(fires("src/sim/x.cc", "auto t = time(nullptr);",
+                       "seed-nondeterminism"));
+    EXPECT_TRUE(fires("src/sim/x.cc", "pid_t p = getpid();",
+                      "nondeterminism"));
+}
+
 // --- suppression directives -------------------------------------------
 
 TEST(LintAllow, TrailingDirectiveSuppressesItsLine)

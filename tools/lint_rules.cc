@@ -184,6 +184,37 @@ nondeterminismPatterns()
         {"nondeterminism", std::regex(R"(gettimeofday)"),
          "gettimeofday() is wall-clock nondeterminism; use simulated "
          "cycles"},
+        {"nondeterminism",
+         std::regex(R"((^|[^A-Za-z0-9_])getpid\s*\()"),
+         "getpid() varies per run; simulation results must be a pure "
+         "function of the config"},
+    };
+    return patterns;
+}
+
+/**
+ * Seed hygiene for test/bench/tool code. Outside src/ wall-clock use
+ * is generally fine (harness timing, log stamps), but deriving an RNG
+ * seed from time()/getpid()/std::random_device produces fuzz cases
+ * and corpus entries that nobody can replay. cmt_fuzz's contract is
+ * `--seed S` bit-reproducibility, so seeds must come from the command
+ * line, a fixed literal, or another seeded cmt::Rng.
+ */
+const std::vector<Pattern> &
+seedPatterns()
+{
+    static const std::vector<Pattern> patterns = {
+        {"seed-nondeterminism",
+         std::regex(R"((^|[^A-Za-z0-9_])time\s*\()"),
+         "time()-derived seeds make fuzz runs unreplayable; take the "
+         "seed from the command line or a fixed literal"},
+        {"seed-nondeterminism",
+         std::regex(R"((^|[^A-Za-z0-9_])getpid\s*\()"),
+         "getpid()-derived seeds make fuzz runs unreplayable; take "
+         "the seed from the command line or a fixed literal"},
+        {"seed-nondeterminism", std::regex(R"(random_device)"),
+         "std::random_device seeds make fuzz runs unreplayable; seed "
+         "a cmt::Rng explicitly instead"},
     };
     return patterns;
 }
@@ -316,6 +347,7 @@ ruleNames()
     static const std::vector<std::string> names = {
         "nondeterminism", "stdout-discipline", "naked-new",
         "header-guard", "catch-all", "root-registers",
+        "seed-nondeterminism",
     };
     return names;
 }
@@ -334,6 +366,7 @@ lintSource(const std::string &rawPath, const std::string &source)
     const bool inSupport = inDir(path, "src/support/");
     const bool inBenchOrTools =
         inDir(path, "bench/") || inDir(path, "tools/");
+    const bool inTests = inDir(path, "tests/");
     // The ShardRouter is the one module allowed to touch root
     // registers directly; everyone else uses its accessors.
     const bool isShardRouter =
@@ -423,6 +456,10 @@ lintSource(const std::string &rawPath, const std::string &source)
 
     if (inSrc)
         apply(nondeterminismPatterns());
+    // src/ already bans every wall-clock source outright; the seed
+    // rule covers the harness code the stricter rule exempts.
+    if (!inSrc && (inTests || inBenchOrTools))
+        apply(seedPatterns());
     if (inSrc && !inSupport)
         apply(stdoutPatterns());
     if (inSrc)

@@ -5,11 +5,11 @@
  * These encode CMT invariants that generic tooling cannot know:
  *
  *  - nondeterminism : no rand()/srand()/std::random_device/time()/
- *                     clock()/system_clock inside src/. Simulation
- *                     results must be a pure function of the config
- *                     (the memo cache and byte-identity guarantees
- *                     depend on it); all randomness goes through the
- *                     seeded cmt::Rng.
+ *                     clock()/system_clock/getpid() inside src/.
+ *                     Simulation results must be a pure function of
+ *                     the config (the memo cache and byte-identity
+ *                     guarantees depend on it); all randomness goes
+ *                     through the seeded cmt::Rng.
  *  - stdout-discipline : no std::cout / bare printf()/puts() in src/
  *                     outside src/support/. Library code reports
  *                     through logging.h (line-atomic) or returns data;
@@ -30,6 +30,14 @@
  *                     owns the per-shard root registers; everyone else
  *                     goes through rootOf() / context(), which carry
  *                     the shard routing and root-level assertions.
+ *  - seed-nondeterminism : no time()/getpid()/std::random_device in
+ *                     tests/, bench/, or tools/ (src/ is covered by
+ *                     the stricter nondeterminism rule). Wall-clock
+ *                     or pid-derived RNG seeds produce fuzz traces
+ *                     and corpus entries nobody can replay; cmt_fuzz
+ *                     promises `--seed S` bit-reproducibility, so
+ *                     seeds come from the command line or a fixed
+ *                     literal.
  *
  * Suppression: append `// cmt-lint: allow(<rule>)` to the offending
  * line, or put it alone on the line directly above.
