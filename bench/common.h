@@ -24,10 +24,14 @@
 #include <string>
 #include <vector>
 
+#include "sim/config.h"
 #include "sim/memo_cache.h"
 #include "sim/runner.h"
 #include "sim/system.h"
+#include "support/json.h"
 #include "support/table.h"
+#include "trace/specgen.h"
+#include "tree/scheme.h"
 
 namespace cmt::bench
 {

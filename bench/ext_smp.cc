@@ -16,7 +16,11 @@
  */
 
 #include "bench/common.h"
+#include "sim/config.h"
 #include "sim/smp.h"
+#include "sim/system.h"
+#include "support/table.h"
+#include "tree/scheme.h"
 
 using namespace cmt;
 using namespace cmt::bench;

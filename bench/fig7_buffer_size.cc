@@ -5,6 +5,9 @@
  */
 
 #include "bench/common.h"
+#include "sim/config.h"
+#include "support/table.h"
+#include "tree/scheme.h"
 
 using namespace cmt;
 using namespace cmt::bench;

@@ -30,6 +30,10 @@
 #include <string>
 
 #include "bench/common.h"
+#include "sim/config.h"
+#include "sim/runner.h"
+#include "sim/system.h"
+#include "support/table.h"
 
 namespace cmt::bench
 {

@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "bench/common.h"
 #include "bench/micro_common.h"
 #include "crypto/hmac.h"
 #include "crypto/md5.h"

@@ -9,9 +9,16 @@
  * exactly like figure rows.
  */
 
+#include "bench/common.h"
 #include "bench/micro_common.h"
 #include "cache/cache_array.h"
+#include "cpu/trace.h"
+#include "sim/config.h"
+#include "sim/runner.h"
 #include "support/random.h"
+#include "support/table.h"
+#include "trace/specgen.h"
+#include "tree/scheme.h"
 
 namespace
 {

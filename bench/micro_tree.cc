@@ -10,9 +10,11 @@
 
 #include <algorithm>
 
+#include "bench/common.h"
 #include "bench/micro_common.h"
 #include "mem/backing_store.h"
 #include "support/random.h"
+#include "tree/authenticator.h"
 #include "verify/merkle_memory.h"
 
 namespace

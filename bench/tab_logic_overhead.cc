@@ -16,6 +16,7 @@
 #include <iostream>
 
 #include "bench/common.h"
+#include "support/json.h"
 #include "support/table.h"
 
 using namespace cmt;

@@ -21,7 +21,6 @@
 #include <string>
 #include <vector>
 
-#include "support/logging.h"
 
 namespace cmt
 {

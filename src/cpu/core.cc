@@ -1,5 +1,11 @@
 #include "cpu/core.h"
 
+#include "cache/cache_array.h"
+#include "cpu/trace.h"
+#include "support/event.h"
+#include "support/stats.h"
+#include "tree/l2_controller.h"
+
 namespace cmt
 {
 

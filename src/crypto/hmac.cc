@@ -1,5 +1,7 @@
 #include "crypto/hmac.h"
 
+#include "crypto/md5.h"
+
 #include <cstring>
 
 namespace cmt

@@ -3,9 +3,14 @@
 #include <cstring>
 #include <map>
 
+#include "crypto/md5.h"
 #include "fuzz/oracle.h"
+#include "fuzz/trace_gen.h"
 #include "mem/backing_store.h"
 #include "support/logging.h"
+#include "tree/authenticator.h"
+#include "tree/scheme.h"
+#include "tree/shard_router.h"
 #include "verify/adversary.h"
 #include "verify/merkle_memory.h"
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "crypto/md5.h"
+#include "fuzz/trace_gen.h"
 #include "support/logging.h"
 
 namespace cmt::fuzz

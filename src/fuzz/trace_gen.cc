@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "support/json.h"
 #include "support/logging.h"
 #include "support/random.h"
 

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <vector>
 
+#include "mem/storage.h"
+#include "support/event.h"
 #include "support/logging.h"
+#include "support/stats.h"
 
 namespace cmt
 {

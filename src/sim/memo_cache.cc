@@ -1,5 +1,9 @@
 #include "sim/memo_cache.h"
 
+#include "sim/system.h"
+#include "support/json.h"
+#include "support/thread_annotations.h"
+
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
@@ -10,7 +14,6 @@
 #include <fstream>
 #include <sstream>
 
-#include "support/logging.h"
 
 #ifdef _WIN32
 #include <process.h>

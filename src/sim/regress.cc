@@ -4,6 +4,7 @@
 #include <cmath>
 #include <set>
 
+#include "support/json.h"
 #include "support/table.h"
 
 namespace cmt

@@ -6,9 +6,17 @@
 #include <cstring>
 #include <thread>
 
+#include "cpu/core.h"
+#include "mem/main_memory.h"
+#include "sim/config.h"
 #include "sim/memo_cache.h"
 #include "sim/smp.h"
+#include "support/json.h"
 #include "support/logging.h"
+#include "support/thread_annotations.h"
+#include "tree/authenticator.h"
+#include "tree/hash_engine.h"
+#include "tree/l2_controller.h"
 
 namespace cmt
 {

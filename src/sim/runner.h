@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/config.h"
 #include "sim/system.h"
 #include "support/json.h"
 #include "support/thread_annotations.h"

@@ -1,8 +1,17 @@
 #include "sim/smp.h"
 
+#include "cpu/core.h"
+#include "mem/main_memory.h"
+#include "sim/system.h"
 #include "support/logging.h"
 #include "trace/specgen.h"
+#include "tree/authenticator.h"
+#include "tree/chunk_store.h"
+#include "tree/hash_engine.h"
 #include "tree/integrity_policy.h"
+#include "tree/l2_controller.h"
+#include "tree/scheme.h"
+#include "tree/shard_router.h"
 
 namespace cmt
 {

@@ -25,7 +25,18 @@
 #include <string>
 #include <vector>
 
+#include "cpu/core.h"
+#include "cpu/trace.h"
+#include "mem/backing_store.h"
+#include "mem/main_memory.h"
 #include "sim/system.h"
+#include "support/event.h"
+#include "support/stats.h"
+#include "tree/authenticator.h"
+#include "tree/chunk_store.h"
+#include "tree/hash_engine.h"
+#include "tree/l2_controller.h"
+#include "tree/shard_router.h"
 
 namespace cmt
 {

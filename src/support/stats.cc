@@ -1,5 +1,7 @@
 #include "support/stats.h"
 
+#include "support/thread_annotations.h"
+
 #include <iomanip>
 
 namespace cmt

@@ -1,5 +1,6 @@
 #include "trace/specgen.h"
 
+#include "cpu/trace.h"
 #include "support/logging.h"
 
 namespace cmt

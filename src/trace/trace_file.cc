@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "cpu/trace.h"
 #include "support/logging.h"
 
 namespace cmt

@@ -2,7 +2,9 @@
 
 #include <cstring>
 
+#include "crypto/md5.h"
 #include "crypto/sha1.h"
+#include "crypto/xormac.h"
 #include "support/logging.h"
 
 namespace cmt

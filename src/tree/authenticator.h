@@ -18,7 +18,6 @@
 #include <memory>
 #include <span>
 
-#include "crypto/md5.h"
 #include "crypto/xormac.h"
 #include "crypto/xtea.h"
 

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <memory>
 
+#include "cache/cache_array.h"
+#include "tree/integrity_policy.h"
 #include "tree/tree_debug.h"
 
 namespace cmt

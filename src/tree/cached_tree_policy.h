@@ -20,7 +20,9 @@
 
 #include <map>
 
+#include "cache/cache_array.h"
 #include "tree/integrity_policy.h"
+#include "tree/l2_controller.h"
 
 namespace cmt
 {

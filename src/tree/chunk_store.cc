@@ -1,5 +1,10 @@
 #include "tree/chunk_store.h"
 
+#include "mem/storage.h"
+#include "tree/authenticator.h"
+#include "tree/layout.h"
+#include "tree/shard_router.h"
+
 #include <algorithm>
 #include <cstring>
 

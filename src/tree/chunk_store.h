@@ -24,6 +24,7 @@
 
 #include "mem/storage.h"
 #include "tree/authenticator.h"
+#include "tree/layout.h"
 #include "tree/shard_router.h"
 
 namespace cmt

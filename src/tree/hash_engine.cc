@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "support/event.h"
 #include "support/logging.h"
+#include "support/stats.h"
 
 namespace cmt
 {

@@ -1,5 +1,10 @@
 #include "tree/incremental_policy.h"
 
+#include "cache/cache_array.h"
+#include "tree/cached_tree_policy.h"
+#include "tree/integrity_policy.h"
+#include "tree/l2_controller.h"
+
 #include <memory>
 
 namespace cmt

@@ -13,7 +13,9 @@
 #ifndef CMT_TREE_INCREMENTAL_POLICY_H
 #define CMT_TREE_INCREMENTAL_POLICY_H
 
+#include "cache/cache_array.h"
 #include "tree/cached_tree_policy.h"
+#include "tree/l2_controller.h"
 
 namespace cmt
 {

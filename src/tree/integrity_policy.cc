@@ -2,11 +2,15 @@
 
 #include <cstring>
 
+#include "cache/cache_array.h"
 #include "support/logging.h"
 #include "tree/cached_tree_policy.h"
+#include "tree/chunk_store.h"
 #include "tree/incremental_policy.h"
+#include "tree/l2_controller.h"
 #include "tree/naive_policy.h"
 #include "tree/null_policy.h"
+#include "tree/scheme.h"
 
 namespace cmt
 {

@@ -26,7 +26,15 @@
 #include <memory>
 #include <vector>
 
+#include "cache/cache_array.h"
+#include "mem/main_memory.h"
+#include "support/event.h"
+#include "tree/authenticator.h"
+#include "tree/chunk_store.h"
+#include "tree/hash_engine.h"
 #include "tree/l2_controller.h"
+#include "tree/scheme.h"
+#include "tree/shard_router.h"
 
 namespace cmt
 {

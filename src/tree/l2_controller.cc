@@ -4,10 +4,19 @@
 #include <cstring>
 #include <memory>
 
-#include "support/bitops.h"
+#include "cache/cache_array.h"
+#include "mem/main_memory.h"
+#include "support/event.h"
 #include "support/logging.h"
+#include "support/stats.h"
+#include "tree/authenticator.h"
+#include "tree/chunk_store.h"
+#include "tree/hash_engine.h"
 #include "tree/integrity_policy.h"
+#include "tree/layout.h"
+#include "tree/shard_router.h"
 #include "tree/tree_debug.h"
+#include "tree/verify_buffer.h"
 
 namespace cmt
 {
@@ -250,6 +259,9 @@ L2Controller::completeMshrsOfChunk(std::uint64_t chunk)
 // Fills
 // --------------------------------------------------------------------
 
+// Documented raw-image seam: callers (the integrity policies) hash
+// this image against the verified parent before any byte is used.
+// cmt-analyze: allow(trust-boundary)
 std::vector<std::uint8_t>
 L2Controller::ramChunkImage(std::uint64_t chunk)
 {
@@ -304,6 +316,11 @@ L2Controller::parentSlotCachedNow(std::uint64_t chunk)
     return (line->validWords & mask) == mask;
 }
 
+// The slot fetched here is the *reference* value the caller compares
+// a chunk's recomputed hash against; a cached copy is trusted by the
+// on-chip-cache axiom, and the RAM fallback is exactly the value
+// verifyChunk() is about to check. Verifying it here would recurse.
+// cmt-analyze: allow(trust-boundary)
 Slot
 L2Controller::expectedSlotNow(std::uint64_t chunk)
 {

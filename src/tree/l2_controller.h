@@ -47,6 +47,7 @@
 #include "tree/authenticator.h"
 #include "tree/chunk_store.h"
 #include "tree/hash_engine.h"
+#include "tree/layout.h"
 #include "tree/scheme.h"
 #include "tree/shard_router.h"
 #include "tree/verify_buffer.h"

@@ -1,5 +1,8 @@
 #include "tree/naive_policy.h"
 
+#include "cache/cache_array.h"
+#include "tree/integrity_policy.h"
+
 #include <memory>
 
 namespace cmt

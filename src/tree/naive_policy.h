@@ -12,7 +12,9 @@
 #ifndef CMT_TREE_NAIVE_POLICY_H
 #define CMT_TREE_NAIVE_POLICY_H
 
+#include "cache/cache_array.h"
 #include "tree/integrity_policy.h"
+#include "tree/l2_controller.h"
 
 namespace cmt
 {

@@ -1,5 +1,7 @@
 #include "tree/null_policy.h"
 
+#include "cache/cache_array.h"
+
 namespace cmt
 {
 

@@ -40,7 +40,10 @@ class Adversary
         ram_.write(addr, data);
     }
 
-    /** Record a byte range for later replay. */
+    /** Record a byte range for later replay. The adversary *is* the
+     *  untrusted side: raw unverified reads are its whole purpose.
+     */
+    // cmt-analyze: allow(trust-boundary)
     std::vector<std::uint8_t>
     capture(std::uint64_t addr, std::size_t len)
     {

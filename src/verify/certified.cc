@@ -1,5 +1,10 @@
 #include "verify/certified.h"
 
+#include "crypto/hmac.h"
+#include "crypto/md5.h"
+#include "mem/storage.h"
+#include "verify/merkle_memory.h"
+
 namespace cmt
 {
 

@@ -22,7 +22,9 @@
 #include <span>
 #include <vector>
 
-#include "crypto/hmac.h"
+#include "crypto/md5.h"
+#include "crypto/xtea.h"
+#include "mem/storage.h"
 #include "verify/merkle_memory.h"
 
 namespace cmt

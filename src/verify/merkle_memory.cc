@@ -3,7 +3,13 @@
 #include <algorithm>
 #include <cstring>
 
+#include "crypto/xormac.h"
+#include "mem/storage.h"
 #include "support/bitops.h"
+#include "tree/authenticator.h"
+#include "tree/layout.h"
+#include "tree/scheme.h"
+#include "tree/shard_router.h"
 #include "tree/tree_debug.h"
 
 namespace cmt

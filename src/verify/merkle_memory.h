@@ -38,6 +38,7 @@
 #include "support/stats.h"
 #include "tree/authenticator.h"
 #include "tree/chunk_store.h"
+#include "tree/layout.h"
 #include "tree/scheme.h"
 #include "tree/shard_router.h"
 

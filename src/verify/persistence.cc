@@ -7,7 +7,11 @@
 #include <vector>
 
 #include "crypto/md5.h"
+#include "mem/backing_store.h"
 #include "support/logging.h"
+#include "tree/layout.h"
+#include "tree/shard_router.h"
+#include "verify/merkle_memory.h"
 
 namespace cmt
 {

@@ -22,7 +22,6 @@
 #include <stdexcept>
 #include <vector>
 
-#include "crypto/hmac.h"
 #include "crypto/xtea.h"
 #include "mem/storage.h"
 

@@ -5,6 +5,7 @@
 #include <deque>
 
 #include "cpu/core.h"
+#include "support/random.h"
 #include "mem/backing_store.h"
 #include "sim/system.h"
 

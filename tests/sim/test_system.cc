@@ -9,6 +9,7 @@
 
 #include "sim/smp.h"
 #include "sim/system.h"
+#include "trace/specgen.h"
 
 namespace cmt
 {

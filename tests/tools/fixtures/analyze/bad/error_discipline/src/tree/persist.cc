@@ -1,0 +1,16 @@
+// Negative fixture: error-discipline.
+//
+// saveRoots returns a Status that shutdown drops on the floor; a
+// failed root save is exactly the verdict the persistence protocol
+// must not lose.
+Status
+saveRoots(const char *path)
+{
+    return Status::ok(path);
+}
+
+void
+shutdown()
+{
+    saveRoots("roots.bin");
+}

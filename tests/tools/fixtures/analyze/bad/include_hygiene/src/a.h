@@ -1,0 +1,10 @@
+// Negative fixture: include-hygiene (home of TypeA).
+#ifndef FIXTURE_A_H
+#define FIXTURE_A_H
+
+struct TypeA
+{
+    int v;
+};
+
+#endif

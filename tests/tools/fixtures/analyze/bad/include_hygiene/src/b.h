@@ -1,0 +1,12 @@
+// Negative fixture: include-hygiene (re-exports a.h).
+#ifndef FIXTURE_B_H
+#define FIXTURE_B_H
+
+#include "a.h"
+
+struct TypeB
+{
+    TypeA inner;
+};
+
+#endif

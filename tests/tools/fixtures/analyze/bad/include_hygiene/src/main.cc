@@ -1,0 +1,13 @@
+// Negative fixture: include-hygiene.
+//
+// Two findings: "unused.h" declares nothing used here, and TypeA is
+// reached only through b.h's transitive include of a.h.
+#include "b.h"
+#include "unused.h"
+
+int
+sum(const TypeB &b)
+{
+    TypeA direct = b.inner;
+    return direct.v;
+}

@@ -1,0 +1,10 @@
+// Negative fixture: include-hygiene (included but never referenced).
+#ifndef FIXTURE_UNUSED_H
+#define FIXTURE_UNUSED_H
+
+struct TypeU
+{
+    int neverTouched;
+};
+
+#endif

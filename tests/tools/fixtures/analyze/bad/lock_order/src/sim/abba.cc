@@ -1,0 +1,17 @@
+// Negative fixture: lock-order.
+//
+// Two paths acquire the same mutex pair in opposite orders — the
+// classic ABBA deadlock the pass must report as a cycle.
+void
+readerPath()
+{
+    MutexLock a(mu_a);
+    MutexLock b(mu_b);
+}
+
+void
+writerPath()
+{
+    MutexLock b(mu_b);
+    MutexLock a(mu_a);
+}

@@ -1,0 +1,19 @@
+// Negative fixture: trust-boundary.
+//
+// Models the CMT_FAULT_SKIP_VERIFY_SHARD fault hook: the verify call
+// is gated behind a condition, so the skip path returns bytes that
+// never met a hash check. The pass must flag the return because one
+// path reaches it tainted.
+#include <cstdint>
+#include <vector>
+
+std::vector<std::uint8_t>
+fillBlock(std::uint64_t chunk)
+{
+    std::vector<std::uint8_t> image = ram_.readChunk(chunk);
+    if (!faultSkipVerifyShard(chunk)) {
+        if (!verify(chunk, image))
+            throw IntegrityError(chunk);
+    }
+    return image;
+}

@@ -1,0 +1,18 @@
+// Positive fixture: lock helpers acquiring in the global a_ -> b_
+// order, matching fill.cc.
+#ifndef FIXTURE_SUPPORT_LOCKS_H
+#define FIXTURE_SUPPORT_LOCKS_H
+
+struct LockTag
+{
+    int order;
+};
+
+inline void
+sameOrder()
+{
+    MutexLock a(mu_a);
+    MutexLock b(mu_b);
+}
+
+#endif

@@ -1,0 +1,9 @@
+// Negative fixture: digit separators must not hide the rest of the
+// line. The original char-level scrubber treated the ' in 1'000'000
+// as a char-literal start and blanked everything after it, silencing
+// the rand() call here.
+int
+jitter()
+{
+    return 1'000'000 + rand() % 7;
+}

@@ -1,0 +1,12 @@
+// Positive fixture: C++14 digit separators and prefixed char
+// literals lex as single tokens. The strings below spell rule
+// triggers on purpose — if the scrubber mis-tracks a literal
+// boundary after 2'000'000 or L'x', they leak into rule input and
+// this clean file starts failing.
+constexpr long kWindow = 2'000'000;
+constexpr unsigned kMask = 0xFF'FF'00'00;
+constexpr wchar_t kWide = L'x';
+constexpr char16_t kU16 = u'q';
+constexpr char kU8 = u8'a';
+
+const char *kDecoys = "rand() srand( new int printf(\"x\")";

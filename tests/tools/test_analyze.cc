@@ -1,0 +1,720 @@
+/**
+ * @file
+ * Unit tests for the cmt_analyze engine: the shared tokenizer, the
+ * per-file symbol index (including its JSON cache round trip), each
+ * whole-program rule pass against inline known-good/known-bad
+ * sources, the suppression-directive contract, and the committed
+ * fixture trees under tests/tools/fixtures/analyze/. The binary's
+ * exit-code contract is covered by the analyze_* ctest entries in
+ * tests/CMakeLists.txt.
+ */
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analyze/analysis.h"
+#include "analyze/index.h"
+#include "analyze/passes.h"
+#include "analyze/tokenizer.h"
+
+namespace cmt::analyze
+{
+namespace
+{
+
+// --- tokenizer --------------------------------------------------------
+
+std::vector<Token>
+lexCode(const std::string &src)
+{
+    std::vector<Token> out;
+    for (const Token &t : tokenize(src))
+        if (t.kind != TokKind::kComment)
+            out.push_back(t);
+    return out;
+}
+
+TEST(Tokenizer, DigitSeparatorsStayInsideTheNumberToken)
+{
+    const auto toks = lexCode("n = 1'000'000 + f();");
+    ASSERT_GE(toks.size(), 4u);
+    EXPECT_EQ(toks[2].kind, TokKind::kNumber);
+    EXPECT_EQ(toks[2].text, "1'000'000");
+    // The token after the separator-bearing number must be the
+    // operator, not the tail of a runaway char literal.
+    EXPECT_EQ(toks[3].text, "+");
+}
+
+TEST(Tokenizer, HexSeparatorsAndFloatExponents)
+{
+    EXPECT_EQ(lexCode("0xFF'FF'00'00")[0].text, "0xFF'FF'00'00");
+    EXPECT_EQ(lexCode("1.5e+3")[0].text, "1.5e+3");
+    EXPECT_EQ(lexCode("0x1p-2")[0].text, "0x1p-2");
+}
+
+TEST(Tokenizer, PrefixedCharLiteralsLexAsOneToken)
+{
+    for (const char *src : {"L'x'", "u8'a'", "u'q'", "U'z'"}) {
+        const auto toks = lexCode(src);
+        ASSERT_EQ(toks.size(), 1u) << src;
+        EXPECT_EQ(toks[0].kind, TokKind::kCharLiteral) << src;
+        EXPECT_EQ(toks[0].text, src);
+    }
+}
+
+TEST(Tokenizer, RawStringsRespectTheirDelimiter)
+{
+    const auto toks =
+        lexCode("auto s = R\"x(a \")\" b)x\"; int k;");
+    const auto it = std::find_if(
+        toks.begin(), toks.end(), [](const Token &t) {
+            return t.kind == TokKind::kString;
+        });
+    ASSERT_NE(it, toks.end());
+    EXPECT_EQ(it->text, "R\"x(a \")\" b)x\"");
+    // Lexing resumes cleanly after the raw string.
+    EXPECT_NE(std::find_if(toks.begin(), toks.end(),
+                           [](const Token &t) {
+                               return t.text == "k";
+                           }),
+              toks.end());
+}
+
+TEST(Tokenizer, IncludeTargetsLexAsHeaderNames)
+{
+    const auto toks = tokenize("#include <vector>\n"
+                               "#include \"tree/layout.h\"\n");
+    std::vector<std::string> headers;
+    for (const Token &t : toks)
+        if (t.kind == TokKind::kHeaderName) {
+            EXPECT_TRUE(t.inDirective);
+            headers.push_back(t.text);
+        }
+    EXPECT_EQ(headers,
+              (std::vector<std::string>{"<vector>",
+                                        "\"tree/layout.h\""}));
+}
+
+TEST(Tokenizer, LineSplicesContinueTheDirective)
+{
+    const auto toks = tokenize("#define X a \\\n    b\nint c;\n");
+    bool sawB = false;
+    for (const Token &t : toks)
+        if (t.text == "b") {
+            sawB = true;
+            EXPECT_TRUE(t.inDirective);
+        }
+    EXPECT_TRUE(sawB);
+    for (const Token &t : toks)
+        if (t.text == "c") {
+            EXPECT_FALSE(t.inDirective);
+        }
+}
+
+TEST(Tokenizer, ScrubBlanksLiteralsButKeepsStructure)
+{
+    const std::string out = scrubSource(
+        "int a; // secret()\n"
+        "const char *s = \"secret()\";\n"
+        "char c = 'x';\n");
+    EXPECT_EQ(out.find("secret"), std::string::npos);
+    EXPECT_NE(out.find("int a;"), std::string::npos);
+    // Quote delimiters survive; contents are spaces.
+    EXPECT_NE(out.find('"'), std::string::npos);
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+}
+
+TEST(Tokenizer, ScrubKeepCommentsPreservesDirectives)
+{
+    const std::string out = scrubSource(
+        "int a; // cmt-analyze: allow(lock-order)\n"
+        "const char *s = \"cmt-analyze: allow(lock-order)\";\n",
+        /*keepComments=*/true);
+    // The comment survives; the string-literal copy does not.
+    EXPECT_EQ(out.find("allow", out.find('"')), std::string::npos);
+    EXPECT_NE(out.find("// cmt-analyze: allow(lock-order)"),
+              std::string::npos);
+}
+
+TEST(Tokenizer, KeywordsClassify)
+{
+    EXPECT_TRUE(isKeyword("while"));
+    EXPECT_TRUE(isKeyword("sizeof"));
+    EXPECT_FALSE(isKeyword("verify"));
+}
+
+// --- symbol index -----------------------------------------------------
+
+const FunctionInfo *
+findFn(const FileSummary &s, const std::string &name)
+{
+    for (const FunctionInfo &f : s.functions)
+        if (f.name == name)
+            return &f;
+    return nullptr;
+}
+
+TEST(Index, ExtractsFunctionShape)
+{
+    const FileSummary s = summarizeSource(
+        "src/tree/x.cc",
+        "std::vector<std::uint8_t>\n"
+        "Widget::fetch(std::uint64_t chunk)\n"
+        "{\n"
+        "    return ram_.readChunk(chunk);\n"
+        "}\n");
+    const FunctionInfo *fn = findFn(s, "fetch");
+    ASSERT_NE(fn, nullptr);
+    EXPECT_EQ(fn->className, "Widget");
+    EXPECT_FALSE(fn->returnsVoid);
+    EXPECT_EQ(fn->nameLine, 2);
+    EXPECT_EQ(fn->bodyOpenLine, 3);
+    EXPECT_EQ(fn->endLine, 5);
+    ASSERT_EQ(fn->events.size(), 2u);
+    EXPECT_EQ(fn->events[0].kind, Event::Kind::kRead);
+    EXPECT_EQ(fn->events[1].kind, Event::Kind::kReturn);
+}
+
+TEST(Index, DetectsMutableSpanOutParams)
+{
+    const FileSummary s = summarizeSource(
+        "src/tree/x.cc",
+        "void fill(std::span<std::uint8_t> out) {}\n"
+        "void peek(std::span<const std::uint8_t> in) {}\n");
+    ASSERT_NE(findFn(s, "fill"), nullptr);
+    EXPECT_TRUE(findFn(s, "fill")->hasMutableSpanParam);
+    ASSERT_NE(findFn(s, "peek"), nullptr);
+    EXPECT_FALSE(findFn(s, "peek")->hasMutableSpanParam);
+}
+
+TEST(Index, BranchesLocksAndDiscardsBecomeEvents)
+{
+    const FileSummary s = summarizeSource(
+        "src/tree/x.cc",
+        "void f()\n"
+        "{\n"
+        "    MutexLock guard(mu_);\n"
+        "    if (cond()) {\n"
+        "        verify(a, b);\n"
+        "    } else {\n"
+        "        save(a);\n"
+        "    }\n"
+        "}\n");
+    const FunctionInfo *fn = findFn(s, "f");
+    ASSERT_NE(fn, nullptr);
+    std::vector<Event::Kind> kinds;
+    for (const Event &e : fn->events)
+        kinds.push_back(e.kind);
+    EXPECT_EQ(kinds,
+              (std::vector<Event::Kind>{
+                  Event::Kind::kLock, Event::Kind::kCall,
+                  Event::Kind::kIfBegin, Event::Kind::kVerify,
+                  Event::Kind::kElseBegin, Event::Kind::kCall,
+                  Event::Kind::kIfEnd, Event::Kind::kUnlock}));
+    // The discarded save() call is marked.
+    for (const Event &e : fn->events)
+        if (e.name == "save") {
+            EXPECT_TRUE(e.discarded);
+        }
+}
+
+TEST(Index, DeclaredSymbolsCoverTypesEnumsAliasesAndMacros)
+{
+    const FileSummary s = summarizeSource(
+        "src/x.h",
+        "#define WIDTH 8\n"
+        "struct Node { int v; };\n"
+        "enum class Mode { kA, kB };\n"
+        "enum Flags { kRaw = 1 };\n"
+        "using Row = std::vector<int>;\n"
+        "typedef int Cell;\n");
+    for (const char *sym :
+         {"WIDTH", "Node", "Mode", "Flags", "kRaw", "Row", "Cell"})
+        EXPECT_TRUE(s.declaredSymbols.contains(sym)) << sym;
+    EXPECT_TRUE(s.definedTypes.contains("Node"));
+    EXPECT_TRUE(s.definedTypes.contains("Mode"));
+}
+
+TEST(Index, AllowDirectivesCoverTheirLineAndTheNext)
+{
+    const FileSummary s = summarizeSource(
+        "src/x.cc",
+        "int a; // cmt-analyze: allow(lock-order)\n"
+        "// cmt-analyze: allow(trust-boundary)\n"
+        "int b;\n"
+        "int c;\n");
+    EXPECT_TRUE(allowedAt(s, "lock-order", 1));
+    EXPECT_FALSE(allowedAt(s, "lock-order", 2));
+    // A directive-only line covers itself and the next line.
+    EXPECT_TRUE(allowedAt(s, "trust-boundary", 2));
+    EXPECT_TRUE(allowedAt(s, "trust-boundary", 3));
+    EXPECT_FALSE(allowedAt(s, "trust-boundary", 4));
+}
+
+TEST(Index, DirectiveInsideStringLiteralIsData)
+{
+    const FileSummary s = summarizeSource(
+        "src/x.cc",
+        "const char *s = \"// cmt-analyze: allow(lock-order)\";\n");
+    EXPECT_FALSE(allowedAt(s, "lock-order", 1));
+}
+
+TEST(Index, ContentHashDistinguishesBytes)
+{
+    EXPECT_EQ(contentHash("abc"), contentHash("abc"));
+    EXPECT_NE(contentHash("abc"), contentHash("abd"));
+}
+
+// --- index cache round trip -------------------------------------------
+
+TEST(IndexCache, JsonRoundTripPreservesTheSummary)
+{
+    const std::string src =
+        "#include \"tree/layout.h\"\n"
+        "// cmt-analyze: allow(include-hygiene)\n"
+        "struct Probe { int v; };\n"
+        "bool verifyProbe(std::uint64_t c)\n"
+        "{\n"
+        "    auto img = ram_.readChunk(c);\n"
+        "    return verify(c, img);\n"
+        "}\n";
+    const FileSummary a = summarizeSource("src/tree/p.cc", src);
+    FileSummary b;
+    ASSERT_TRUE(summaryFromJson(summaryToJson(a), &b));
+    EXPECT_EQ(summaryToJson(a), summaryToJson(b));
+    EXPECT_EQ(b.path, a.path);
+    EXPECT_EQ(b.contentHash, a.contentHash);
+    EXPECT_EQ(b.quotedIncludes, a.quotedIncludes);
+    EXPECT_EQ(b.declaredSymbols, a.declaredSymbols);
+    ASSERT_EQ(b.functions.size(), a.functions.size());
+    for (std::size_t i = 0; i < a.functions.size(); ++i) {
+        EXPECT_EQ(b.functions[i].name, a.functions[i].name);
+        EXPECT_EQ(b.functions[i].events.size(),
+                  a.functions[i].events.size());
+    }
+}
+
+TEST(IndexCache, MalformedOrAlienJsonIsRejected)
+{
+    FileSummary out;
+    EXPECT_FALSE(summaryFromJson("not json at all", &out));
+    EXPECT_FALSE(summaryFromJson("{}", &out));
+    // A wrong schema version must miss so old caches die cleanly.
+    const FileSummary a = summarizeSource("src/x.cc", "int a;\n");
+    std::string json = summaryToJson(a);
+    const std::string key =
+        "\"schema\":" + std::to_string(kIndexSchemaVersion);
+    const auto at = json.find(key);
+    ASSERT_NE(at, std::string::npos);
+    json.replace(at, key.size(), "\"schema\":999");
+    EXPECT_FALSE(summaryFromJson(json, &out));
+}
+
+// --- trust-boundary ---------------------------------------------------
+
+std::vector<Diagnostic>
+runOn(const std::vector<std::pair<std::string, std::string>> &srcs,
+      const std::string &rule)
+{
+    std::vector<FileSummary> files;
+    for (const auto &[path, text] : srcs)
+        files.push_back(summarizeSource(path, text));
+    return runPasses(files, {rule});
+}
+
+TEST(TrustBoundary, GatedVerifyLeavesTheSkipPathTainted)
+{
+    // The CMT_FAULT_SKIP_VERIFY_SHARD shape: verification sits
+    // behind a condition, so one path returns unchecked bytes.
+    const auto diags = runOn(
+        {{"src/tree/fill.cc",
+          "std::vector<std::uint8_t> fill(std::uint64_t c)\n"
+          "{\n"
+          "    auto img = ram_.readChunk(c);\n"
+          "    if (!faultSkipVerifyShard(c)) {\n"
+          "        verify(c, img);\n"
+          "    }\n"
+          "    return img;\n"
+          "}\n"}},
+        "trust-boundary");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].rule, "trust-boundary");
+    EXPECT_EQ(diags[0].line, 7);
+}
+
+TEST(TrustBoundary, UnconditionalVerifyIsClean)
+{
+    EXPECT_TRUE(runOn({{"src/tree/fill.cc",
+                        "std::vector<std::uint8_t> fill(int c)\n"
+                        "{\n"
+                        "    auto img = ram_.readChunk(c);\n"
+                        "    verify(c, img);\n"
+                        "    return img;\n"
+                        "}\n"}},
+                      "trust-boundary")
+                    .empty());
+}
+
+TEST(TrustBoundary, VerifyingHelperSanitizesAcrossFiles)
+{
+    const std::vector<std::pair<std::string, std::string>> srcs = {
+        {"src/tree/fill.cc",
+         "std::vector<std::uint8_t> fill(int c)\n"
+         "{\n"
+         "    auto img = ram_.readChunk(c);\n"
+         "    checkChunk(c, img);\n"
+         "    return img;\n"
+         "}\n"},
+        {"src/tree/check.cc",
+         "void checkChunk(int c, const Image &img)\n"
+         "{\n"
+         "    if (!auth_.verify(c, img))\n"
+         "        throw IntegrityError(c);\n"
+         "}\n"}};
+    EXPECT_TRUE(runOn(srcs, "trust-boundary").empty());
+    // Without the helper's definition, the call sanitizes nothing.
+    EXPECT_EQ(runOn({srcs[0]}, "trust-boundary").size(), 1u);
+}
+
+TEST(TrustBoundary, BothBranchesMustVerify)
+{
+    const auto diags = runOn(
+        {{"src/verify/x.cc",
+          "std::vector<std::uint8_t> f(int c)\n"
+          "{\n"
+          "    auto img = ram_.readChunk(c);\n"
+          "    if (fast) {\n"
+          "        verify(c, img);\n"
+          "        return img;\n"
+          "    }\n"
+          "    return img;\n"
+          "}\n"}},
+        "trust-boundary");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].line, 8);
+}
+
+TEST(TrustBoundary, MutableSpanOutParamIsASink)
+{
+    const auto diags = runOn(
+        {{"src/tree/x.cc",
+          "void fill(int c, std::span<std::uint8_t> out)\n"
+          "{\n"
+          "    auto img = ram_.readChunk(c);\n"
+          "    copy(img, out);\n"
+          "}\n"}},
+        "trust-boundary");
+    EXPECT_EQ(diags.size(), 1u);
+}
+
+TEST(TrustBoundary, OnlyTreeAndVerifyDirsAreInScope)
+{
+    EXPECT_TRUE(runOn({{"src/sim/x.cc",
+                        "std::vector<std::uint8_t> f(int c)\n"
+                        "{ return ram_.readChunk(c); }\n"}},
+                      "trust-boundary")
+                    .empty());
+}
+
+TEST(TrustBoundary, FunctionScopedAllowSuppresses)
+{
+    EXPECT_TRUE(runOn({{"src/tree/x.cc",
+                        "// cmt-analyze: allow(trust-boundary)\n"
+                        "std::vector<std::uint8_t> raw(int c)\n"
+                        "{ return ram_.readChunk(c); }\n"}},
+                      "trust-boundary")
+                    .empty());
+}
+
+// --- lock-order -------------------------------------------------------
+
+TEST(LockOrder, AbbaOrderingIsACycle)
+{
+    const auto diags = runOn(
+        {{"src/sim/x.cc",
+          "void a() { MutexLock l1(mu_a); MutexLock l2(mu_b); }\n"
+          "void b() { MutexLock l2(mu_b); MutexLock l1(mu_a); }\n"}},
+        "lock-order");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].rule, "lock-order");
+    EXPECT_NE(diags[0].message.find("cycle"), std::string::npos);
+}
+
+TEST(LockOrder, ConsistentOrderIsClean)
+{
+    EXPECT_TRUE(
+        runOn({{"src/sim/x.cc",
+                "void a() { MutexLock l1(mu_a); MutexLock "
+                "l2(mu_b); }\n"
+                "void b() { MutexLock l1(mu_a); MutexLock "
+                "l2(mu_b); }\n"}},
+              "lock-order")
+            .empty());
+}
+
+TEST(LockOrder, CycleThroughACallEdgeIsFound)
+{
+    const auto diags = runOn(
+        {{"src/sim/x.cc",
+          "void outer() { MutexLock l(mu_a); inner(); }\n"
+          "void inner() { MutexLock l(mu_b); }\n"
+          "void other() { MutexLock l(mu_b); grab(); }\n"
+          "void grab() { MutexLock l(mu_a); }\n"}},
+        "lock-order");
+    ASSERT_EQ(diags.size(), 1u);
+}
+
+TEST(LockOrder, AmbiguousReceiverCallsCreateNoPhantomEdges)
+{
+    // Regression for the MemoCache false positive: doc.find() must
+    // not resolve to MemoCache::find just because the names match
+    // when another find exists.
+    const std::vector<std::pair<std::string, std::string>> srcs = {
+        {"src/sim/cache.cc",
+         "void MemoCache::load()\n"
+         "{\n"
+         "    MutexLock lock(mu_);\n"
+         "    doc.find(\"rows\");\n"
+         "}\n"
+         "void MemoCache::find()\n"
+         "{\n"
+         "    MutexLock lock(mu_);\n"
+         "}\n"},
+        {"src/support/json.cc", "void Json::find() {}\n"}};
+    EXPECT_TRUE(runOn(srcs, "lock-order").empty());
+}
+
+TEST(LockOrder, SelfDeadlockThroughImplicitThisIsFound)
+{
+    // An unqualified call binds within the caller's class, so
+    // re-acquiring the same member mutex is caught.
+    const auto diags = runOn(
+        {{"src/sim/cache.cc",
+          "void MemoCache::load()\n"
+          "{\n"
+          "    MutexLock lock(mu_);\n"
+          "    helper();\n"
+          "}\n"
+          "void MemoCache::helper()\n"
+          "{\n"
+          "    MutexLock lock(mu_);\n"
+          "}\n"}},
+        "lock-order");
+    ASSERT_EQ(diags.size(), 1u);
+}
+
+// --- error-discipline -------------------------------------------------
+
+TEST(ErrorDiscipline, DiscardedBoolVerifyIsFlagged)
+{
+    const auto diags = runOn(
+        {{"src/tree/x.cc",
+          "bool verifyChunk(int c) { return c == 0; }\n"
+          "void f() { verifyChunk(3); }\n"}},
+        "error-discipline");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].line, 2);
+}
+
+TEST(ErrorDiscipline, ConsumedResultsAreClean)
+{
+    EXPECT_TRUE(runOn({{"src/tree/x.cc",
+                        "bool verifyChunk(int c) { return c == 0; }\n"
+                        "void f() { if (!verifyChunk(3)) panic(); }\n"
+                        "bool g() { return verifyChunk(4); }\n"}},
+                      "error-discipline")
+                    .empty());
+}
+
+TEST(ErrorDiscipline, BareVerifyWithoutDefinitionStillCounts)
+{
+    const auto diags =
+        runOn({{"src/tree/x.cc",
+                "void f(int c, Image &img) { verify(c, img); }\n"}},
+              "error-discipline");
+    ASSERT_EQ(diags.size(), 1u);
+}
+
+TEST(ErrorDiscipline, VoidHelpersAndOtherNamesAreExempt)
+{
+    EXPECT_TRUE(runOn({{"src/tree/x.cc",
+                        "void verifySlow(int c) {}\n"
+                        "bool computeBit(int c) { return c & 1; }\n"
+                        "void f()\n"
+                        "{\n"
+                        "    verifySlow(3);\n"
+                        "    computeBit(4);\n"
+                        "}\n"}},
+                      "error-discipline")
+                    .empty());
+}
+
+TEST(ErrorDiscipline, AllowDirectiveSuppresses)
+{
+    EXPECT_TRUE(
+        runOn({{"src/tree/x.cc",
+                "bool saveRoots(int c) { return true; }\n"
+                "void f()\n"
+                "{\n"
+                "    // cmt-analyze: allow(error-discipline)\n"
+                "    saveRoots(3);\n"
+                "}\n"}},
+              "error-discipline")
+            .empty());
+}
+
+// --- include-hygiene --------------------------------------------------
+
+TEST(IncludeHygiene, UnusedAndTransitiveIncludesAreFlagged)
+{
+    const std::vector<std::pair<std::string, std::string>> srcs = {
+        {"src/a.h", "struct TypeA { int a; };\n"},
+        {"src/b.h", "#include \"a.h\"\nstruct TypeB { TypeA x; };\n"},
+        {"src/u.h", "struct TypeU { int u; };\n"},
+        {"src/main.cc",
+         "#include \"b.h\"\n"
+         "#include \"u.h\"\n"
+         "TypeA f(TypeB b) { return b.x; }\n"}};
+    const auto diags = runOn(srcs, "include-hygiene");
+    ASSERT_EQ(diags.size(), 2u);
+    EXPECT_NE(diags[0].message.find("\"u.h\" is unused"),
+              std::string::npos);
+    EXPECT_NE(diags[1].message.find("'TypeA'"), std::string::npos);
+}
+
+TEST(IncludeHygiene, DirectIncludesAndSelfHeaderAreClean)
+{
+    EXPECT_TRUE(
+        runOn({{"src/a.h", "struct TypeA { int a; };\n"},
+               {"src/b.h",
+                "#include \"a.h\"\nstruct TypeB { TypeA x; };\n"},
+               {"src/b.cc",
+                "#include \"b.h\"\nint g(TypeB b) { return 0; }\n"}},
+              "include-hygiene")
+            .empty());
+}
+
+TEST(IncludeHygiene, LocalForwardDeclarationSatisfiesUse)
+{
+    EXPECT_TRUE(runOn({{"src/a.h", "struct TypeA { int a; };\n"},
+                       {"src/b.h",
+                        "#include \"a.h\"\n"
+                        "struct TypeB { TypeA inner; };\n"},
+                       {"src/main.cc",
+                        "#include \"b.h\"\n"
+                        "struct TypeA;\n"
+                        "TypeA *f(TypeB *b);\n"}},
+                      "include-hygiene")
+                    .empty());
+}
+
+TEST(IncludeHygiene, AllowDirectiveOnTheIncludeLineSuppresses)
+{
+    EXPECT_TRUE(
+        runOn({{"src/u.h", "struct TypeU { int u; };\n"},
+               {"src/main.cc",
+                "// re-exported for downstream users\n"
+                "// cmt-analyze: allow(include-hygiene)\n"
+                "#include \"u.h\"\n"
+                "int f();\n"}},
+              "include-hygiene")
+            .empty());
+}
+
+// --- engine + committed fixture trees ---------------------------------
+
+std::string
+fixtureDir(const std::string &leaf)
+{
+    return std::string(CMT_ANALYZE_FIXTURES_DIR) + "/" + leaf;
+}
+
+std::size_t
+countRule(const std::vector<Diagnostic> &diags,
+          const std::string &rule)
+{
+    return static_cast<std::size_t>(std::count_if(
+        diags.begin(), diags.end(), [&](const Diagnostic &d) {
+            return d.rule == rule;
+        }));
+}
+
+TEST(AnalyzeTree, GoodFixtureTreeIsClean)
+{
+    AnalyzeOptions opt;
+    opt.root = fixtureDir("good");
+    const AnalyzeReport report = analyzeTree(opt);
+    EXPECT_GT(report.filesIndexed, 0u);
+    for (const Diagnostic &d : report.diagnostics)
+        ADD_FAILURE() << d.file << ":" << d.line << " [" << d.rule
+                      << "] " << d.message;
+}
+
+TEST(AnalyzeTree, EachBadFixtureFiresExactlyItsRule)
+{
+    const std::vector<std::pair<std::string, std::string>> cases = {
+        {"bad/trust_boundary", "trust-boundary"},
+        {"bad/lock_order", "lock-order"},
+        {"bad/error_discipline", "error-discipline"},
+        {"bad/include_hygiene", "include-hygiene"}};
+    for (const auto &[leaf, rule] : cases) {
+        AnalyzeOptions opt;
+        opt.root = fixtureDir(leaf);
+        const AnalyzeReport report = analyzeTree(opt);
+        EXPECT_GT(countRule(report.diagnostics, rule), 0u)
+            << leaf << " never fired " << rule;
+        for (const std::string &other : ruleNames())
+            if (other != rule) {
+                EXPECT_EQ(countRule(report.diagnostics, other), 0u)
+                    << leaf << " leaked rule " << other;
+            }
+    }
+}
+
+TEST(AnalyzeTree, RuleFilterRestrictsThePasses)
+{
+    AnalyzeOptions opt;
+    opt.root = fixtureDir("bad/trust_boundary");
+    opt.rules = {"lock-order"};
+    EXPECT_TRUE(analyzeTree(opt).diagnostics.empty());
+}
+
+TEST(AnalyzeTree, CacheHitsOnSecondRunAndSurvivesCorruption)
+{
+    namespace fs = std::filesystem;
+    const std::string cache =
+        testing::TempDir() + "/cmt_analyze_cache_test";
+    fs::remove_all(cache);
+
+    AnalyzeOptions opt;
+    opt.root = fixtureDir("bad/trust_boundary");
+    opt.cacheDir = cache;
+
+    const AnalyzeReport cold = analyzeTree(opt);
+    EXPECT_EQ(cold.cacheHits, 0u);
+    ASSERT_EQ(countRule(cold.diagnostics, "trust-boundary"), 1u);
+
+    const AnalyzeReport warm = analyzeTree(opt);
+    EXPECT_EQ(warm.cacheHits, warm.filesIndexed);
+    EXPECT_EQ(warm.filesIndexed, cold.filesIndexed);
+    ASSERT_EQ(countRule(warm.diagnostics, "trust-boundary"), 1u);
+
+    // Corrupt entries must be silent misses, not wrong answers.
+    for (const fs::directory_entry &e :
+         fs::directory_iterator(cache)) {
+        std::ofstream out(e.path(), std::ios::trunc);
+        out << "{ corrupted";
+    }
+    const AnalyzeReport rebuilt = analyzeTree(opt);
+    EXPECT_EQ(rebuilt.cacheHits, 0u);
+    EXPECT_EQ(countRule(rebuilt.diagnostics, "trust-boundary"), 1u);
+    fs::remove_all(cache);
+}
+
+} // namespace
+} // namespace cmt::analyze

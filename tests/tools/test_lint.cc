@@ -311,6 +311,29 @@ TEST(LintAllow, SuppressionIsPerRule)
         "naked-new"));
 }
 
+TEST(LintAllow, CommaListSuppressesSeveralRulesOnOneLine)
+{
+    const std::string src =
+        "int *p = new int(rand()); "
+        "// cmt-lint: allow(naked-new, nondeterminism)\n";
+    EXPECT_FALSE(fires("src/x.cc", src, "naked-new"));
+    EXPECT_FALSE(fires("src/x.cc", src, "nondeterminism"));
+    // The list is still per-rule: unlisted rules keep firing.
+    EXPECT_TRUE(fires(
+        "src/x.cc",
+        "try { f(); } catch (...) { srand(1); } "
+        "// cmt-lint: allow(nondeterminism, header-guard)\n",
+        "catch-all"));
+}
+
+TEST(LintAllow, BlockCommentDirectiveCounts)
+{
+    EXPECT_FALSE(fires(
+        "src/x.cc",
+        "int x = rand(); /* cmt-lint: allow(nondeterminism) */\n",
+        "nondeterminism"));
+}
+
 TEST(LintAllow, UnknownRuleNameIsItselfDiagnosed)
 {
     EXPECT_TRUE(fires("src/x.cc",
@@ -330,6 +353,17 @@ TEST(LintAllow, DirectiveInsideStringLiteralIsData)
                       "int x = rand(); const char *s = "
                       "\"cmt-lint: allow(nondeterminism)\";\n",
                       "nondeterminism"));
+}
+
+TEST(LintAllow, DirectiveInsideRawStringIsData)
+{
+    // Raw strings blank entirely during the directive scan, so a
+    // directive spelled inside one must not suppress anything.
+    EXPECT_TRUE(fires(
+        "src/x.cc",
+        "int x = rand(); const char *s = "
+        "R\"(// cmt-lint: allow(nondeterminism))\";\n",
+        "nondeterminism"));
 }
 
 // --- scrubber ---------------------------------------------------------

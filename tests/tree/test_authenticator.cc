@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "crypto/md5.h"
 #include "support/random.h"
 #include "tree/authenticator.h"
 

@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "crypto/md5.h"
 #include "mem/backing_store.h"
 #include "tree/chunk_store.h"
 

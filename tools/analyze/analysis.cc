@@ -1,0 +1,209 @@
+#include "analyze/analysis.h"
+
+#include "analyze/index.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace fs = std::filesystem;
+
+namespace cmt::analyze
+{
+
+namespace
+{
+
+bool
+isSourceFile(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".h" || ext == ".cpp" ||
+           ext == ".hpp";
+}
+
+/** Same skip set as cmt_lint: generated trees, committed fixtures,
+ *  vendored code, build dirs. Explicit paths always index. */
+bool
+skipDirectory(const std::string &name)
+{
+    if (name.empty() || name[0] == '.')
+        return true;
+    if (name.rfind("build", 0) == 0)
+        return true;
+    return name == "fixtures" || name == "results" ||
+           name == "third_party" || name == "corpus";
+}
+
+void
+collectFiles(const std::string &path, std::vector<std::string> &out,
+             std::vector<Diagnostic> &diags)
+{
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+        std::vector<std::string> entries;
+        for (const fs::directory_entry &entry :
+             fs::directory_iterator(path, ec)) {
+            const std::string name =
+                entry.path().filename().string();
+            if (entry.is_directory()) {
+                if (!skipDirectory(name))
+                    entries.push_back(entry.path().string());
+            } else if (isSourceFile(entry.path())) {
+                entries.push_back(entry.path().string());
+            }
+        }
+        std::sort(entries.begin(), entries.end());
+        for (const std::string &entry : entries) {
+            if (fs::is_directory(entry, ec))
+                collectFiles(entry, out, diags);
+            else
+                out.push_back(entry);
+        }
+        return;
+    }
+    if (fs::is_regular_file(path, ec)) {
+        out.push_back(path);
+        return;
+    }
+    Diagnostic d;
+    d.file = path;
+    d.rule = "io";
+    d.message = "not a file or directory";
+    diags.push_back(std::move(d));
+}
+
+bool
+readFile(const std::string &path, std::string *out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    *out = ss.str();
+    return true;
+}
+
+/** Repo-relative, '/'-separated path for stable diagnostics and
+ *  rule scoping (src/tree/... matching). */
+std::string
+relativize(const std::string &path, const std::string &root)
+{
+    std::string p = path;
+    std::string prefix = root;
+    while (!prefix.empty() && prefix.back() == '/')
+        prefix.pop_back();
+    if (!prefix.empty() && prefix != "." &&
+        p.rfind(prefix + "/", 0) == 0)
+        p = p.substr(prefix.size() + 1);
+    while (p.rfind("./", 0) == 0)
+        p = p.substr(2);
+    return p;
+}
+
+std::string
+cacheEntryPath(const std::string &cacheDir,
+               const std::string &relPath)
+{
+    std::string name = relPath;
+    std::replace(name.begin(), name.end(), '/', '_');
+    return cacheDir + "/" + name + ".json";
+}
+
+/** A usable cached summary must parse, match the schema, and match
+ *  the current content hash; anything else is a miss. */
+bool
+loadCached(const std::string &cacheDir, const std::string &relPath,
+           std::uint64_t hash, FileSummary *out)
+{
+    std::string text;
+    if (!readFile(cacheEntryPath(cacheDir, relPath), &text))
+        return false;
+    FileSummary summary;
+    if (!summaryFromJson(text, &summary))
+        return false;
+    if (summary.path != relPath || summary.contentHash != hash)
+        return false;
+    *out = std::move(summary);
+    return true;
+}
+
+void
+storeCached(const std::string &cacheDir,
+            const FileSummary &summary)
+{
+    std::error_code ec;
+    fs::create_directories(cacheDir, ec);
+    const std::string path =
+        cacheEntryPath(cacheDir, summary.path);
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary);
+        if (!out)
+            return;
+        out << summaryToJson(summary) << '\n';
+    }
+    fs::rename(tmp, path, ec);
+    if (ec)
+        fs::remove(tmp, ec);
+}
+
+} // namespace
+
+AnalyzeReport
+analyzeTree(const AnalyzeOptions &options)
+{
+    AnalyzeReport report;
+
+    std::vector<std::string> roots = options.paths;
+    if (roots.empty()) {
+        for (const char *dir : {"src", "tools", "bench"}) {
+            const std::string p = options.root + "/" + dir;
+            std::error_code ec;
+            if (fs::is_directory(p, ec))
+                roots.push_back(p);
+        }
+    }
+
+    std::vector<std::string> paths;
+    for (const std::string &root : roots)
+        collectFiles(root, paths, report.diagnostics);
+
+    std::vector<FileSummary> files;
+    for (const std::string &path : paths) {
+        std::string contents;
+        if (!readFile(path, &contents)) {
+            Diagnostic d;
+            d.file = path;
+            d.rule = "io";
+            d.message = "cannot read file";
+            report.diagnostics.push_back(std::move(d));
+            continue;
+        }
+        const std::string rel = relativize(path, options.root);
+        const std::uint64_t hash = contentHash(contents);
+        FileSummary summary;
+        if (!options.cacheDir.empty() &&
+            loadCached(options.cacheDir, rel, hash, &summary)) {
+            ++report.cacheHits;
+        } else {
+            summary = summarizeSource(rel, contents);
+            if (!options.cacheDir.empty())
+                storeCached(options.cacheDir, summary);
+        }
+        files.push_back(std::move(summary));
+        ++report.filesIndexed;
+    }
+
+    std::vector<Diagnostic> findings =
+        runPasses(files, options.rules);
+    report.diagnostics.insert(
+        report.diagnostics.end(),
+        std::make_move_iterator(findings.begin()),
+        std::make_move_iterator(findings.end()));
+    return report;
+}
+
+} // namespace cmt::analyze

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * cmt_analyze engine: walk the tree, build (or load) the symbol
+ * index, run the rule passes.
+ *
+ * Indexing is per-file and content-addressed, so `--cache-dir`
+ * makes warm runs skip tokenizing/parsing unchanged files: each
+ * summary persists as one JSON entry keyed by its repo-relative
+ * path, validated against the file's FNV-1a hash and the index
+ * schema version before reuse (stale or corrupt entries are silent
+ * misses). CI caches the directory across runs keyed on source
+ * hashes.
+ */
+
+#ifndef CMT_TOOLS_ANALYZE_ANALYSIS_H
+#define CMT_TOOLS_ANALYZE_ANALYSIS_H
+
+#include "analyze/passes.h"
+
+#include <string>
+#include <vector>
+
+namespace cmt::analyze
+{
+
+struct AnalyzeOptions
+{
+    /** Repo root; paths report relative to it. */
+    std::string root = ".";
+    /** Files/directories to index. Empty: src/ tools/ bench/ under
+     *  the root (the trees the symbol index is defined over). */
+    std::vector<std::string> paths;
+    /** Persist/reuse per-file summaries here; empty disables. */
+    std::string cacheDir;
+    /** Subset of ruleNames() to run; empty runs all. */
+    std::vector<std::string> rules;
+};
+
+struct AnalyzeReport
+{
+    /** Sorted findings; rule == "io" marks unreadable inputs. */
+    std::vector<Diagnostic> diagnostics;
+    std::size_t filesIndexed = 0;
+    std::size_t cacheHits = 0;
+};
+
+AnalyzeReport analyzeTree(const AnalyzeOptions &options);
+
+} // namespace cmt::analyze
+
+#endif // CMT_TOOLS_ANALYZE_ANALYSIS_H

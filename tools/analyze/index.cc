@@ -1,0 +1,1153 @@
+#include "analyze/index.h"
+
+#include "analyze/tokenizer.h"
+
+#include "support/json.h"
+
+#include <algorithm>
+#include <regex>
+
+namespace cmt::analyze
+{
+
+namespace
+{
+
+/** ChunkStore member calls that hand back untrusted RAM bytes. The
+ *  method names are unique to the store (readChunk/readSlot), plus
+ *  plain read() when the receiver is spelled like an untrusted
+ *  store. Kept deliberately narrow: taint must start only at the
+ *  paper's trust boundary, not at every read() in the tree. */
+bool
+isUntrustedReadCall(const std::string &name,
+                    const std::string &qualifier)
+{
+    if (name == "readChunk" || name == "readSlot")
+        return true;
+    if (name != "read")
+        return false;
+    return qualifier == "ram_" || qualifier == "chunks_" ||
+           qualifier == "store_" || qualifier == "untrusted_";
+}
+
+bool
+isMutexLockType(const std::string &name)
+{
+    return name == "MutexLock";
+}
+
+/** Tokens that may sit between a declarator's `)` and its body. */
+bool
+isFnQualifierToken(const Token &t)
+{
+    if (t.kind == TokKind::kPunct)
+        return t.text == "&" || t.text == "&&" || t.text == "->" ||
+               t.text == "*" || t.text == "::" || t.text == "<" ||
+               t.text == ">" || t.text == ">>" || t.text == "," ||
+               t.text == "(" || t.text == ")";
+    if (t.kind != TokKind::kIdentifier)
+        return false;
+    return true; // const, noexcept, override, final, trailing types
+}
+
+class Parser
+{
+  public:
+    Parser(const std::vector<Token> &all, FileSummary &out)
+        : all_(all), out_(out)
+    {
+        for (const Token &t : all_) {
+            if (t.kind == TokKind::kComment ||
+                t.kind == TokKind::kHeaderName)
+                continue;
+            if (t.inDirective)
+                continue;
+            code_.push_back(&t);
+        }
+    }
+
+    void run()
+    {
+        scanDirectivesAndUses();
+        parseDeclScope(0, code_.size(), /*className=*/"");
+    }
+
+  private:
+    // ---------------------------------------------------------- raw
+    // token-stream facts: includes, macros, identifier uses, allows
+
+    void scanDirectivesAndUses()
+    {
+        static const std::regex allowRe(
+            R"(cmt-analyze:\s*allow\(([^)]*)\))");
+        // First code token per line, to tell directive-only comment
+        // lines (which also cover the following line) from trailing
+        // comments.
+        std::map<int, std::size_t> firstCodeOnLine;
+        for (const Token &t : all_) {
+            if (t.kind == TokKind::kComment)
+                continue;
+            auto it = firstCodeOnLine.find(t.line);
+            if (it == firstCodeOnLine.end() ||
+                t.begin < it->second)
+                firstCodeOnLine[t.line] = t.begin;
+        }
+        for (std::size_t i = 0; i < all_.size(); ++i) {
+            const Token &t = all_[i];
+            switch (t.kind) {
+            case TokKind::kHeaderName: {
+                if (t.text.size() < 2)
+                    break;
+                const std::string target =
+                    t.text.substr(1, t.text.size() - 2);
+                if (t.text[0] == '"') {
+                    out_.quotedIncludes.push_back(target);
+                    out_.quotedIncludeLines.push_back(t.line);
+                } else {
+                    out_.angledIncludes.push_back(target);
+                }
+                break;
+            }
+            case TokKind::kIdentifier: {
+                if (!isKeyword(t.text))
+                    out_.usedIdentifiers.emplace(t.text, t.line);
+                // "#define NAME" declares NAME.
+                if (t.inDirective && t.text == "define" && i >= 1 &&
+                    all_[i - 1].kind == TokKind::kPunct &&
+                    all_[i - 1].text == "#" &&
+                    i + 1 < all_.size() &&
+                    all_[i + 1].kind == TokKind::kIdentifier)
+                    out_.declaredSymbols.insert(all_[i + 1].text);
+                break;
+            }
+            case TokKind::kComment: {
+                std::smatch m;
+                if (!std::regex_search(t.text, m, allowRe))
+                    break;
+                const bool ownLine =
+                    !firstCodeOnLine.contains(t.line) ||
+                    firstCodeOnLine[t.line] >= t.begin;
+                std::string rules = m[1].str();
+                std::string rule;
+                for (char c : rules + ",") {
+                    if (c == ',' || c == ' ' || c == '\t') {
+                        if (!rule.empty()) {
+                            out_.allowLines[rule].insert(t.line);
+                            if (ownLine)
+                                out_.allowLines[rule].insert(
+                                    t.line + 1);
+                            rule.clear();
+                        }
+                    } else {
+                        rule += c;
+                    }
+                }
+                break;
+            }
+            default:
+                break;
+            }
+        }
+    }
+
+    // ------------------------------------------------------ helpers
+
+    const Token &tok(std::size_t i) const { return *code_[i]; }
+    bool is(std::size_t i, const char *text) const
+    {
+        return i < code_.size() && tok(i).text == text;
+    }
+    bool isIdent(std::size_t i) const
+    {
+        return i < code_.size() &&
+               tok(i).kind == TokKind::kIdentifier &&
+               !isKeyword(tok(i).text);
+    }
+
+    /** Index of the token matching the bracket at @p i, or @p end. */
+    std::size_t matchBracket(std::size_t i, std::size_t end) const
+    {
+        const std::string &open = tok(i).text;
+        std::string close;
+        if (open == "(")
+            close = ")";
+        else if (open == "{")
+            close = "}";
+        else if (open == "[")
+            close = "]";
+        else
+            return i;
+        int depth = 0;
+        for (std::size_t j = i; j < end; ++j) {
+            if (tok(j).text == open)
+                ++depth;
+            else if (tok(j).text == close && --depth == 0)
+                return j;
+        }
+        return end;
+    }
+
+    /** Next `;` at bracket depth 0 (skipping balanced groups). */
+    std::size_t findSemi(std::size_t i, std::size_t end) const
+    {
+        for (std::size_t j = i; j < end; ++j) {
+            const std::string &s = tok(j).text;
+            if (s == "(" || s == "{" || s == "[") {
+                j = matchBracket(j, end);
+                continue;
+            }
+            if (s == ";")
+                return j;
+        }
+        return end;
+    }
+
+    /** Skip a `template<...>` parameter list; @p i sits on `<`. */
+    std::size_t skipAngles(std::size_t i, std::size_t end) const
+    {
+        int depth = 0;
+        for (std::size_t j = i; j < end; ++j) {
+            const std::string &s = tok(j).text;
+            if (s == "<")
+                ++depth;
+            else if (s == ">")
+                --depth;
+            else if (s == ">>")
+                depth -= 2;
+            else if (s == ";" || s == "{")
+                return j; // malformed; bail at a boundary
+            if (depth <= 0)
+                return j + 1;
+        }
+        return end;
+    }
+
+    // ------------------------------------------- declaration scopes
+
+    /**
+     * Parse declarations in [i, end): namespace bodies, class
+     * bodies, and the global scope all route here. Function bodies
+     * do not — they get the statement parser below.
+     */
+    void parseDeclScope(std::size_t i, std::size_t end,
+                        const std::string &className)
+    {
+        while (i < end) {
+            const std::string &s = tok(i).text;
+            if (s == ";" || s == "}") {
+                ++i;
+            } else if (s == "namespace") {
+                i = parseNamespace(i, end);
+            } else if (s == "class" || s == "struct" ||
+                       s == "union") {
+                i = parseClassLike(i, end);
+            } else if (s == "enum") {
+                i = parseEnum(i, end);
+            } else if (s == "using") {
+                i = parseUsing(i, end);
+            } else if (s == "typedef") {
+                i = parseTypedef(i, end);
+            } else if (s == "template") {
+                i = (i + 1 < end && is(i + 1, "<"))
+                        ? skipAngles(i + 1, end)
+                        : i + 1;
+            } else if (s == "extern" && i + 2 < end &&
+                       tok(i + 1).kind == TokKind::kString &&
+                       is(i + 2, "{")) {
+                // extern "C" { ... }: transparent scope.
+                i += 3;
+            } else if (s == "public" || s == "private" ||
+                       s == "protected") {
+                i = is(i + 1, ":") ? i + 2 : i + 1;
+            } else if (s == "static_assert" || s == "friend" ||
+                       s == "asm") {
+                i = findSemi(i, end) + 1;
+            } else {
+                i = parseDeclaration(i, end, className);
+            }
+        }
+    }
+
+    std::size_t parseNamespace(std::size_t i, std::size_t end)
+    {
+        ++i; // namespace
+        while (isIdent(i) || is(i, "::"))
+            ++i;
+        if (is(i, "=")) // namespace alias
+            return findSemi(i, end) + 1;
+        if (is(i, "{")) {
+            const std::size_t close = matchBracket(i, end);
+            parseDeclScope(i + 1, close, /*className=*/"");
+            return close + 1;
+        }
+        return i;
+    }
+
+    std::size_t parseClassLike(std::size_t i, std::size_t end)
+    {
+        ++i; // class/struct/union
+        std::string name;
+        while (i < end) {
+            const std::string &s = tok(i).text;
+            if (s == "{" || s == ";" || s == ":")
+                break;
+            if (tok(i).kind == TokKind::kIdentifier &&
+                !isKeyword(s)) {
+                name = s;
+                // A macro annotation (CMT_CAPABILITY("x")) between
+                // the keyword and the name parses as ident+parens;
+                // skipping the parens keeps the last plain
+                // identifier as the class name.
+                if (is(i + 1, "(")) {
+                    i = matchBracket(i + 1, end) + 1;
+                    continue;
+                }
+            }
+            if (s == "final")
+                name = name.empty() ? name : name; // keep prior name
+            ++i;
+        }
+        if (is(i, ";")) { // forward declaration (or elaborated var)
+            if (!name.empty())
+                out_.declaredSymbols.insert(name);
+            return i + 1;
+        }
+        if (is(i, ":")) { // base clause
+            while (i < end && !is(i, "{"))
+                ++i;
+        }
+        if (!is(i, "{"))
+            return i + 1;
+        if (!name.empty()) {
+            out_.definedTypes.insert(name);
+            out_.declaredSymbols.insert(name);
+        }
+        const std::size_t close = matchBracket(i, end);
+        parseDeclScope(i + 1, close, name);
+        return close + 1;
+    }
+
+    std::size_t parseEnum(std::size_t i, std::size_t end)
+    {
+        ++i; // enum
+        if (is(i, "class") || is(i, "struct"))
+            ++i;
+        std::string name;
+        if (isIdent(i)) {
+            name = tok(i).text;
+            ++i;
+        }
+        while (i < end && !is(i, "{") && !is(i, ";"))
+            ++i; // underlying type
+        if (is(i, ";")) {
+            if (!name.empty())
+                out_.declaredSymbols.insert(name);
+            return i + 1;
+        }
+        if (!is(i, "{"))
+            return i + 1;
+        if (!name.empty()) {
+            out_.definedTypes.insert(name);
+            out_.declaredSymbols.insert(name);
+        }
+        const std::size_t close = matchBracket(i, end);
+        // Enumerators: an identifier at the start or right after a
+        // comma declares a value (initializer expressions skipped).
+        bool expectName = true;
+        for (std::size_t j = i + 1; j < close; ++j) {
+            if (expectName && isIdent(j)) {
+                out_.declaredSymbols.insert(tok(j).text);
+                expectName = false;
+            } else if (is(j, ",")) {
+                expectName = true;
+            } else if (tok(j).text == "(" || tok(j).text == "{") {
+                j = matchBracket(j, close);
+            }
+        }
+        return close + 1;
+    }
+
+    std::size_t parseUsing(std::size_t i, std::size_t end)
+    {
+        if (is(i + 1, "namespace"))
+            return findSemi(i, end) + 1;
+        const std::size_t semi = findSemi(i, end);
+        std::string declared;
+        for (std::size_t j = i + 1; j < semi; ++j) {
+            if (is(j, "="))
+                break; // alias: name precedes '='
+            if (isIdent(j))
+                declared = tok(j).text;
+        }
+        if (!declared.empty())
+            out_.declaredSymbols.insert(declared);
+        return semi + 1;
+    }
+
+    std::size_t parseTypedef(std::size_t i, std::size_t end)
+    {
+        const std::size_t semi = findSemi(i, end);
+        std::string declared;
+        for (std::size_t j = i + 1; j < semi; ++j)
+            if (isIdent(j))
+                declared = tok(j).text;
+        if (!declared.empty())
+            out_.declaredSymbols.insert(declared);
+        return semi + 1;
+    }
+
+    /**
+     * A declaration that is not a type/alias: a function
+     * (declaration or definition), a variable, or a macro
+     * invocation. Detected by shape: an identifier followed by a
+     * balanced paren group that is in declarator position (no `=`
+     * seen yet) is a candidate; what follows the group decides.
+     */
+    std::size_t parseDeclaration(std::size_t i, std::size_t end,
+                                 const std::string &className)
+    {
+        bool sawEquals = false;
+        std::string lastIdent;
+        std::size_t j = i;
+        while (j < end) {
+            const std::string &s = tok(j).text;
+            if (s == ";") {
+                if (!lastIdent.empty())
+                    out_.declaredSymbols.insert(lastIdent);
+                return j + 1;
+            }
+            if (s == "=") {
+                sawEquals = true;
+                ++j;
+                continue;
+            }
+            if (s == "{") {
+                // Brace initializer at declaration scope (no param
+                // list seen): skip it and keep scanning to ';'.
+                j = matchBracket(j, end) + 1;
+                continue;
+            }
+            if (s == "(" && j > i && isIdent(j - 1) && !sawEquals) {
+                const std::size_t close = matchBracket(j, end);
+                std::size_t k = close + 1;
+                while (k < end && isFnQualifierToken(tok(k)) &&
+                       !is(k, "{"))
+                    ++k;
+                if (is(k, "{") || is(k, ":")) {
+                    if (is(k, ":"))
+                        k = skipCtorInitList(k, end);
+                    if (is(k, "{"))
+                        return parseFunctionDefinition(
+                            i, j, close, k, end, className);
+                }
+                if (is(k, ";") || is(k, "=")) {
+                    // Declaration (or `= default/delete/0`).
+                    out_.declaredSymbols.insert(tok(j - 1).text);
+                    return findSemi(k, end) + 1;
+                }
+                // Not a declarator after all (e.g. a macro in a
+                // member decl); continue past the group.
+                lastIdent = tok(j - 1).text;
+                j = close + 1;
+                continue;
+            }
+            if (isIdent(j))
+                lastIdent = s;
+            ++j;
+        }
+        return end;
+    }
+
+    /** @p i on ':' after a constructor's `)`. Returns the index of
+     *  the body '{' (or @p end). */
+    std::size_t skipCtorInitList(std::size_t i, std::size_t end) const
+    {
+        std::size_t j = i + 1;
+        while (j < end) {
+            // member name (possibly templated base)
+            while (j < end && !is(j, "(") && !is(j, "{") &&
+                   !is(j, ";"))
+                ++j;
+            if (j >= end || is(j, ";"))
+                return j;
+            if (is(j, "{") && !isInitItemBrace(j))
+                return j; // body
+            j = matchBracket(j, end) + 1;
+            if (is(j, ","))
+                ++j;
+            else
+                return j; // body '{' (or malformed)
+        }
+        return end;
+    }
+
+    /** In an init list, `name{...}` braces belong to the item; a
+     *  brace right after ',' or ':' cannot (that is the body). */
+    bool isInitItemBrace(std::size_t j) const
+    {
+        return j > 0 && isIdent(j - 1);
+    }
+
+    std::size_t parseFunctionDefinition(std::size_t declBegin,
+                                        std::size_t parenOpen,
+                                        std::size_t parenClose,
+                                        std::size_t bodyOpen,
+                                        std::size_t end,
+                                        const std::string &className)
+    {
+        FunctionInfo fn;
+        // Name chain: ident ( :: ident )* ending just before '('.
+        std::size_t nameBegin = parenOpen - 1;
+        fn.name = tok(nameBegin).text;
+        fn.nameLine = tok(nameBegin).line;
+        while (nameBegin >= 2 && is(nameBegin - 1, "::") &&
+               isIdent(nameBegin - 2))
+            nameBegin -= 2;
+        fn.className = className;
+        if (nameBegin + 1 <= parenOpen - 1) // qualified: A::name
+            fn.className = tok(nameBegin).text;
+        // Destructor: ~ belongs to the name.
+        if (nameBegin >= 1 && is(nameBegin - 1, "~"))
+            --nameBegin;
+
+        fn.returnType = computeReturnType(declBegin, nameBegin);
+        fn.returnsVoid =
+            fn.returnType.empty() || fn.returnType == "void";
+        fn.hasMutableSpanParam =
+            computeMutableSpan(parenOpen + 1, parenClose);
+        fn.bodyOpenLine = tok(bodyOpen).line;
+        const std::size_t bodyClose = matchBracket(bodyOpen, end);
+        fn.endLine = bodyClose < end ? tok(bodyClose).line
+                                     : tok(end - 1).line;
+        out_.declaredSymbols.insert(fn.name);
+
+        // The ctor init list runs before the body.
+        if (is(parenClose + 1, ":"))
+            scanExpr(parenClose + 2, bodyOpen, fn.events,
+                     /*discardAt=*/code_.size());
+        parseStmts(bodyOpen + 1, bodyClose, fn.events);
+        out_.functions.push_back(std::move(fn));
+        return bodyClose + 1;
+    }
+
+    std::string computeReturnType(std::size_t declBegin,
+                                  std::size_t nameBegin) const
+    {
+        std::string type;
+        for (std::size_t j = declBegin; j < nameBegin; ++j) {
+            const std::string &s = tok(j).text;
+            if (s == "[") { // attribute: skip balanced
+                j = matchBracket(j, nameBegin);
+                continue;
+            }
+            if (s == "inline" || s == "static" || s == "constexpr" ||
+                s == "consteval" || s == "virtual" ||
+                s == "explicit" || s == "friend" || s == "extern" ||
+                s == "~")
+                continue;
+            if (!type.empty())
+                type += ' ';
+            type += s;
+        }
+        // Constructors/destructors yield "" (treated as void:
+        // nothing flows out through the return value).
+        return type;
+    }
+
+    bool computeMutableSpan(std::size_t i, std::size_t end) const
+    {
+        for (std::size_t j = i; j < end; ++j) {
+            if (tok(j).text != "span" || !is(j + 1, "<"))
+                continue;
+            bool isConst = false;
+            bool isBytes = false;
+            int depth = 0;
+            for (std::size_t k = j + 1; k < end; ++k) {
+                const std::string &s = tok(k).text;
+                if (s == "<")
+                    ++depth;
+                else if (s == ">")
+                    --depth;
+                else if (s == ">>")
+                    depth -= 2;
+                else if (s == "const")
+                    isConst = true;
+                else if (s == "uint8_t" || s == "byte" ||
+                         s == "Byte")
+                    isBytes = true;
+                if (depth <= 0)
+                    break;
+            }
+            if (isBytes && !isConst)
+                return true;
+        }
+        return false;
+    }
+
+    // ------------------------------------------- statement parsing
+
+    /** Parse statements in [i, end); RAII locks declared directly in
+     *  this block release (kUnlock) when it closes. */
+    void parseStmts(std::size_t i, std::size_t end,
+                    std::vector<Event> &ev)
+    {
+        std::vector<std::string> blockLocks;
+        while (i < end)
+            i = parseOneStmt(i, end, ev, &blockLocks);
+        for (auto it = blockLocks.rbegin(); it != blockLocks.rend();
+             ++it) {
+            Event e;
+            e.kind = Event::Kind::kUnlock;
+            e.name = *it;
+            e.line = end < code_.size() ? tok(end).line : 0;
+            ev.push_back(std::move(e));
+        }
+    }
+
+    /** One statement (compound, control, or simple). Returns the
+     *  index just past it. */
+    std::size_t parseOneStmt(std::size_t i, std::size_t end,
+                             std::vector<Event> &ev,
+                             std::vector<std::string> *blockLocks)
+    {
+        if (i >= end)
+            return end;
+        const std::string &s = tok(i).text;
+
+        if (s == ";")
+            return i + 1;
+        if (s == "{") {
+            const std::size_t close = matchBracket(i, end);
+            parseStmts(i + 1, close, ev);
+            return close + 1;
+        }
+        if (s == "if") {
+            std::size_t j = i + 1;
+            if (is(j, "constexpr"))
+                ++j;
+            if (!is(j, "("))
+                return i + 1;
+            const std::size_t close = matchBracket(j, end);
+            scanExpr(j + 1, close, ev, code_.size());
+            push(ev, Event::Kind::kIfBegin, tok(i).line);
+            std::size_t next =
+                parseOneStmt(close + 1, end, ev, nullptr);
+            if (next < end && is(next, "else")) {
+                push(ev, Event::Kind::kElseBegin, tok(next).line);
+                next = parseOneStmt(next + 1, end, ev, nullptr);
+            }
+            push(ev, Event::Kind::kIfEnd, tok(i).line);
+            return next;
+        }
+        if (s == "while" || s == "for") {
+            std::size_t j = i + 1;
+            if (!is(j, "("))
+                return i + 1;
+            const std::size_t close = matchBracket(j, end);
+            scanExpr(j + 1, close, ev, code_.size());
+            push(ev, Event::Kind::kMaybeBegin, tok(i).line);
+            const std::size_t next =
+                parseOneStmt(close + 1, end, ev, nullptr);
+            push(ev, Event::Kind::kMaybeEnd, tok(i).line);
+            return next;
+        }
+        if (s == "do") {
+            // The body runs at least once: parse it as executed,
+            // then consume `while (...);`.
+            std::size_t next = parseOneStmt(i + 1, end, ev, nullptr);
+            if (next < end && is(next, "while") &&
+                is(next + 1, "(")) {
+                const std::size_t close =
+                    matchBracket(next + 1, end);
+                scanExpr(next + 2, close, ev, code_.size());
+                next = close + 1;
+                if (next < end && is(next, ";"))
+                    ++next;
+            }
+            return next;
+        }
+        if (s == "switch") {
+            std::size_t j = i + 1;
+            if (!is(j, "("))
+                return i + 1;
+            const std::size_t close = matchBracket(j, end);
+            scanExpr(j + 1, close, ev, code_.size());
+            push(ev, Event::Kind::kMaybeBegin, tok(i).line);
+            std::size_t next = close + 1;
+            if (next < end && is(next, "{")) {
+                const std::size_t bodyClose =
+                    matchBracket(next, end);
+                parseStmts(next + 1, bodyClose, ev);
+                next = bodyClose + 1;
+            }
+            push(ev, Event::Kind::kMaybeEnd, tok(i).line);
+            return next;
+        }
+        if (s == "case") {
+            std::size_t j = i + 1;
+            while (j < end && !is(j, ":"))
+                ++j;
+            return j + 1;
+        }
+        if (s == "default" && is(i + 1, ":"))
+            return i + 2;
+        if (s == "return") {
+            const std::size_t semi = findSemi(i + 1, end);
+            scanExpr(i + 1, semi, ev, code_.size());
+            push(ev, Event::Kind::kReturn, tok(i).line);
+            return semi + 1;
+        }
+        if (s == "throw") {
+            const std::size_t semi = findSemi(i + 1, end);
+            scanExpr(i + 1, semi, ev, code_.size());
+            push(ev, Event::Kind::kThrow, tok(i).line);
+            return semi + 1;
+        }
+        if (s == "try") {
+            std::size_t next = parseOneStmt(i + 1, end, ev, nullptr);
+            while (next < end && is(next, "catch")) {
+                std::size_t j = next + 1;
+                if (is(j, "("))
+                    j = matchBracket(j, end) + 1;
+                push(ev, Event::Kind::kMaybeBegin, tok(next).line);
+                next = parseOneStmt(j, end, ev, nullptr);
+                push(ev, Event::Kind::kMaybeEnd, tok(next - 1).line);
+            }
+            return next;
+        }
+        if (s == "break" || s == "continue" || s == "goto")
+            return findSemi(i, end) + 1;
+
+        // Simple statement: expression or local declaration.
+        const std::size_t semi = findSemi(i, end);
+        scanSimpleStmt(i, semi, ev, blockLocks);
+        return semi + 1;
+    }
+
+    void push(std::vector<Event> &ev, Event::Kind kind, int line)
+    {
+        Event e;
+        e.kind = kind;
+        e.line = line;
+        ev.push_back(std::move(e));
+    }
+
+    /**
+     * A simple statement [i, semi). Handles the MutexLock RAII
+     * pattern, detects a discarded top-level call, and otherwise
+     * scans for events.
+     */
+    void scanSimpleStmt(std::size_t i, std::size_t semi,
+                        std::vector<Event> &ev,
+                        std::vector<std::string> *blockLocks)
+    {
+        // `[cmt::]MutexLock name(expr)` / `{expr}`.
+        for (std::size_t j = i; j + 2 < semi; ++j) {
+            if (!isMutexLockType(tok(j).text) || !isIdent(j + 1))
+                continue;
+            if (!is(j + 2, "(") && !is(j + 2, "{"))
+                continue;
+            const std::size_t close = matchBracket(j + 2, semi);
+            std::string expr;
+            for (std::size_t k = j + 3; k < close; ++k) {
+                if (!expr.empty() && isIdent(k) && isIdent(k - 1))
+                    expr += ' ';
+                expr += tok(k).text;
+            }
+            Event e;
+            e.kind = Event::Kind::kLock;
+            e.name = expr;
+            e.line = tok(j).line;
+            ev.push_back(std::move(e));
+            if (blockLocks != nullptr) {
+                blockLocks->push_back(expr);
+            } else {
+                // Unbraced substatement: the lock dies immediately.
+                Event u;
+                u.kind = Event::Kind::kUnlock;
+                u.name = expr;
+                u.line = tok(j).line;
+                ev.push_back(std::move(u));
+            }
+            return;
+        }
+
+        // Discarded call: the whole statement is `chain(...)`.
+        std::size_t discardAt = code_.size();
+        std::size_t k = i;
+        while (k + 1 < semi && isIdent(k) &&
+               (is(k + 1, "::") || is(k + 1, ".") ||
+                is(k + 1, "->")))
+            k += 2;
+        if (k + 1 < semi && isIdent(k) && is(k + 1, "(") &&
+            matchBracket(k + 1, semi) == semi - 1)
+            discardAt = k;
+
+        scanExpr(i, semi, ev, discardAt);
+    }
+
+    /**
+     * Scan an expression region for calls/reads/verifies. Braced
+     * subexpressions (lambda bodies, init lists) parse as 0-or-more
+     * regions — a lambda may never run. @p discardAt marks the one
+     * call token whose result the statement drops.
+     */
+    void scanExpr(std::size_t i, std::size_t end,
+                  std::vector<Event> &ev, std::size_t discardAt)
+    {
+        for (std::size_t j = i; j < end; ++j) {
+            if (is(j, "{")) {
+                const std::size_t close = matchBracket(j, end);
+                push(ev, Event::Kind::kMaybeBegin, tok(j).line);
+                parseStmts(j + 1, close, ev);
+                push(ev, Event::Kind::kMaybeEnd, tok(j).line);
+                j = close;
+                continue;
+            }
+            if (!isIdent(j) || !is(j + 1, "("))
+                continue;
+            Event e;
+            e.name = tok(j).text;
+            e.line = tok(j).line;
+            if (j >= 2 &&
+                (is(j - 1, "::") || is(j - 1, ".") ||
+                 is(j - 1, "->")) &&
+                isIdent(j - 2))
+                e.qualifier = tok(j - 2).text;
+            if (e.name == "verify")
+                e.kind = Event::Kind::kVerify;
+            else if (isUntrustedReadCall(e.name, e.qualifier))
+                e.kind = Event::Kind::kRead;
+            else
+                e.kind = Event::Kind::kCall;
+            e.discarded = (j == discardAt);
+            ev.push_back(std::move(e));
+        }
+    }
+
+    const std::vector<Token> &all_;
+    std::vector<const Token *> code_;
+    FileSummary &out_;
+};
+
+} // namespace
+
+FileSummary
+summarizeSource(const std::string &path, const std::string &contents)
+{
+    FileSummary out;
+    out.path = path;
+    out.contentHash = contentHash(contents);
+    const std::vector<Token> tokens = tokenize(contents);
+    Parser(tokens, out).run();
+    return out;
+}
+
+std::uint64_t
+contentHash(const std::string &contents)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : contents) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+bool
+allowedAt(const FileSummary &file, const std::string &rule, int line)
+{
+    auto it = file.allowLines.find(rule);
+    return it != file.allowLines.end() && it->second.contains(line);
+}
+
+// ------------------------------------------------- cache round-trip
+
+namespace
+{
+
+std::string
+hashToHex(std::uint64_t h)
+{
+    static const char *digits = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[h & 0xf];
+        h >>= 4;
+    }
+    return out;
+}
+
+bool
+hexToHash(const std::string &s, std::uint64_t *out)
+{
+    if (s.size() != 16)
+        return false;
+    std::uint64_t h = 0;
+    for (char c : s) {
+        h <<= 4;
+        if (c >= '0' && c <= '9')
+            h |= static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            h |= static_cast<std::uint64_t>(c - 'a' + 10);
+        else
+            return false;
+    }
+    *out = h;
+    return true;
+}
+
+Json
+eventToJson(const Event &e)
+{
+    Json row = Json::array();
+    row.push(static_cast<int>(e.kind));
+    row.push(e.name);
+    row.push(e.qualifier);
+    row.push(e.line);
+    row.push(e.discarded ? 1 : 0);
+    return row;
+}
+
+bool
+eventFromJson(const Json &row, Event *out)
+{
+    if (!row.isArray() || row.size() != 5)
+        return false;
+    if (!row.at(0).isNumber() || !row.at(1).isString() ||
+        !row.at(2).isString() || !row.at(3).isNumber() ||
+        !row.at(4).isNumber())
+        return false;
+    const int kind = static_cast<int>(row.at(0).asNumber());
+    if (kind < 0 ||
+        kind > static_cast<int>(Event::Kind::kUnlock))
+        return false;
+    out->kind = static_cast<Event::Kind>(kind);
+    out->name = row.at(1).asString();
+    out->qualifier = row.at(2).asString();
+    out->line = static_cast<int>(row.at(3).asNumber());
+    out->discarded = row.at(4).asNumber() != 0;
+    return true;
+}
+
+Json
+stringsToJson(const std::set<std::string> &strings)
+{
+    Json arr = Json::array();
+    for (const std::string &s : strings)
+        arr.push(s);
+    return arr;
+}
+
+bool
+stringsFromJson(const Json &arr, std::set<std::string> *out)
+{
+    if (!arr.isArray())
+        return false;
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+        if (!arr.at(i).isString())
+            return false;
+        out->insert(arr.at(i).asString());
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+summaryToJson(const FileSummary &summary)
+{
+    Json doc = Json::object();
+    doc.set("schema", kIndexSchemaVersion);
+    doc.set("path", summary.path);
+    doc.set("hash", hashToHex(summary.contentHash));
+
+    Json qinc = Json::array();
+    Json qlines = Json::array();
+    for (std::size_t i = 0; i < summary.quotedIncludes.size(); ++i) {
+        qinc.push(summary.quotedIncludes[i]);
+        qlines.push(i < summary.quotedIncludeLines.size()
+                        ? summary.quotedIncludeLines[i]
+                        : 0);
+    }
+    doc.set("quoted_includes", std::move(qinc));
+    doc.set("quoted_include_lines", std::move(qlines));
+    Json ainc = Json::array();
+    for (const std::string &s : summary.angledIncludes)
+        ainc.push(s);
+    doc.set("angled_includes", std::move(ainc));
+
+    doc.set("defined_types", stringsToJson(summary.definedTypes));
+    doc.set("declared", stringsToJson(summary.declaredSymbols));
+
+    Json used = Json::array();
+    for (const auto &[name, line] : summary.usedIdentifiers) {
+        Json row = Json::array();
+        row.push(name);
+        row.push(line);
+        used.push(std::move(row));
+    }
+    doc.set("used", std::move(used));
+
+    Json fns = Json::array();
+    for (const FunctionInfo &fn : summary.functions) {
+        Json f = Json::object();
+        f.set("name", fn.name);
+        f.set("class", fn.className);
+        f.set("name_line", fn.nameLine);
+        f.set("body_line", fn.bodyOpenLine);
+        f.set("end_line", fn.endLine);
+        f.set("returns_void", fn.returnsVoid);
+        f.set("return_type", fn.returnType);
+        f.set("mutable_span", fn.hasMutableSpanParam);
+        Json ev = Json::array();
+        for (const Event &e : fn.events)
+            ev.push(eventToJson(e));
+        f.set("events", std::move(ev));
+        fns.push(std::move(f));
+    }
+    doc.set("functions", std::move(fns));
+
+    Json allows = Json::array();
+    for (const auto &[rule, lines] : summary.allowLines) {
+        Json row = Json::array();
+        row.push(rule);
+        Json ls = Json::array();
+        for (int line : lines)
+            ls.push(line);
+        row.push(std::move(ls));
+        allows.push(std::move(row));
+    }
+    doc.set("allows", std::move(allows));
+    return doc.dump();
+}
+
+bool
+summaryFromJson(const std::string &text, FileSummary *out)
+{
+    Json doc;
+    if (!Json::parse(text, &doc) || !doc.isObject())
+        return false;
+    const Json *schema = doc.find("schema");
+    if (schema == nullptr || !schema->isNumber() ||
+        static_cast<int>(schema->asNumber()) != kIndexSchemaVersion)
+        return false;
+
+    FileSummary s;
+    const Json *path = doc.find("path");
+    const Json *hash = doc.find("hash");
+    if (path == nullptr || !path->isString() || hash == nullptr ||
+        !hash->isString())
+        return false;
+    s.path = path->asString();
+    if (!hexToHash(hash->asString(), &s.contentHash))
+        return false;
+
+    const Json *qinc = doc.find("quoted_includes");
+    const Json *qlines = doc.find("quoted_include_lines");
+    const Json *ainc = doc.find("angled_includes");
+    if (qinc == nullptr || !qinc->isArray() || qlines == nullptr ||
+        !qlines->isArray() || qlines->size() != qinc->size() ||
+        ainc == nullptr || !ainc->isArray())
+        return false;
+    for (std::size_t i = 0; i < qinc->size(); ++i) {
+        if (!qinc->at(i).isString() || !qlines->at(i).isNumber())
+            return false;
+        s.quotedIncludes.push_back(qinc->at(i).asString());
+        s.quotedIncludeLines.push_back(
+            static_cast<int>(qlines->at(i).asNumber()));
+    }
+    for (std::size_t i = 0; i < ainc->size(); ++i) {
+        if (!ainc->at(i).isString())
+            return false;
+        s.angledIncludes.push_back(ainc->at(i).asString());
+    }
+
+    const Json *types = doc.find("defined_types");
+    const Json *decls = doc.find("declared");
+    if (types == nullptr || !stringsFromJson(*types, &s.definedTypes))
+        return false;
+    if (decls == nullptr ||
+        !stringsFromJson(*decls, &s.declaredSymbols))
+        return false;
+
+    const Json *used = doc.find("used");
+    if (used == nullptr || !used->isArray())
+        return false;
+    for (std::size_t i = 0; i < used->size(); ++i) {
+        const Json &row = used->at(i);
+        if (!row.isArray() || row.size() != 2 ||
+            !row.at(0).isString() || !row.at(1).isNumber())
+            return false;
+        s.usedIdentifiers.emplace(
+            row.at(0).asString(),
+            static_cast<int>(row.at(1).asNumber()));
+    }
+
+    const Json *fns = doc.find("functions");
+    if (fns == nullptr || !fns->isArray())
+        return false;
+    for (std::size_t i = 0; i < fns->size(); ++i) {
+        const Json &f = fns->at(i);
+        if (!f.isObject())
+            return false;
+        FunctionInfo fn;
+        const Json *name = f.find("name");
+        const Json *cls = f.find("class");
+        const Json *nameLine = f.find("name_line");
+        const Json *bodyLine = f.find("body_line");
+        const Json *endLine = f.find("end_line");
+        const Json *rvoid = f.find("returns_void");
+        const Json *rtype = f.find("return_type");
+        const Json *span = f.find("mutable_span");
+        const Json *ev = f.find("events");
+        if (name == nullptr || !name->isString() || cls == nullptr ||
+            !cls->isString() || nameLine == nullptr ||
+            !nameLine->isNumber() || bodyLine == nullptr ||
+            !bodyLine->isNumber() || endLine == nullptr ||
+            !endLine->isNumber() || rvoid == nullptr ||
+            !rvoid->isBool() || rtype == nullptr ||
+            !rtype->isString() || span == nullptr ||
+            !span->isBool() || ev == nullptr || !ev->isArray())
+            return false;
+        fn.name = name->asString();
+        fn.className = cls->asString();
+        fn.nameLine = static_cast<int>(nameLine->asNumber());
+        fn.bodyOpenLine = static_cast<int>(bodyLine->asNumber());
+        fn.endLine = static_cast<int>(endLine->asNumber());
+        fn.returnsVoid = rvoid->asBool();
+        fn.returnType = rtype->asString();
+        fn.hasMutableSpanParam = span->asBool();
+        for (std::size_t j = 0; j < ev->size(); ++j) {
+            Event e;
+            if (!eventFromJson(ev->at(j), &e))
+                return false;
+            fn.events.push_back(std::move(e));
+        }
+        s.functions.push_back(std::move(fn));
+    }
+
+    const Json *allows = doc.find("allows");
+    if (allows == nullptr || !allows->isArray())
+        return false;
+    for (std::size_t i = 0; i < allows->size(); ++i) {
+        const Json &row = allows->at(i);
+        if (!row.isArray() || row.size() != 2 ||
+            !row.at(0).isString() || !row.at(1).isArray())
+            return false;
+        std::set<int> lines;
+        for (std::size_t j = 0; j < row.at(1).size(); ++j) {
+            if (!row.at(1).at(j).isNumber())
+                return false;
+            lines.insert(
+                static_cast<int>(row.at(1).at(j).asNumber()));
+        }
+        s.allowLines.emplace(row.at(0).asString(),
+                             std::move(lines));
+    }
+
+    *out = std::move(s);
+    return true;
+}
+
+} // namespace cmt::analyze

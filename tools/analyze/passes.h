@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The four whole-program rule passes of cmt_analyze.
+ *
+ * Each pass consumes the per-file summaries (analyze/index.h) and
+ * returns diagnostics; none re-reads source. See DESIGN.md §10 for
+ * the architecture and the rule semantics, and
+ * tests/tools/fixtures/analyze/ for the pinned behavior:
+ *
+ *  - trust-boundary: a function in src/tree/ or src/verify/ that
+ *    reads untrusted ChunkStore bytes must reach a verify call on
+ *    every path before data can leave (return value or mutable byte
+ *    span). The paper's verify-before-use invariant as a taint rule.
+ *  - lock-order: MutexLock acquisition order, propagated over call
+ *    edges, must be acyclic (deadlock freedom ahead of cmt_served).
+ *  - error-discipline: a discarded call to a bool/Status verify or
+ *    persistence API silently swallows an integrity verdict.
+ *  - include-hygiene: unused quoted includes, and symbols reached
+ *    only through transitive includes.
+ *
+ * Suppression: `// cmt-analyze: allow(<rule>)` on the offending line
+ * or the line above; for the two function-scoped rules the directive
+ * may sit anywhere from just above the declarator to the opening
+ * brace.
+ */
+
+#ifndef CMT_TOOLS_ANALYZE_PASSES_H
+#define CMT_TOOLS_ANALYZE_PASSES_H
+
+#include "analyze/index.h"
+
+#include <string>
+#include <vector>
+
+namespace cmt::analyze
+{
+
+struct Diagnostic
+{
+    std::string file;
+    int line = 0;
+    std::string rule; ///< pass name, or "io" for read failures
+    std::string message;
+};
+
+/** Stable list of pass names, the `--rule` vocabulary. */
+std::vector<std::string> ruleNames();
+
+std::vector<Diagnostic>
+trustBoundaryPass(const std::vector<FileSummary> &files);
+std::vector<Diagnostic>
+lockOrderPass(const std::vector<FileSummary> &files);
+std::vector<Diagnostic>
+errorDisciplinePass(const std::vector<FileSummary> &files);
+std::vector<Diagnostic>
+includeHygienePass(const std::vector<FileSummary> &files);
+
+/** Run @p rules (all when empty) and sort by file/line/rule. */
+std::vector<Diagnostic>
+runPasses(const std::vector<FileSummary> &files,
+          const std::vector<std::string> &rules);
+
+} // namespace cmt::analyze
+
+#endif // CMT_TOOLS_ANALYZE_PASSES_H

@@ -32,9 +32,12 @@
 #include <sstream>
 #include <string>
 
+#include "sim/config.h"
 #include "sim/runner.h"
 #include "sim/system.h"
+#include "support/json.h"
 #include "trace/trace_file.h"
+#include "tree/scheme.h"
 
 using namespace cmt;
 

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <string>
 
+#include "cpu/trace.h"
 #include "support/logging.h"
 #include "trace/specgen.h"
 #include "trace/trace_file.h"

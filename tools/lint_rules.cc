@@ -1,5 +1,7 @@
 #include "lint_rules.h"
 
+#include "analyze/tokenizer.h"
+
 #include <algorithm>
 #include <cctype>
 #include <filesystem>
@@ -44,110 +46,22 @@ isHeaderPath(const std::string &path)
             path.rfind(".hpp") == path.size() - 4);
 }
 
-bool
-isWordChar(char c)
-{
-    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
 /**
  * Blank out string/char literal contents and (unless @p keepComments)
  * comments, preserving line structure, so rule patterns only ever see
  * code. The keepComments variant feeds the allow()-directive scan:
  * directives live in comments, but a directive spelled inside a
  * string literal is data, not a suppression.
+ *
+ * Delegates to the shared analyzer tokenizer — one lexer for
+ * cmt_lint and cmt_analyze, so literal handling (digit separators,
+ * prefixed char literals like L'x', raw strings) can never diverge
+ * between the tools.
  */
 std::string
 scrub(const std::string &src, bool keepComments = false)
 {
-    std::string out = src;
-    enum class State
-    {
-        kCode,
-        kLineComment,
-        kBlockComment,
-        kString,
-        kChar,
-        kRawString
-    };
-    State state = State::kCode;
-    std::string rawEnd; // ")delim\"" terminator for raw strings
-    for (std::size_t i = 0; i < src.size(); ++i) {
-        const char c = src[i];
-        const char next = i + 1 < src.size() ? src[i + 1] : '\0';
-        switch (state) {
-        case State::kCode:
-            if (c == '/' && next == '/') {
-                state = State::kLineComment;
-                if (!keepComments)
-                    out[i] = out[i + 1] = ' ';
-                ++i;
-            } else if (c == '/' && next == '*') {
-                state = State::kBlockComment;
-                if (!keepComments)
-                    out[i] = out[i + 1] = ' ';
-                ++i;
-            } else if (c == 'R' && next == '"' &&
-                       (i == 0 || !isWordChar(src[i - 1]))) {
-                std::size_t open = src.find('(', i + 2);
-                if (open == std::string::npos)
-                    break; // malformed; leave as-is
-                rawEnd = ")" + src.substr(i + 2, open - i - 2) + "\"";
-                state = State::kRawString;
-                for (std::size_t j = i; j <= open; ++j)
-                    out[j] = ' ';
-                i = open;
-            } else if (c == '"') {
-                state = State::kString;
-            } else if (c == '\'' && i > 0 && isWordChar(src[i - 1])) {
-                // Digit separator (1'000'000), not a char literal.
-            } else if (c == '\'') {
-                state = State::kChar;
-            }
-            break;
-        case State::kLineComment:
-            if (c == '\n')
-                state = State::kCode;
-            else if (!keepComments)
-                out[i] = ' ';
-            break;
-        case State::kBlockComment:
-            if (c == '*' && next == '/') {
-                if (!keepComments)
-                    out[i] = out[i + 1] = ' ';
-                state = State::kCode;
-                ++i;
-            } else if (c != '\n' && !keepComments) {
-                out[i] = ' ';
-            }
-            break;
-        case State::kString:
-        case State::kChar:
-            if (c == '\\' && next != '\0') {
-                out[i] = ' ';
-                if (next != '\n')
-                    out[i + 1] = ' ';
-                ++i;
-            } else if ((state == State::kString && c == '"') ||
-                       (state == State::kChar && c == '\'')) {
-                state = State::kCode;
-            } else if (c != '\n') {
-                out[i] = ' ';
-            }
-            break;
-        case State::kRawString:
-            if (src.compare(i, rawEnd.size(), rawEnd) == 0) {
-                for (std::size_t j = 0; j < rawEnd.size(); ++j)
-                    out[i + j] = ' ';
-                i += rawEnd.size() - 1;
-                state = State::kCode;
-            } else if (c != '\n') {
-                out[i] = ' ';
-            }
-            break;
-        }
-    }
-    return out;
+    return analyze::scrubSource(src, keepComments);
 }
 
 /** One textual pattern belonging to a rule. */
