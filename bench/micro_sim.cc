@@ -9,12 +9,15 @@
  * exactly like figure rows.
  */
 
+#include <functional>
+
 #include "bench/common.h"
 #include "bench/micro_common.h"
 #include "cache/cache_array.h"
 #include "cpu/trace.h"
 #include "sim/config.h"
 #include "sim/runner.h"
+#include "support/event.h"
 #include "support/random.h"
 #include "support/table.h"
 #include "trace/specgen.h"
@@ -69,6 +72,49 @@ allocateWorkload(std::uint64_t ops)
     return m;
 }
 
+/**
+ * Allocation-pressure churn on the slab-pooled event queue: the
+ * schedule/execute mix the simulator core generates, with every event
+ * re-arming a successor so the pool recycles nodes instead of hitting
+ * the allocator. The checksum folds execution order (seq via a
+ * running counter) so a pooling bug that reorders same-cycle events
+ * drifts the row.
+ */
+MicroResult
+eventChurnWorkload(std::uint64_t ops)
+{
+    EventQueue events;
+    Rng rng(7);
+    MicroResult m;
+    std::uint64_t fired = 0;
+    // Keep a few hundred events in flight; each firing folds its
+    // identity and schedules a replacement at a pseudo-random small
+    // delta, mimicking completion traffic under a full window.
+    constexpr unsigned kInFlight = 256;
+    std::uint64_t scheduled = 0;
+    std::function<void(std::uint64_t)> arm =
+        [&](std::uint64_t id) {
+            events.scheduleIn(1 + rng.below(8), [&, id] {
+                m.fold64(id);
+                m.fold64(++fired);
+                if (scheduled < ops) {
+                    ++scheduled;
+                    arm(id);
+                }
+            });
+        };
+    for (unsigned i = 0; i < kInFlight && scheduled < ops; ++i) {
+        ++scheduled;
+        arm(i);
+    }
+    while (fired < scheduled)
+        events.runUntil(events.nextEventTime());
+    m.fold64(events.executedCount());
+    m.ops = ops;
+    m.bytes = ops * sizeof(void *);
+    return m;
+}
+
 MicroResult
 specgenWorkload(std::uint64_t ops)
 {
@@ -114,6 +160,10 @@ main(int argc, char **argv)
     add("specgen_next", 2'000'000, [ops = scaledOps(2'000'000)] {
         return specgenWorkload(ops);
     });
+    add("event_queue_churn", 2'000'000,
+        [ops = scaledOps(2'000'000)] {
+            return eventChurnWorkload(ops);
+        });
 
     // Simulated instructions per host second for one representative
     // benchmark per scheme: plain config-keyed sweep rows. The

@@ -9,6 +9,8 @@
  */
 
 #include <algorithm>
+#include <span>
+#include <vector>
 
 #include "bench/common.h"
 #include "bench/micro_common.h"
@@ -185,6 +187,39 @@ main(int argc, char **argv)
             },
             shards);
     }
+    // Batched ancestor-chain verification: the root-to-leaf check the
+    // cached/naive policies issue per miss, fed straight through
+    // Authenticator::verifyChain so the row times the interleaved
+    // multi-stream digest (one chain per op, depth-of-tree messages
+    // per chain) rather than a digest loop.
+    add("auth_verify_chain", 50'000, [ops = scaledOps(50'000)] {
+        constexpr std::size_t kDepth = 12; // 16 MB / 64 B, arity 4
+        constexpr std::size_t kChunk = 64;
+        const Authenticator auth(Authenticator::Kind::kMd5,
+                                 Key128{}, kChunk);
+        Rng rng(6);
+        std::vector<std::uint8_t> bytes(kDepth * kChunk);
+        for (auto &b : bytes)
+            b = static_cast<std::uint8_t>(rng.next());
+        std::vector<std::span<const std::uint8_t>> chunks;
+        std::vector<Slot> slots;
+        for (std::size_t i = 0; i < kDepth; ++i) {
+            chunks.emplace_back(bytes.data() + i * kChunk, kChunk);
+            slots.push_back(auth.compute(chunks.back(), Slot{}));
+        }
+        MicroResult m;
+        for (std::uint64_t i = 0; i < ops; ++i) {
+            // Dirty one word of one level per op so the chain content
+            // (and thus the batched digests) keeps changing.
+            bytes[i % bytes.size()] ^= 1;
+            const std::size_t level = (i % bytes.size()) / kChunk;
+            slots[level] = auth.compute(chunks[level], slots[level]);
+            m.fold64(auth.verifyChain(chunks, slots) ? 1 : 0);
+        }
+        m.ops = ops;
+        m.bytes = ops * kDepth * kChunk;
+        return m;
+    });
     add("verify_all", 20, [ops = scaledOps(20)] {
         BackingStore ram;
         MerkleMemory mm(ram, config(256));

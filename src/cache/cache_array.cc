@@ -20,16 +20,11 @@ CacheArray::CacheArray(const CacheParams &params) : params_(params)
     cmt_assert(wordsPerBlock_ <= 64);
 
     lines_.resize(numSets_ * params_.assoc);
+    tags_.assign(numSets_ * params_.assoc, kNoTag);
     if (params_.storesData) {
         for (auto &line : lines_)
             line.data.assign(params_.blockSize, 0);
     }
-}
-
-std::uint64_t
-CacheArray::setIndex(std::uint64_t addr) const
-{
-    return (addr / params_.blockSize) & (numSets_ - 1);
 }
 
 std::uint64_t
@@ -45,32 +40,16 @@ CacheArray::wordMask(unsigned offset, unsigned len) const
 }
 
 CacheArray::Line *
-CacheArray::lookup(std::uint64_t addr, bool touch)
-{
-    const std::uint64_t target = blockAddr(addr);
-    const std::uint64_t set = setIndex(addr);
-    for (unsigned way = 0; way < params_.assoc; ++way) {
-        Line &line = lines_[set * params_.assoc + way];
-        if (line.valid && line.blockAddr == target) {
-            if (touch)
-                line.lruStamp = ++stampCounter_;
-            return &line;
-        }
-    }
-    return nullptr;
-}
-
-CacheArray::Line *
 CacheArray::allocate(std::uint64_t addr, Victim *victim)
 {
     const std::uint64_t target = blockAddr(addr);
     cmt_assert(lookup(addr, false) == nullptr);
 
-    const std::uint64_t set = setIndex(addr);
+    const std::size_t base = setIndex(addr) * params_.assoc;
     Line *choice = nullptr;
     for (unsigned way = 0; way < params_.assoc; ++way) {
-        Line &line = lines_[set * params_.assoc + way];
-        if (!line.valid) {
+        Line &line = lines_[base + way];
+        if (tags_[base + way] == kNoTag) {
             choice = &line;
             break;
         }
@@ -91,6 +70,7 @@ CacheArray::allocate(std::uint64_t addr, Victim *victim)
     choice->blockAddr = target;
     choice->validWords = 0;
     choice->lruStamp = ++stampCounter_;
+    tags_[static_cast<std::size_t>(choice - lines_.data())] = target;
     if (params_.storesData)
         std::fill(choice->data.begin(), choice->data.end(), 0);
     return choice;
@@ -99,8 +79,10 @@ CacheArray::allocate(std::uint64_t addr, Victim *victim)
 void
 CacheArray::invalidate(std::uint64_t addr)
 {
-    if (Line *line = lookup(addr, false))
+    if (Line *line = lookup(addr, false)) {
         line->valid = false;
+        tags_[static_cast<std::size_t>(line - lines_.data())] = kNoTag;
+    }
 }
 
 std::size_t

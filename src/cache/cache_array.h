@@ -92,8 +92,25 @@ class CacheArray
      * Find the line holding @p addr's block.
      * @param touch  update LRU recency on hit
      * @return the line, or nullptr on miss
+     *
+     * Defined inline: this is the single hottest call in the
+     * simulator (every L1 I/D probe and every L2 access lands here).
      */
-    Line *lookup(std::uint64_t addr, bool touch = true);
+    Line *
+    lookup(std::uint64_t addr, bool touch = true)
+    {
+        const std::uint64_t target = blockAddr(addr);
+        const std::size_t base = setIndex(addr) * params_.assoc;
+        for (unsigned way = 0; way < params_.assoc; ++way) {
+            if (tags_[base + way] == target) {
+                Line &line = lines_[base + way];
+                if (touch)
+                    line.lruStamp = ++stampCounter_;
+                return &line;
+            }
+        }
+        return nullptr;
+    }
 
     /**
      * Allocate a line for @p addr's block (which must not be
@@ -121,13 +138,28 @@ class CacheArray
     std::size_t validLineCount() const;
 
   private:
-    std::uint64_t setIndex(std::uint64_t addr) const;
+    std::uint64_t
+    setIndex(std::uint64_t addr) const
+    {
+        return (addr / params_.blockSize) & (numSets_ - 1);
+    }
+
+    /** tags_ sentinel for an invalid line (never a block address). */
+    static constexpr std::uint64_t kNoTag = ~0ULL;
 
     CacheParams params_;
     std::uint64_t numSets_;
     unsigned wordsPerBlock_;
     std::uint64_t stampCounter_ = 0;
     std::vector<Line> lines_; ///< numSets_ * assoc, set-major
+    /**
+     * Hot mirror of (valid, blockAddr) per line: the block address
+     * when valid, kNoTag otherwise. A lookup scans one cache line of
+     * packed tags instead of @c assoc scattered Line structs; the
+     * mirror is maintained by the only three valid/blockAddr writers
+     * (constructor, allocate, invalidate).
+     */
+    std::vector<std::uint64_t> tags_;
 };
 
 } // namespace cmt

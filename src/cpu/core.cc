@@ -1,5 +1,7 @@
 #include "cpu/core.h"
 
+#include <bit>
+
 #include "cache/cache_array.h"
 #include "cpu/trace.h"
 #include "support/event.h"
@@ -32,7 +34,11 @@ Core::Core(EventQueue &events, L2Controller &l2, TraceSource &trace,
       itlb_(params.tlbEntries, params.tlbAssoc, stats, "itlb"),
       dtlb_(params.tlbEntries, params.tlbAssoc, stats, "dtlb"),
       bpred_(params.bpredTableBits, params.bpredHistoryBits),
-      window_(params.windowSize)
+      window_(params.windowSize),
+      windowMask_((params.windowSize & (params.windowSize - 1)) == 0
+                      ? params.windowSize - 1
+                      : 0),
+      readyBits_((params.windowSize + 63) / 64, 0)
 {
 }
 
@@ -70,9 +76,123 @@ Core::done() const
 void
 Core::tick()
 {
+    if (stallSticky_) {
+        if (events_.executedCount() == stallEventStamp_ &&
+            fetchBlockedNow())
+            return;
+        stallSticky_ = false;
+    }
+
+    const std::uint64_t committed_before = stat_committed.value();
+    cryptoStallThisTick_ = false;
+    issuedThisTick_ = 0;
+    issueTlbMissThisTick_ = false;
+
+    drainWheel();
     commitStage();
     issueStage();
+    const std::uint64_t tail_before_fetch = tail_;
     fetchStage();
+
+    // Arm the fast path only when this tick provably changed nothing
+    // that another tick could act on: no commit, no crypto-barrier
+    // stall accounting, no issue (and the failed-issue scan already
+    // at its D-TLB fixed point), no window insertion, no pending
+    // wheel completions, and fetch now blocked. From here only an
+    // event can unblock the pipeline.
+    stallSticky_ = committed_before == stat_committed.value() &&
+                   !cryptoStallThisTick_ && issuedThisTick_ == 0 &&
+                   !issueTlbMissThisTick_ && wheelCount_ == 0 &&
+                   tail_ == tail_before_fetch && fetchBlockedNow();
+    if (stallSticky_)
+        stallEventStamp_ = events_.executedCount();
+}
+
+void
+Core::scheduleComplete(Cycle delta, std::uint64_t seq)
+{
+    const Cycle when = events_.now() + delta;
+    // Pushes from event context can target a cycle the wheel already
+    // drained (a zero-extra fill waiter scheduled by an event that ran
+    // just before this cycle's drain); they complete on the next tick,
+    // exactly when the equivalent heap event would have become
+    // visible to the pipeline.
+    const Cycle target = when > lastDrainCycle_ ? when
+                                                : lastDrainCycle_ + 1;
+    if (target - lastDrainCycle_ >= kWheelSlots) {
+        // Wheel too short (huge configured penalty): use the heap.
+        // Branches never take this path (their delta is always 1).
+        cmt_assert(slot(seq).instr.type != InstrType::kBranch);
+        events_.schedule(when, [this, seq] { complete(seq); });
+        return;
+    }
+    wheel_[target % kWheelSlots].push_back(seq);
+    ++wheelCount_;
+}
+
+void
+Core::drainWheel()
+{
+    lastDrainCycle_ = events_.now();
+    if (wheelCount_ == 0)
+        return;
+    std::vector<std::uint64_t> &ready =
+        wheel_[lastDrainCycle_ % kWheelSlots];
+    if (ready.empty())
+        return;
+    wheelCount_ -= ready.size();
+    for (const std::uint64_t seq : ready) {
+        Entry &e = slot(seq);
+        if (e.instr.type == InstrType::kBranch) {
+            ++stat_branches;
+            bpred_.update(e.instr.pc, e.instr.taken);
+            if (e.mispredicted) {
+                ++stat_mispredicts;
+                fetchStalledUntil_ =
+                    events_.now() + params_.mispredictPenalty;
+            }
+        }
+        complete(seq);
+    }
+    ready.clear();
+}
+
+bool
+Core::fetchBlockedNow() const
+{
+    if (ifetchOutstanding_ || events_.now() < fetchStalledUntil_)
+        return true;
+    if (windowFull())
+        return true;
+    if (!havePending_)
+        return traceDone_; // an un-drained trace means a pull happens
+    const bool is_mem = pending_.type == InstrType::kLoad ||
+                        pending_.type == InstrType::kStore;
+    return is_mem && memOpsInWindow_ >= params_.lsqSize;
+}
+
+Cycle
+Core::stalledUntil() const
+{
+    if (!stallSticky_ || events_.executedCount() != stallEventStamp_)
+        return 0;
+    // Of fetchBlockedNow()'s conditions, only the fetch stall window
+    // clears with time alone; everything else (I-fetch return, window
+    // drain via completions, LSQ drain via commit, trace exhaustion)
+    // flips inside an event. stallSticky_ implies fetchBlockedNow()
+    // held, so if no event-driven condition blocks fetch, the stall
+    // window must - and it opens at fetchStalledUntil_.
+    if (ifetchOutstanding_ || windowFull())
+        return kNoWake;
+    if (havePending_) {
+        const bool is_mem = pending_.type == InstrType::kLoad ||
+                            pending_.type == InstrType::kStore;
+        if (is_mem && memOpsInWindow_ >= params_.lsqSize)
+            return kNoWake;
+    } else if (traceDone_) {
+        return kNoWake;
+    }
+    return fetchStalledUntil_;
 }
 
 // --------------------------------------------------------------------
@@ -158,7 +278,7 @@ Core::fetchStage()
 
         if (e.pendingDeps == 0) {
             e.state = State::kReady;
-            readySet_.insert(seq);
+            markReady(seq);
         }
 
         if (e.instr.type == InstrType::kBranch) {
@@ -179,15 +299,45 @@ Core::fetchStage()
 void
 Core::issueStage()
 {
-    unsigned issued = 0;
-    auto it = readySet_.begin();
-    while (issued < params_.issueWidth && it != readySet_.end()) {
-        const std::uint64_t seq = *it;
-        if (issueOne(seq)) {
-            it = readySet_.erase(it);
-            ++issued;
-        } else {
-            ++it; // structural stall (e.g. MSHRs full); try younger ops
+    if (windowEmpty())
+        return;
+    // Oldest-first over the ready bitmap: the in-flight window is a
+    // rotation of the slot array starting at head_'s slot, so two
+    // linear scans visit entries in ascending sequence order.
+    const unsigned start = static_cast<unsigned>(slotIndex(head_));
+    issueFromSlots(start, params_.windowSize, issuedThisTick_);
+    issueFromSlots(0, start, issuedThisTick_);
+}
+
+void
+Core::issueFromSlots(unsigned lo, unsigned hi, unsigned &issued)
+{
+    if (lo >= hi)
+        return;
+    const unsigned word_lo = lo / 64;
+    const unsigned word_hi = (hi + 63) / 64;
+    const unsigned window = params_.windowSize;
+    const unsigned start = static_cast<unsigned>(slotIndex(head_));
+    for (unsigned w = word_lo;
+         w < word_hi && issued < params_.issueWidth; ++w) {
+        std::uint64_t bits = readyBits_[w];
+        if (w == word_lo && (lo % 64) != 0)
+            bits &= ~0ULL << (lo % 64);
+        if (w == word_hi - 1 && (hi % 64) != 0)
+            bits &= ~0ULL >> (64 - hi % 64);
+        while (bits != 0 && issued < params_.issueWidth) {
+            const unsigned s =
+                w * 64 +
+                static_cast<unsigned>(std::countr_zero(bits));
+            bits &= bits - 1;
+            const std::uint64_t seq =
+                head_ + (s >= start ? s - start : s + window - start);
+            if (issueOne(seq)) {
+                readyBits_[s >> 6] &= ~(1ULL << (s & 63));
+                ++issued;
+            }
+            // On a structural stall (e.g. MSHRs full) the bit stays
+            // set and younger ready ops still get a chance.
         }
     }
 }
@@ -201,34 +351,23 @@ Core::issueOne(std::uint64_t seq)
     switch (e.instr.type) {
       case InstrType::kAlu:
         e.state = State::kExecuting;
-        events_.scheduleIn(params_.aluLatency,
-                           [this, seq] { complete(seq); });
+        scheduleComplete(params_.aluLatency, seq);
         return true;
       case InstrType::kMul:
         e.state = State::kExecuting;
-        events_.scheduleIn(params_.mulLatency,
-                           [this, seq] { complete(seq); });
+        scheduleComplete(params_.mulLatency, seq);
         return true;
       case InstrType::kFpu:
       case InstrType::kCrypto:
         e.state = State::kExecuting;
-        events_.scheduleIn(params_.fpuLatency,
-                           [this, seq] { complete(seq); });
+        scheduleComplete(params_.fpuLatency, seq);
         return true;
 
       case InstrType::kBranch:
+        // The predictor update and misprediction redirect run at
+        // drain time, one cycle from now - see drainWheel().
         e.state = State::kExecuting;
-        events_.scheduleIn(1, [this, seq] {
-            Entry &entry = slot(seq);
-            ++stat_branches;
-            bpred_.update(entry.instr.pc, entry.instr.taken);
-            if (entry.mispredicted) {
-                ++stat_mispredicts;
-                fetchStalledUntil_ =
-                    events_.now() + params_.mispredictPenalty;
-            }
-            complete(seq);
-        });
+        scheduleComplete(1, seq);
         return true;
 
       case InstrType::kLoad: {
@@ -238,8 +377,7 @@ Core::issueOne(std::uint64_t seq)
         if (l1d_.lookup(addr) != nullptr) {
             ++stat_l1dHits;
             e.state = State::kExecuting;
-            events_.scheduleIn(extra + params_.l1HitLatency,
-                               [this, seq] { complete(seq); });
+            scheduleComplete(extra + params_.l1HitLatency, seq);
             ++stat_loads;
             return true;
         }
@@ -254,8 +392,11 @@ Core::issueOne(std::uint64_t seq)
             pending->second.push_back(seq);
             return true;
         }
-        if (l1dMshrsUsed_ >= params_.l1dMshrs)
+        if (l1dMshrsUsed_ >= params_.l1dMshrs) {
+            if (extra != 0)
+                issueTlbMissThisTick_ = true;
             return false; // retry next cycle
+        }
         ++stat_l1dMisses;
         ++stat_loads;
         ++l1dMshrsUsed_;
@@ -268,10 +409,8 @@ Core::issueOne(std::uint64_t seq)
                      if (l1d_.lookup(l1_block, false) == nullptr)
                          l1d_.allocate(l1_block, &victim);
                      auto node = l1dPending_.extract(l1_block);
-                     for (const std::uint64_t waiter : node.mapped()) {
-                         events_.scheduleIn(
-                             extra, [this, waiter] { complete(waiter); });
-                     }
+                     for (const std::uint64_t waiter : node.mapped())
+                         scheduleComplete(extra, waiter);
                  });
         return true;
       }
@@ -288,7 +427,7 @@ Core::issueOne(std::uint64_t seq)
         l2_.write(addr, bytes);
         ++stat_stores;
         e.state = State::kExecuting;
-        events_.scheduleIn(1 + extra, [this, seq] { complete(seq); });
+        scheduleComplete(1 + extra, seq);
         return true;
       }
     }
@@ -308,7 +447,7 @@ Core::complete(std::uint64_t seq)
         if (c.state == State::kWaiting && c.pendingDeps > 0) {
             if (--c.pendingDeps == 0) {
                 c.state = State::kReady;
-                readySet_.insert(cseq);
+                markReady(cseq);
             }
         }
     }
@@ -333,6 +472,7 @@ Core::commitStage()
             // Section 5.8: crypto instructions are barriers; nothing
             // derived from the secret escapes before checks pass.
             ++stat_cryptoBarrierStalls;
+            cryptoStallThisTick_ = true;
             return;
         }
         if (e.instr.type == InstrType::kLoad ||

@@ -15,9 +15,9 @@
 #ifndef CMT_CPU_CORE_H
 #define CMT_CPU_CORE_H
 
+#include <array>
 #include <cstdint>
 #include <map>
-#include <set>
 #include <vector>
 
 #include "cache/cache_array.h"
@@ -71,6 +71,21 @@ class Core
     /** True once the trace is exhausted and the pipeline drained. */
     bool done() const;
 
+    /** stalledUntil() result: only an event can wake the core. */
+    static constexpr Cycle kNoWake = ~Cycle{0};
+
+    /**
+     * Cycle-skip interface for the run loops. Returns 0 when the core
+     * must be ticked every cycle; kNoWake when it is provably stalled
+     * until some event executes; otherwise the cycle at which the
+     * fetch stall window closes and a tick can do work again with no
+     * event having run. When every core in the system reports nonzero,
+     * the driver may advance the clock straight to the earliest of the
+     * returned cycles and the next pending event - every skipped tick
+     * would have been the stalled-tick no-op (see stallSticky_).
+     */
+    Cycle stalledUntil() const;
+
     /**
      * Drop L1 copies of [cpu_addr, cpu_addr+len) - called by the
      * system when L2 inclusion evicts a block (the owner of the L2
@@ -111,10 +126,17 @@ class Core
         std::vector<std::uint64_t> consumers;
     };
 
-    Entry &slot(std::uint64_t seq)
+    /** Window slot index of @p seq; avoids the runtime division when
+     *  the window size is a power of two (the common configuration —
+     *  slot() is on every stage's inner loop). */
+    std::size_t
+    slotIndex(std::uint64_t seq) const
     {
-        return window_[seq % params_.windowSize];
+        return windowMask_ != 0 ? (seq & windowMask_)
+                                : (seq % params_.windowSize);
     }
+
+    Entry &slot(std::uint64_t seq) { return window_[slotIndex(seq)]; }
 
     bool windowFull() const
     {
@@ -129,8 +151,50 @@ class Core
     /** Try to issue one entry; false if it must stay ready. */
     bool issueOne(std::uint64_t seq);
 
+    /** Mark the window slot of @p seq ready-to-issue. */
+    void
+    markReady(std::uint64_t seq)
+    {
+        const std::size_t s = slotIndex(seq);
+        readyBits_[s >> 6] |= 1ULL << (s & 63);
+    }
+
+    /** Issue ready entries with slot index in [lo, hi), oldest
+     *  first, until @p issued reaches the issue width. */
+    void issueFromSlots(unsigned lo, unsigned hi, unsigned &issued);
+
+    /**
+     * True while fetchStage() is provably a no-op: an I-fetch is
+     * outstanding, the fetch stall window is open, the window/LSQ is
+     * full, or the trace is drained. (A window-full tick would pull
+     * one instruction into the lookahead buffer; deferring that pull
+     * is unobservable - the same values arrive in the same order.)
+     */
+    bool fetchBlockedNow() const;
+
     /** Mark @p seq executed and wake its consumers. */
     void complete(std::uint64_t seq);
+
+    /**
+     * Completion wheel: pipeline completions all have small bounded
+     * latencies (ALU/branch 1, mul 3, FPU 4, plus a TLB-miss penalty),
+     * so instead of paying a heap push/pop plus a type-erased callback
+     * per instruction they ride a calendar wheel of seq vectors that
+     * tick() drains before commit. Ordering is preserved: same-cycle
+     * completions commute (complete() only decrements consumer dep
+     * counts and sets ready bits that issueStage visits in sequence
+     * order), machinery events never read window state, and the drain
+     * runs at the same cycle boundary the heap events ran at. Branch
+     * completions carry their predictor update into the drain.
+     */
+    static constexpr unsigned kWheelSlots = 64;
+
+    /** Schedule @p seq's completion @p delta cycles from now; falls
+     *  back to the event heap when the wheel is too short. */
+    void scheduleComplete(Cycle delta, std::uint64_t seq);
+
+    /** Run the completions parked on this cycle's wheel slot. */
+    void drainWheel();
 
     /** Refill the one-instruction lookahead buffer. */
     bool peekTrace();
@@ -147,9 +211,15 @@ class Core
     GsharePredictor bpred_;
 
     std::vector<Entry> window_;
+    /** windowSize - 1 when it is a power of two, else 0 (modulo). */
+    std::uint64_t windowMask_ = 0;
     std::uint64_t head_ = 0; ///< oldest in-flight sequence number
     std::uint64_t tail_ = 0; ///< next sequence number to allocate
-    std::set<std::uint64_t> readySet_;
+    /** Ready-to-issue bitmap, one bit per window slot. The issue
+     *  stage scans it as a rotation starting at head_'s slot, which
+     *  is exactly ascending sequence order - the order the old
+     *  std::set<seq> produced - without a node allocation per wake. */
+    std::vector<std::uint64_t> readyBits_;
     unsigned memOpsInWindow_ = 0;
     unsigned l1dMshrsUsed_ = 0;
     /** Outstanding L1D misses by block: later loads to the same block
@@ -159,6 +229,32 @@ class Core
     TraceInstr pending_{};
     bool havePending_ = false;
     bool traceDone_ = false;
+
+    /**
+     * Stalled-tick fast path. After a tick that committed nothing,
+     * issued nothing (with the D-TLB at a fixed point: re-running the
+     * failed-issue scan would touch the same TLB entries in the same
+     * order and change nothing), and could not fetch, the core's
+     * architectural state can only change when an event runs -
+     * completions, fills and back-invalidations all execute on the
+     * event queue. Until EventQueue::executedCount() moves (or the
+     * fetch stall window closes), tick() returns immediately instead
+     * of re-walking the ready bitmap. Simulated timing is identical;
+     * the only skipped work is byte-for-byte idempotent re-polling.
+     */
+    std::array<std::vector<std::uint64_t>, kWheelSlots> wheel_;
+    std::uint64_t wheelCount_ = 0;
+    Cycle lastDrainCycle_ = 0;
+
+    bool stallSticky_ = false;
+    std::uint64_t stallEventStamp_ = 0;
+    /** Set by commitStage() when a crypto barrier holds commit. */
+    bool cryptoStallThisTick_ = false;
+    /** Issued count of the current issueStage() pass. */
+    unsigned issuedThisTick_ = 0;
+    /** Set when a failed load-issue attempt missed the D-TLB (the
+     *  scan has not reached its TLB fixed point yet). */
+    bool issueTlbMissThisTick_ = false;
 
     Cycle fetchStalledUntil_ = 0;
     bool ifetchOutstanding_ = false;

@@ -23,6 +23,7 @@ class Tlb
         : stat_hits(stats, name + ".hits", "TLB hits"),
           stat_misses(stats, name + ".misses", "TLB misses"),
           assoc_(assoc), sets_(entries / assoc),
+          setMask_((sets_ & (sets_ - 1)) == 0 ? sets_ - 1 : 0),
           tags_(entries, ~0ULL), stamps_(entries, 0)
     {}
 
@@ -32,7 +33,8 @@ class Tlb
     access(std::uint64_t addr)
     {
         const std::uint64_t page = addr >> kPageBits;
-        const std::size_t set = page % sets_;
+        const std::size_t set =
+            setMask_ != 0 ? (page & setMask_) : (page % sets_);
         std::size_t lru = set * assoc_;
         for (unsigned way = 0; way < assoc_; ++way) {
             const std::size_t i = set * assoc_ + way;
@@ -58,6 +60,8 @@ class Tlb
 
     unsigned assoc_;
     std::size_t sets_;
+    /** sets_ - 1 when sets_ is a power of two, else 0 (use modulo). */
+    std::size_t setMask_;
     std::vector<std::uint64_t> tags_;
     std::vector<std::uint64_t> stamps_;
     std::uint64_t stamp_ = 0;

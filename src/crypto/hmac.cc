@@ -1,14 +1,15 @@
 #include "crypto/hmac.h"
 
 #include "crypto/md5.h"
+#include "support/logging.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace cmt
 {
 
-Hash128
-hmacMd5(const Key128 &key, std::span<const std::uint8_t> data)
+HmacMd5::HmacMd5(const Key128 &key)
 {
     // Key fits in one block, so no pre-hashing step is needed.
     std::uint8_t ipad[64];
@@ -20,15 +21,66 @@ hmacMd5(const Key128 &key, std::span<const std::uint8_t> data)
         opad[i] ^= key[i];
     }
 
-    Md5 inner;
-    inner.update({ipad, sizeof(ipad)});
-    inner.update(data);
-    const Hash128 inner_digest = inner.finish();
+    Md5 ctx;
+    ctx.update({ipad, sizeof(ipad)});
+    const auto inner = ctx.stateWords();
+    std::memcpy(innerState_, inner.data(), sizeof(innerState_));
 
-    Md5 outer;
-    outer.update({opad, sizeof(opad)});
-    outer.update(inner_digest);
-    return outer.finish();
+    ctx.reset();
+    ctx.update({opad, sizeof(opad)});
+    const auto outer = ctx.stateWords();
+    std::memcpy(outerState_, outer.data(), sizeof(outerState_));
+}
+
+Hash128
+HmacMd5::mac(std::span<const std::uint8_t> data) const
+{
+    return mac2(data, {});
+}
+
+Hash128
+HmacMd5::mac2(std::span<const std::uint8_t> a,
+              std::span<const std::uint8_t> b) const
+{
+    Md5 ctx;
+    ctx.seedState(innerState_, 64);
+    ctx.update(a);
+    ctx.update(b);
+    const Hash128 inner_digest = ctx.finish();
+
+    ctx.seedState(outerState_, 64);
+    ctx.update(inner_digest);
+    return ctx.finish();
+}
+
+void
+HmacMd5::macChain(std::span<const std::span<const std::uint8_t>> msgs,
+                  std::span<Hash128> out) const
+{
+    cmt_assert(out.size() >= msgs.size());
+    // Fixed-size batches keep the inner-digest scratch on the stack.
+    constexpr std::size_t kBatch = 16;
+    Hash128 inner[kBatch];
+    std::span<const std::uint8_t> inner_spans[kBatch];
+
+    std::size_t done = 0;
+    while (done < msgs.size()) {
+        const std::size_t n = std::min(kBatch, msgs.size() - done);
+        Md5::digestChainFrom(innerState_, 64, msgs.subspan(done, n),
+                             {inner, n});
+        for (std::size_t i = 0; i < n; ++i)
+            inner_spans[i] = {inner[i].data(), inner[i].size()};
+        Md5::digestChainFrom(outerState_, 64,
+                             {inner_spans, n},
+                             out.subspan(done, n));
+        done += n;
+    }
+}
+
+Hash128
+hmacMd5(const Key128 &key, std::span<const std::uint8_t> data)
+{
+    return HmacMd5(key).mac(data);
 }
 
 Key128

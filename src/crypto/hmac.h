@@ -19,7 +19,40 @@
 namespace cmt
 {
 
-/** HMAC-MD5 over @p data with @p key. */
+/**
+ * Keyed HMAC-MD5 engine with the key schedule hoisted out of the
+ * per-message path: the inner (key ^ ipad) and outer (key ^ opad)
+ * pad-block compressions are run once at construction and their
+ * 128-bit states reused for every MAC, saving two of the five MD5
+ * compressions a short-message HMAC costs.
+ */
+class HmacMd5
+{
+  public:
+    explicit HmacMd5(const Key128 &key);
+
+    /** HMAC-MD5 of a single message. */
+    Hash128 mac(std::span<const std::uint8_t> data) const;
+
+    /** HMAC-MD5 of the concatenation @p a || @p b, without copying. */
+    Hash128 mac2(std::span<const std::uint8_t> a,
+                 std::span<const std::uint8_t> b) const;
+
+    /**
+     * out[i] = mac(msgs[i]). Equal-length messages ride
+     * Md5::digestChain's interleaved fast path for both the inner
+     * and outer passes.
+     */
+    void
+    macChain(std::span<const std::span<const std::uint8_t>> msgs,
+             std::span<Hash128> out) const;
+
+  private:
+    std::uint32_t innerState_[4];
+    std::uint32_t outerState_[4];
+};
+
+/** HMAC-MD5 over @p data with @p key (one-shot convenience). */
 Hash128 hmacMd5(const Key128 &key, std::span<const std::uint8_t> data);
 
 /**

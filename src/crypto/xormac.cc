@@ -32,12 +32,12 @@ XorMac::hterm(unsigned block_idx, bool ts,
               std::span<const std::uint8_t> block) const
 {
     cmt_assert(block_idx < kMaxBlocks);
-    std::vector<std::uint8_t> msg;
-    msg.reserve(2 + block.size());
-    msg.push_back(static_cast<std::uint8_t>(block_idx));
-    msg.push_back(useTimestamps_ ? static_cast<std::uint8_t>(ts) : 0);
-    msg.insert(msg.end(), block.begin(), block.end());
-    const Hash128 h = hmacMd5(key_, msg);
+    const std::uint8_t header[2] = {
+        static_cast<std::uint8_t>(block_idx),
+        useTimestamps_ ? static_cast<std::uint8_t>(ts)
+                       : std::uint8_t{0},
+    };
+    const Hash128 h = hmac_.mac2({header, sizeof(header)}, block);
     Val112 out;
     std::memcpy(out.data(), h.data(), out.size());
     return out;
@@ -51,13 +51,29 @@ XorMac::mac(std::span<const std::uint8_t> chunk, std::size_t block_size,
     const std::size_t n = chunk.size() / block_size;
     cmt_assert(n <= kMaxBlocks);
 
+    // Assemble the n per-block messages (index, timestamp, block
+    // bytes) contiguously so HmacMd5 can digest them as one
+    // equal-length interleaved chain.
+    const std::size_t msg_len = 2 + block_size;
+    msgScratch_.resize(n * msg_len);
+    spanScratch_.clear();
+    macScratch_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint8_t *msg = msgScratch_.data() + i * msg_len;
+        const bool ts = (ts_bits >> i) & 1;
+        msg[0] = static_cast<std::uint8_t>(i);
+        msg[1] = useTimestamps_ ? static_cast<std::uint8_t>(ts)
+                                : std::uint8_t{0};
+        std::memcpy(msg + 2, chunk.data() + i * block_size,
+                    block_size);
+        spanScratch_.push_back({msg, msg_len});
+    }
+    hmac_.macChain(spanScratch_, macScratch_);
+
     Val112 sum{};
     for (std::size_t i = 0; i < n; ++i) {
-        const bool ts = (ts_bits >> i) & 1;
-        const Val112 term =
-            hterm(i, ts, chunk.subspan(i * block_size, block_size));
         for (std::size_t b = 0; b < sum.size(); ++b)
-            sum[b] ^= term[b];
+            sum[b] ^= macScratch_[i][b];
     }
     return prp_.encrypt(sum);
 }

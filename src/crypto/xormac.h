@@ -24,7 +24,10 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
+#include "crypto/hmac.h"
+#include "crypto/md5.h"
 #include "crypto/prp112.h"
 #include "crypto/xtea.h"
 
@@ -49,14 +52,20 @@ struct MacSlot
     bool operator==(const MacSlot &other) const = default;
 };
 
-/** Incremental MAC engine; stateless apart from the key. */
+/**
+ * Incremental MAC engine. Logically stateless apart from the key;
+ * physically it keeps the HMAC pad states precomputed and reuses
+ * scratch buffers across mac() calls (mutable, so a single simulated
+ * machine - one event-loop thread - never reallocates in steady
+ * state; distinct sweep threads own distinct engines).
+ */
 class XorMac
 {
   public:
     static constexpr unsigned kMaxBlocks = 16;
 
     explicit XorMac(const Key128 &key, bool use_timestamps = true)
-        : prp_(key), key_(key), useTimestamps_(use_timestamps)
+        : prp_(key), hmac_(key), useTimestamps_(use_timestamps)
     {}
 
     /**
@@ -86,8 +95,12 @@ class XorMac
 
   private:
     Prp112 prp_;
-    Key128 key_;
+    HmacMd5 hmac_;
     bool useTimestamps_;
+    // Per-call scratch for the batched mac() path; see class comment.
+    mutable std::vector<std::uint8_t> msgScratch_;
+    mutable std::vector<std::span<const std::uint8_t>> spanScratch_;
+    mutable std::vector<Hash128> macScratch_;
 };
 
 } // namespace cmt

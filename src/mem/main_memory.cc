@@ -35,8 +35,7 @@ MainMemory::transferCycles(unsigned size) const
 
 void
 MainMemory::read(std::uint64_t addr, unsigned size,
-                 std::function<void(std::span<const std::uint8_t>)>
-                     on_complete)
+                 ReadCallback on_complete)
 {
     ++stat_reads;
     stat_bytesRead += size;
@@ -53,16 +52,16 @@ MainMemory::read(std::uint64_t addr, unsigned size,
 
     events_.schedule(
         data_slot + transfer,
-        [this, addr, size, cb = std::move(on_complete)]() {
-            std::vector<std::uint8_t> buf(size);
-            storage_.read(addr, buf);
-            cb(buf);
+        [this, addr, size, cb = std::move(on_complete)]() mutable {
+            readScratch_.resize(size);
+            storage_.read(addr, readScratch_);
+            cb(readScratch_);
         });
 }
 
 void
 MainMemory::write(std::uint64_t addr, unsigned size,
-                  std::function<void()> on_complete)
+                  WriteCallback on_complete)
 {
     (void)addr;
     ++stat_writes;

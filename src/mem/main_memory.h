@@ -23,9 +23,10 @@
 #define CMT_MEM_MAIN_MEMORY_H
 
 #include <cstdint>
-#include <functional>
+#include <vector>
 
 #include "mem/storage.h"
+#include "support/callback.h"
 #include "support/event.h"
 #include "support/stats.h"
 
@@ -47,17 +48,25 @@ struct MemTimingParams
 class MainMemory
 {
   public:
+    /** Completion callbacks are inline-only (support/callback.h):
+     *  oversized captures are a compile error, which keeps the
+     *  miss-path allocation-free - pool big state instead. */
+    using ReadCallback =
+        SmallCallback<void(std::span<const std::uint8_t>)>;
+    using WriteCallback = SmallCallback<void()>;
+
     MainMemory(EventQueue &events, Storage &storage,
                const MemTimingParams &params, StatGroup &stats);
 
     /**
      * Issue a block read. The functional bytes are sampled from the
      * storage at data-arrival time (so a tampering adversary races
-     * realistically) and handed to @p on_complete.
+     * realistically) and handed to @p on_complete. The span aliases a
+     * scratch buffer owned by this class and is only valid for the
+     * duration of the callback.
      */
     void read(std::uint64_t addr, unsigned size,
-              std::function<void(std::span<const std::uint8_t>)>
-                  on_complete);
+              ReadCallback on_complete);
 
     /**
      * Issue a block write for timing purposes only; the caller is
@@ -65,7 +74,7 @@ class MainMemory
      * be empty.
      */
     void write(std::uint64_t addr, unsigned size,
-               std::function<void()> on_complete = {});
+               WriteCallback on_complete = {});
 
     /** Cycles the data bus has been busy (bandwidth accounting). */
     Cycle dataBusBusyCycles() const { return dataBusBusy_; }
@@ -103,6 +112,10 @@ class MainMemory
     Cycle dataBusFree_ = 0;
     /** Accumulated data-bus occupancy. */
     Cycle dataBusBusy_ = 0;
+    /** Read-completion staging buffer, reused across reads (only one
+     *  completion runs at a time; the event loop is single-threaded
+     *  and callbacks must not retain the span). */
+    std::vector<std::uint8_t> readScratch_;
 };
 
 } // namespace cmt

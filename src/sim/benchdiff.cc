@@ -1,0 +1,261 @@
+#include "sim/benchdiff.h"
+
+#include <cmath>
+
+#include "support/json.h"
+#include "support/table.h"
+
+namespace cmt
+{
+
+namespace
+{
+
+std::string
+render(const Json *value)
+{
+    return value ? value->dump() : "-";
+}
+
+std::string
+stringField(const Json &run, const char *key)
+{
+    const Json *value = run.find(key);
+    if (value && value->isString())
+        return value->asString();
+    return "";
+}
+
+/** Pairing identity of one row: harness name plus row label. */
+std::string
+rowKey(const Json &run, std::size_t index)
+{
+    const std::string label = stringField(run, "label");
+    return stringField(run, "figure") + "/" +
+           (label.empty() ? "#" + std::to_string(index) : label);
+}
+
+/** host_seconds when present, numeric and positive; else 0. */
+double
+hostSeconds(const Json &run)
+{
+    const Json *value = run.find("host_seconds");
+    if (value && value->isNumber() && value->asNumber() > 0)
+        return value->asNumber();
+    return 0;
+}
+
+struct IndexedRun
+{
+    const Json *run;
+    bool claimed = false;
+};
+
+bool
+keepRow(const Json &run, const BenchDiffFilter &filter)
+{
+    if (!filter.figure.empty() &&
+        stringField(run, "figure") != filter.figure)
+        return false;
+    if (!filter.labelPrefix.empty() &&
+        stringField(run, "label").rfind(filter.labelPrefix, 0) != 0)
+        return false;
+    return true;
+}
+
+} // namespace
+
+BenchDiffReport
+diffBenchSnapshots(const Json &oldDoc, const Json &newDoc,
+                   const BenchDiffFilter &filter)
+{
+    BenchDiffReport report;
+
+    const auto docCheck = [&](const Json &doc,
+                              const char *who) -> const Json * {
+        if (!doc.isObject()) {
+            report.docError = std::string(who) + " is not an object";
+            return nullptr;
+        }
+        const Json *runs = doc.find("runs");
+        if (!runs || !runs->isArray()) {
+            report.docError =
+                std::string(who) + " has no \"runs\" array";
+            return nullptr;
+        }
+        return runs;
+    };
+    const Json *oldRuns = docCheck(oldDoc, "old snapshot");
+    if (!oldRuns)
+        return report;
+    const Json *newRuns = docCheck(newDoc, "new snapshot");
+    if (!newRuns)
+        return report;
+
+    // Different instruction windows time different work; a ratio
+    // between them would be meaningless.
+    const Json *oldScale = oldDoc.find("repro_scale");
+    const Json *newScale = newDoc.find("repro_scale");
+    if (render(oldScale) != render(newScale)) {
+        report.docError = "repro_scale mismatch: old " +
+                          render(oldScale) + " vs new " +
+                          render(newScale);
+        return report;
+    }
+
+    std::vector<IndexedRun> newIndex;
+    for (std::size_t i = 0; i < newRuns->size(); ++i) {
+        if (keepRow(newRuns->at(i), filter))
+            newIndex.push_back({&newRuns->at(i)});
+    }
+
+    double logSum = 0;
+    for (std::size_t i = 0; i < oldRuns->size(); ++i) {
+        const Json &oldRun = oldRuns->at(i);
+        if (!keepRow(oldRun, filter))
+            continue;
+        const std::string key = rowKey(oldRun, i);
+
+        BenchRowDiff row;
+        row.figure = stringField(oldRun, "figure");
+        row.label = stringField(oldRun, "label");
+        if (row.label.empty())
+            row.label = "#" + std::to_string(i);
+
+        IndexedRun *pair = nullptr;
+        for (std::size_t j = 0; j < newIndex.size(); ++j) {
+            if (!newIndex[j].claimed &&
+                rowKey(*newIndex[j].run, j) == key) {
+                pair = &newIndex[j];
+                break;
+            }
+        }
+        if (!pair) {
+            row.note = "missing from new snapshot";
+            ++report.missing;
+            report.rows.push_back(std::move(row));
+            continue;
+        }
+        pair->claimed = true;
+        const Json &newRun = *pair->run;
+
+        // The config block pins what was simulated; if it moved, the
+        // two timings measure different experiments.
+        if (render(oldRun.find("config")) !=
+            render(newRun.find("config"))) {
+            row.note = "config drift";
+            ++report.incomparable;
+            report.rows.push_back(std::move(row));
+            continue;
+        }
+
+        row.oldSeconds = hostSeconds(oldRun);
+        row.newSeconds = hostSeconds(newRun);
+        if (row.oldSeconds <= 0 || row.newSeconds <= 0) {
+            row.note = "host_seconds missing or non-positive";
+            ++report.incomparable;
+            report.rows.push_back(std::move(row));
+            continue;
+        }
+
+        row.speedup = row.oldSeconds / row.newSeconds;
+        row.comparable = true;
+        logSum += std::log(row.speedup);
+        ++report.compared;
+        report.rows.push_back(std::move(row));
+    }
+
+    for (std::size_t j = 0; j < newIndex.size(); ++j) {
+        if (newIndex[j].claimed)
+            continue;
+        BenchRowDiff row;
+        row.figure = stringField(*newIndex[j].run, "figure");
+        row.label = stringField(*newIndex[j].run, "label");
+        if (row.label.empty())
+            row.label = "#" + std::to_string(j);
+        row.note = "extra (new snapshot only)";
+        ++report.extra;
+        report.rows.push_back(std::move(row));
+    }
+
+    if (report.compared > 0)
+        report.geomeanSpeedup =
+            std::exp(logSum / static_cast<double>(report.compared));
+    return report;
+}
+
+void
+printBenchDiff(std::ostream &os, const BenchDiffReport &report)
+{
+    if (!report.docError.empty()) {
+        os << "benchdiff: INCOMPARABLE - " << report.docError << "\n";
+        return;
+    }
+
+    Table t("host wall-clock: old vs new");
+    t.header({"figure", "label", "old_s", "new_s", "speedup", "note"});
+    for (const BenchRowDiff &row : report.rows) {
+        t.row({row.figure.empty() ? "-" : row.figure, row.label,
+               row.comparable ? Table::num(row.oldSeconds, 4) : "-",
+               row.comparable ? Table::num(row.newSeconds, 4) : "-",
+               row.comparable ? Table::num(row.speedup, 3) : "-",
+               row.note.empty() ? "-" : row.note});
+    }
+    t.print(os);
+
+    os << "benchdiff: " << report.compared << " compared, "
+       << report.incomparable << " incomparable, " << report.missing
+       << " missing, " << report.extra << " extra";
+    if (report.compared > 0)
+        os << "; geomean speedup "
+           << Table::num(report.geomeanSpeedup, 3) << "x";
+    os << "\n";
+}
+
+bool
+benchDiffPasses(const BenchDiffReport &report,
+                const BenchDiffOptions &options, std::string *why)
+{
+    const auto fail = [&](std::string reason) {
+        if (why)
+            *why = std::move(reason);
+        return false;
+    };
+
+    if (!report.docError.empty())
+        return fail("INCOMPARABLE: " + report.docError);
+    if (report.incomparable > 0)
+        return fail(std::to_string(report.incomparable) +
+                    " row(s) incomparable (config drift or missing "
+                    "timing)");
+    if (report.missing > 0)
+        return fail(std::to_string(report.missing) +
+                    " baseline row(s) missing from the new snapshot");
+    if (report.compared == 0)
+        return fail("no comparable rows");
+
+    if (options.maxSlowdown >= 1) {
+        for (const BenchRowDiff &row : report.rows) {
+            if (!row.comparable)
+                continue;
+            const double slowdown = row.newSeconds / row.oldSeconds;
+            if (slowdown > options.maxSlowdown)
+                return fail(row.figure + "/" + row.label +
+                            " slowed down " +
+                            Table::num(slowdown, 3) + "x (limit " +
+                            Table::num(options.maxSlowdown, 3) + "x)");
+        }
+    }
+    if (options.minSpeedup > 0 &&
+        report.geomeanSpeedup < options.minSpeedup)
+        return fail("geomean speedup " +
+                    Table::num(report.geomeanSpeedup, 3) +
+                    "x below required " +
+                    Table::num(options.minSpeedup, 3) + "x");
+
+    if (why)
+        why->clear();
+    return true;
+}
+
+} // namespace cmt

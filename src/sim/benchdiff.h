@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Benchmark-snapshot comparison: pair the rows of two BENCH_*.json
+ * documents (scripts/bench_snapshot.sh output) and report per-row
+ * wall-clock movement.
+ *
+ * This is the perf-tracking counterpart of sim/regress.h. Regress
+ * treats host_seconds as noise and polices the deterministic stats;
+ * benchdiff does the opposite: rows must already agree on what was
+ * simulated (label, config, deterministic results are the *pairing
+ * identity*, not the measurement) and the measurement is host
+ * wall-clock. A row whose config block drifted between the two
+ * snapshots is INCOMPARABLE - a ratio between two different
+ * experiments would be meaningless - and so is a document pair whose
+ * repro_scale differs.
+ *
+ * Two gates turn the report into an exit status:
+ *  - maxSlowdown (CI): fail when any paired row got slower than the
+ *    tolerance band, catching perf regressions on main.
+ *  - minSpeedup (optimisation work): fail when the geometric-mean
+ *    speedup over all paired rows falls short of a target, proving a
+ *    claimed improvement (e.g. the >= 2x hot-path refactor) against
+ *    the committed snapshot.
+ */
+
+#ifndef CMT_SIM_BENCHDIFF_H
+#define CMT_SIM_BENCHDIFF_H
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "support/json.h"
+
+namespace cmt
+{
+
+/** Pass/fail gates for one snapshot comparison. */
+struct BenchDiffOptions
+{
+    /**
+     * Maximum allowed per-row slowdown ratio new/old. Values < 1
+     * (including the default 0) disable the gate. CI uses a generous
+     * band (e.g. 3) so shared-machine noise does not flap the build
+     * while order-of-magnitude regressions still fail.
+     */
+    double maxSlowdown = 0;
+    /**
+     * Minimum required geometric-mean speedup old/new across every
+     * paired row. Values <= 0 disable the gate.
+     */
+    double minSpeedup = 0;
+};
+
+/**
+ * Row restriction for a comparison. Rows failing the filter in either
+ * snapshot are excluded *before* pairing, so the missing/extra/geomean
+ * accounting applies to the selected subset only. This is how a proof
+ * gate targets the rows a claim is actually about (e.g. the end-to-end
+ * sim_instructions rows) without component microbenchmarks - which
+ * measure code the claim never touched - diluting the geomean.
+ */
+struct BenchDiffFilter
+{
+    /** Exact figure (harness) name to keep; empty keeps all. */
+    std::string figure;
+    /** Label prefix to keep ("sim_instructions" keeps every
+     *  "sim_instructions/..." variant); empty keeps all. */
+    std::string labelPrefix;
+};
+
+/** One paired (or unpairable) benchmark row. */
+struct BenchRowDiff
+{
+    std::string figure; ///< harness name ("micro_sim", ...)
+    std::string label;
+    double oldSeconds = 0;
+    double newSeconds = 0;
+    /** oldSeconds / newSeconds; > 1 means the new run is faster. */
+    double speedup = 0;
+    /** False for missing/extra rows and config drift. */
+    bool comparable = false;
+    /** Why the row is not comparable ("" when it is). */
+    std::string note;
+};
+
+/** Everything diffBenchSnapshots() learned about one snapshot pair. */
+struct BenchDiffReport
+{
+    /** Non-empty when the documents themselves cannot be compared. */
+    std::string docError;
+    std::vector<BenchRowDiff> rows;
+    std::size_t compared = 0;
+    std::size_t incomparable = 0; ///< paired but config drifted
+    std::size_t missing = 0;      ///< in old snapshot only
+    std::size_t extra = 0;        ///< in new snapshot only (allowed)
+    /** Geometric mean of speedup over compared rows (0 if none). */
+    double geomeanSpeedup = 0;
+};
+
+/**
+ * Pair @p oldDoc and @p newDoc rows by (figure, label) - repeated
+ * keys pair in order - and compute per-row and geomean wall-clock
+ * ratios over the rows @p filter keeps. Never throws on malformed
+ * input; problems surface as docError / per-row notes.
+ */
+BenchDiffReport diffBenchSnapshots(const Json &oldDoc,
+                                   const Json &newDoc,
+                                   const BenchDiffFilter &filter = {});
+
+/** Human-readable ratio table plus a summary line. */
+void printBenchDiff(std::ostream &os, const BenchDiffReport &report);
+
+/**
+ * Apply @p options to @p report. @return true when the comparison
+ * passes; otherwise *why (if non-null) describes the first failure.
+ * Incomparable documents/rows and missing rows always fail - a gate
+ * that silently skipped rows would prove nothing.
+ */
+bool benchDiffPasses(const BenchDiffReport &report,
+                     const BenchDiffOptions &options,
+                     std::string *why = nullptr);
+
+} // namespace cmt
+
+#endif // CMT_SIM_BENCHDIFF_H

@@ -127,6 +127,26 @@ SmpSystem::run()
                 core->tick();
             ++cycle;
             cmt_assert(++watchdog < 2'000'000'000ULL);
+            // Cycle skip (see System::run): legal only when every
+            // core is provably stalled - a single active core can
+            // reach into shared state (L2, back-invalidations) on any
+            // tick.
+            Cycle wake = Core::kNoWake;
+            for (const auto &core : cores_) {
+                const Cycle w = core->stalledUntil();
+                if (w == 0) {
+                    wake = 0;
+                    break;
+                }
+                wake = std::min(wake, w);
+            }
+            if (wake == 0)
+                continue;
+            Cycle next = wake;
+            if (!events_.empty())
+                next = std::min(next, events_.nextEventTime());
+            if (next != Core::kNoWake && next > cycle)
+                cycle = next;
         }
     };
 

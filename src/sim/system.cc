@@ -134,11 +134,27 @@ System::run()
             if (core_->committed() != last_committed) {
                 last_committed = core_->committed();
                 last_progress = cycle;
-            } else if (cycle - last_progress > 5'000'000) {
+                continue;
+            }
+            if (cycle - last_progress > 5'000'000) {
                 cmt_panic("no commit progress for 5M cycles at cycle "
                           "%llu (deadlock?)",
                           static_cast<unsigned long long>(cycle));
             }
+            // Cycle skip: while the core is provably stalled, every
+            // tick until the next event (or the fetch stall window
+            // closing, or the deadlock bound) is a no-op - advance
+            // the clock there directly. Timing is unchanged; only
+            // empty loop iterations are elided.
+            const Cycle wake = core_->stalledUntil();
+            if (wake == 0)
+                continue;
+            Cycle next = last_progress + 5'000'000;
+            if (!events_.empty())
+                next = std::min(next, events_.nextEventTime());
+            next = std::min(next, wake);
+            if (next > cycle)
+                cycle = next;
         }
     };
 

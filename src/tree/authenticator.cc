@@ -1,5 +1,6 @@
 #include "tree/authenticator.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "crypto/md5.h"
@@ -50,6 +51,46 @@ Authenticator::verify(std::span<const std::uint8_t> chunk,
                       const Slot &slot) const
 {
     return compute(chunk, slot) == slot;
+}
+
+bool
+Authenticator::verifyChain(
+    std::span<const std::span<const std::uint8_t>> chunks,
+    std::span<const Slot> slots) const
+{
+    return verifyChainFirstFailure(chunks, slots) < 0;
+}
+
+std::int64_t
+Authenticator::verifyChainFirstFailure(
+    std::span<const std::span<const std::uint8_t>> chunks,
+    std::span<const Slot> slots) const
+{
+    cmt_assert(chunks.size() == slots.size());
+    std::int64_t bad = -1;
+    if (kind_ == Kind::kMd5) {
+        // Batched digest: fixed-size stack batches through the
+        // interleaved multi-stream MD5.
+        constexpr std::size_t kBatch = 16;
+        Hash128 digests[kBatch];
+        std::size_t done = 0;
+        while (done < chunks.size()) {
+            const std::size_t n =
+                std::min(kBatch, chunks.size() - done);
+            Md5::digestChain(chunks.subspan(done, n), {digests, n});
+            for (std::size_t i = 0; i < n; ++i) {
+                if (bad < 0 && digests[i] != slots[done + i])
+                    bad = static_cast<std::int64_t>(done + i);
+            }
+            done += n;
+        }
+        return bad;
+    }
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+        if (bad < 0 && !verify(chunks[i], slots[i]))
+            bad = static_cast<std::int64_t>(i);
+    }
+    return bad;
 }
 
 Slot

@@ -65,6 +65,28 @@ class Authenticator
                 const Slot &slot) const;
 
     /**
+     * Check a whole ancestor chain in one call: chunks[i] against
+     * slots[i], returning the AND of every verdict. Equivalent to a
+     * verify() loop but routes kMd5 through the interleaved
+     * Md5::digestChain, which is how the batched policies and
+     * MerkleMemory check a root-to-leaf path.
+     */
+    bool
+    verifyChain(std::span<const std::span<const std::uint8_t>> chunks,
+                std::span<const Slot> slots) const;
+
+    /**
+     * As verifyChain, but reports *which* level failed: the smallest
+     * i with compute(chunks[i]) != slots[i], or -1 when the whole
+     * chain verifies. Callers that must attribute a failure to a
+     * specific chunk (MerkleMemory's exception carries the chunk
+     * index) use this form.
+     */
+    std::int64_t verifyChainFirstFailure(
+        std::span<const std::span<const std::uint8_t>> chunks,
+        std::span<const Slot> slots) const;
+
+    /**
      * Incremental single-block update (kXorMac only): applies the old
      * block -> new block change to @p old_slot and flips the block's
      * timestamp bit. Panics for non-incremental kinds.

@@ -1,7 +1,6 @@
 #include "tree/cached_tree_policy.h"
 
 #include <cstring>
-#include <memory>
 
 #include "cache/cache_array.h"
 #include "tree/integrity_policy.h"
@@ -304,37 +303,52 @@ CachedTreePolicy::evictDirty(const CacheArray::Victim &victim)
     // Timing: optional missing-data read, then the digest (plus one
     // more digest for the ReadAndCheckChunk verification of the
     // missing data), then the block writes.
-    const auto do_hashes = [this, dirty_blocks, base, shard,
-                            extra_check = !chunk_fully_cached]() {
-        const unsigned jobs_total = extra_check ? 2u : 1u;
-        auto jobs = std::make_shared<unsigned>(jobs_total);
-        for (unsigned i = 0; i < jobs_total; ++i) {
-            hasher_.hash(static_cast<unsigned>(params_.chunkSize),
-                         [this, jobs, shard]() {
-                             if (--*jobs > 0)
-                                 return;
-                             tree_.context(shard)
-                                 .buffers.releaseWrite();
-                             l2_.retryPendingMisses();
-                         },
-                         shard);
-        }
-        for (unsigned b = 0; b < dirty_blocks; ++b)
-            memory_.write(base + b * params_.blockSize,
-                          params_.blockSize);
-    };
-
     if (ram_reads > 0) {
         l2_.stat_integrityBlockReads += l2_.blocksPerChunk() > 1
                                             ? l2_.blocksPerChunk() - 1
                                             : 1;
+        WriteBackJob *job = writeBackJobs_.acquire();
+        job->self = this;
+        job->base = base;
+        job->shard = shard;
+        job->dirtyBlocks = dirty_blocks;
+        job->extraCheck = !chunk_fully_cached;
         memory_.read(base, static_cast<unsigned>(params_.chunkSize),
-                     [do_hashes](std::span<const std::uint8_t>) {
-                         do_hashes();
+                     [job](std::span<const std::uint8_t>) {
+                         job->self->writeBackReadDone(job);
                      });
     } else {
-        do_hashes();
+        writeBackHashes(base, shard, dirty_blocks,
+                        /*extra_check=*/!chunk_fully_cached);
     }
+}
+
+void
+CachedTreePolicy::writeBackReadDone(WriteBackJob *job)
+{
+    const std::uint64_t base = job->base;
+    const std::uint64_t shard = job->shard;
+    const unsigned dirty_blocks = job->dirtyBlocks;
+    const bool extra_check = job->extraCheck;
+    writeBackJobs_.release(job);
+    writeBackHashes(base, shard, dirty_blocks, extra_check);
+}
+
+void
+CachedTreePolicy::writeBackHashes(std::uint64_t base,
+                                  std::uint64_t shard,
+                                  unsigned dirty_blocks,
+                                  bool extra_check)
+{
+    hasher_.hashChain(static_cast<unsigned>(params_.chunkSize),
+                      extra_check ? 2u : 1u,
+                      [this, shard]() {
+                          tree_.context(shard).buffers.releaseWrite();
+                          l2_.retryPendingMisses();
+                      },
+                      shard);
+    for (unsigned b = 0; b < dirty_blocks; ++b)
+        memory_.write(base + b * params_.blockSize, params_.blockSize);
 }
 
 void

@@ -21,6 +21,7 @@
 #include <map>
 
 #include "cache/cache_array.h"
+#include "support/arena.h"
 #include "tree/integrity_policy.h"
 #include "tree/l2_controller.h"
 
@@ -53,6 +54,27 @@ class CachedTreePolicy : public IntegrityPolicy
     void publishSlot(std::uint64_t chunk, const Slot &value);
 
   private:
+    /**
+     * Deferred write-back tail, pooled (DESIGN.md §11): carries the
+     * hash/write parameters across the optional missing-data RAM read
+     * so its callback captures one pointer instead of a 30-byte pack
+     * that would push std::function onto the heap.
+     */
+    struct WriteBackJob
+    {
+        CachedTreePolicy *self = nullptr;
+        std::uint64_t base = 0;
+        std::uint64_t shard = 0;
+        unsigned dirtyBlocks = 0;
+        bool extraCheck = false;
+    };
+
+    /** The missing-data read of a write-back completed. */
+    void writeBackReadDone(WriteBackJob *job);
+
+    /** Write-back digest chain + dirty block writes. */
+    void writeBackHashes(std::uint64_t base, std::uint64_t shard,
+                         unsigned dirty_blocks, bool extra_check);
     // ----- in-flight chunk verification ------------------------------
     struct ChunkFetch
     {
@@ -72,6 +94,7 @@ class CachedTreePolicy : public IntegrityPolicy
     void chunkMaybeComplete(std::uint64_t chunk);
 
     std::map<std::uint64_t, ChunkFetch> fetches_; ///< by chunk index
+    SlabPool<WriteBackJob> writeBackJobs_;
 };
 
 } // namespace cmt

@@ -99,9 +99,17 @@ ChunkStore::write(std::uint64_t addr, std::span<const std::uint8_t> in)
 std::vector<std::uint8_t>
 ChunkStore::readChunk(std::uint64_t chunk)
 {
-    std::vector<std::uint8_t> out(tree_.chunkSize());
-    read(tree_.chunkAddr(chunk), out);
+    std::vector<std::uint8_t> out;
+    readChunk(chunk, out);
     return out;
+}
+
+void
+ChunkStore::readChunk(std::uint64_t chunk,
+                      std::vector<std::uint8_t> &out)
+{
+    out.resize(tree_.chunkSize());
+    read(tree_.chunkAddr(chunk), out);
 }
 
 Slot

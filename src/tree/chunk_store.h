@@ -73,6 +73,11 @@ class ChunkStore : public Storage
     /** Convenience: read exactly one whole chunk. */
     std::vector<std::uint8_t> readChunk(std::uint64_t chunk);
 
+    /** As readChunk, into a caller-owned buffer (resized to the chunk
+     *  size; capacity is retained across calls, so hot loops reading
+     *  many chunks through one scratch vector never reallocate). */
+    void readChunk(std::uint64_t chunk, std::vector<std::uint8_t> &out);
+
     /** Convenience: read one 16-byte slot of a hash chunk. */
     Slot readSlot(std::uint64_t chunk, std::uint64_t slot_index);
 

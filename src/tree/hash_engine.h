@@ -9,6 +9,15 @@
  * cycles). Jobs are served in order; a job's start is delayed until
  * the pipeline has drained enough to accept it.
  *
+ * Chains: when a policy needs N digests that all gate one completion
+ * (a root-to-leaf ancestor path, or the two h_k terms of a MAC
+ * update), hashChain() admits them as one pipelined batch - the
+ * messages stream through back-to-back, so occupancy is the sum of
+ * the per-message occupancies and one latency covers the chain. For
+ * jobs issued at the same instant on the same lane this completes at
+ * exactly the cycle the last of N separate hash() calls would, while
+ * scheduling one event instead of N (see DESIGN.md §11).
+ *
  * The *values* of digests come from the functional layer; this class
  * only answers "when is that digest ready".
  */
@@ -17,7 +26,8 @@
 #define CMT_TREE_HASH_ENGINE_H
 
 #include <cstdint>
-#include <functional>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "support/event.h"
@@ -54,27 +64,85 @@ class HashEngine
      * the lane count, so shard ids are safe to pass directly);
      * @p on_done fires when the digest would be available.
      */
-    void hash(unsigned bytes, std::function<void()> on_done,
-              std::uint64_t lane = 0);
+    template <typename F>
+    void
+    hash(unsigned bytes, F &&on_done, std::uint64_t lane = 0)
+    {
+        events_.schedule(admit(bytes, 1, lane),
+                         std::forward<F>(on_done));
+    }
+
+    /**
+     * Enqueue a pipelined chain of digests on @p lane, one per entry
+     * of @p message_bytes; @p on_done fires once, when the last
+     * digest would be available. Counts len(message_bytes) jobs.
+     */
+    template <typename F>
+    void
+    hashChain(std::span<const unsigned> message_bytes, F &&on_done,
+              std::uint64_t lane = 0)
+    {
+        events_.schedule(admitChain(message_bytes, lane),
+                         std::forward<F>(on_done));
+    }
+
+    /**
+     * Uniform chain: @p count messages of @p bytes each - the shape
+     * every ancestor-path verification takes (all levels hash one
+     * chunk-sized image).
+     */
+    template <typename F>
+    void
+    hashChain(unsigned bytes, unsigned count, F &&on_done,
+              std::uint64_t lane = 0)
+    {
+        events_.schedule(admit(bytes, count, lane),
+                         std::forward<F>(on_done));
+    }
 
     unsigned lanes() const
     {
-        return static_cast<unsigned>(nextFree_.size());
+        return static_cast<unsigned>(lanes_.size());
     }
 
     /** Cycles the pipeline front-ends have been occupied (summed
      *  across lanes). */
-    Cycle busyCycles() const { return busy_; }
+    Cycle busyCycles() const;
+
+    /** One lane's front-end occupancy. @p lane is clamped the same
+     *  way job submission clamps it, so the accounting here always
+     *  matches where the jobs actually ran. */
+    Cycle laneBusyCycles(std::uint64_t lane) const;
+
+    /** Bytes digested by one lane; summing over every lane equals
+     *  stat_bytes by construction. */
+    std::uint64_t laneBytes(std::uint64_t lane) const;
 
     Counter stat_jobs;
     Counter stat_bytes;
 
   private:
+    /** Per-lane pipeline state: admission horizon plus the occupancy
+     *  and byte tallies attributed to this lane. */
+    struct Lane
+    {
+        /** Next cycle this lane's front-end can accept a job. */
+        Cycle nextFree = 0;
+        Cycle busy = 0;
+        std::uint64_t bytes = 0;
+    };
+
+    /** Admit @p count messages of @p bytes each; returns the cycle
+     *  the last digest is available. */
+    Cycle admit(unsigned bytes, unsigned count, std::uint64_t lane);
+
+    /** Admit a mixed-size chain; returns the completion cycle. */
+    Cycle admitChain(std::span<const unsigned> message_bytes,
+                     std::uint64_t lane);
+
     EventQueue &events_;
     HashEngineParams params_;
-    /** Next cycle each lane's front-end can accept a job. */
-    std::vector<Cycle> nextFree_;
-    Cycle busy_ = 0;
+    std::vector<Lane> lanes_;
 };
 
 } // namespace cmt

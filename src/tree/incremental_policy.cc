@@ -5,8 +5,6 @@
 #include "tree/integrity_policy.h"
 #include "tree/l2_controller.h"
 
-#include <memory>
-
 namespace cmt
 {
 
@@ -78,24 +76,31 @@ IncrementalPolicy::evictDirty(const CacheArray::Victim &victim)
     }
 
     ++l2_.stat_integrityBlockReads; // the unchecked old-value read
-    memory_.read(
-        victim.blockAddr, params_.blockSize,
-        [this, block_addr = victim.blockAddr, shard](
-            std::span<const std::uint8_t>) {
-            auto jobs = std::make_shared<unsigned>(2);
-            for (int i = 0; i < 2; ++i) {
-                hasher_.hash(static_cast<unsigned>(params_.blockSize),
-                             [this, jobs, shard]() {
-                                 if (--*jobs > 0)
-                                     return;
-                                 tree_.context(shard)
-                                     .buffers.releaseWrite();
-                                 l2_.retryPendingMisses();
-                             },
-                             shard);
-            }
-            memory_.write(block_addr, params_.blockSize);
-        });
+    WriteBackJob *job = writeBackJobs_.acquire();
+    job->self = this;
+    job->blockAddr = victim.blockAddr;
+    job->shard = shard;
+    memory_.read(victim.blockAddr, params_.blockSize,
+                 [job](std::span<const std::uint8_t>) {
+                     job->self->oldValueArrived(job);
+                 });
+}
+
+void
+IncrementalPolicy::oldValueArrived(WriteBackJob *job)
+{
+    const std::uint64_t block_addr = job->blockAddr;
+    const std::uint64_t shard = job->shard;
+    writeBackJobs_.release(job);
+
+    // The two h_k terms stream through the hash unit as one chain.
+    hasher_.hashChain(static_cast<unsigned>(params_.blockSize), 2,
+                      [this, shard]() {
+                          tree_.context(shard).buffers.releaseWrite();
+                          l2_.retryPendingMisses();
+                      },
+                      shard);
+    memory_.write(block_addr, params_.blockSize);
 }
 
 } // namespace cmt

@@ -14,6 +14,7 @@
 #define CMT_TREE_INCREMENTAL_POLICY_H
 
 #include "cache/cache_array.h"
+#include "support/arena.h"
 #include "tree/cached_tree_policy.h"
 #include "tree/l2_controller.h"
 
@@ -27,6 +28,21 @@ class IncrementalPolicy final : public CachedTreePolicy
     explicit IncrementalPolicy(L2Controller &l2);
 
     void evictDirty(const CacheArray::Victim &victim) override;
+
+  private:
+    /** Pooled write-back tail (DESIGN.md §11): keeps the old-value
+     *  read callback down to one captured pointer. */
+    struct WriteBackJob
+    {
+        IncrementalPolicy *self = nullptr;
+        std::uint64_t blockAddr = 0;
+        std::uint64_t shard = 0;
+    };
+
+    /** The unchecked old-value read completed: h_k terms + write. */
+    void oldValueArrived(WriteBackJob *job);
+
+    SlabPool<WriteBackJob> writeBackJobs_;
 };
 
 } // namespace cmt

@@ -268,6 +268,14 @@ L2Controller::ramChunkImage(std::uint64_t chunk)
     return ram_.readChunk(chunk);
 }
 
+// cmt-analyze: allow(trust-boundary)
+void
+L2Controller::ramChunkImage(std::uint64_t chunk,
+                            std::vector<std::uint8_t> &out)
+{
+    ram_.readChunk(chunk, out);
+}
+
 void
 L2Controller::fillBlockFromRam(std::uint64_t block_addr)
 {

@@ -42,6 +42,7 @@
 
 #include "cache/cache_array.h"
 #include "mem/main_memory.h"
+#include "support/callback.h"
 #include "support/event.h"
 #include "support/stats.h"
 #include "tree/authenticator.h"
@@ -64,6 +65,8 @@ class L2Controller;
  * (integrity_policy.h); tests inject instrumented policies here.
  */
 using PolicyFactory =
+    // Construction-time wiring, never the per-miss path.
+    // cmt-lint: allow(hot-path-alloc)
     std::function<std::unique_ptr<IntegrityPolicy>(Scheme,
                                                    L2Controller &)>;
 
@@ -117,7 +120,10 @@ struct L2Params
 class L2Controller
 {
   public:
-    using Callback = std::function<void()>;
+    /** Miss-completion token: inline-only and move-only
+     *  (support/callback.h), so demand-path captures that outgrow the
+     *  inline buffer fail to compile instead of heap-allocating. */
+    using Callback = SmallCallback<void()>;
 
     /**
      * @param factory  creates the IntegrityPolicy for params.scheme;
@@ -147,7 +153,10 @@ class L2Controller
     void write(std::uint64_t cpu_addr,
                std::span<const std::uint8_t> data);
 
-    /** Invoked with (cpu_addr, len) when inclusion evicts L1 copies. */
+    /** Invoked with (cpu_addr, len) when inclusion evicts L1 copies.
+     *  Bound once at system construction; back-invalidations are
+     *  eviction-path, not the per-miss verify path. */
+    // cmt-lint: allow(hot-path-alloc)
     std::function<void(std::uint64_t, unsigned)> onBackInvalidate;
 
     /**
@@ -257,6 +266,11 @@ class L2Controller
 
     /** Assemble @p chunk's current RAM image. */
     std::vector<std::uint8_t> ramChunkImage(std::uint64_t chunk);
+
+    /** As above, into a caller-owned scratch buffer (resized; keeps
+     *  its capacity, so per-miss ancestor walks never reallocate). */
+    void ramChunkImage(std::uint64_t chunk,
+                       std::vector<std::uint8_t> &out);
 
     /** Re-admit deferred demand misses while buffer space lasts. */
     void retryPendingMisses();

@@ -3,8 +3,6 @@
 #include "cache/cache_array.h"
 #include "tree/integrity_policy.h"
 
-#include <memory>
-
 namespace cmt
 {
 
@@ -17,70 +15,84 @@ NaivePolicy::startDemandMiss(std::uint64_t block_addr)
 
     // Read the whole leaf chunk plus every ancestor hash chunk (the
     // walk stays inside the chunk's shard by construction).
-    std::vector<std::uint64_t> path;
-    path.push_back(chunk);
+    MissJob *job = missJobs_.acquire();
+    job->self = this;
+    job->blockAddr = block_addr;
+    job->shard = shard;
+    job->ok = true;
+    job->path.clear();
+    job->path.push_back(chunk);
     std::int64_t cur = tree_.parentOf(chunk);
     while (cur >= 0) {
-        path.push_back(static_cast<std::uint64_t>(cur));
+        job->path.push_back(static_cast<std::uint64_t>(cur));
         cur = tree_.parentOf(static_cast<std::uint64_t>(cur));
     }
+    job->pendingReads = static_cast<unsigned>(job->path.size());
 
-    auto pending = std::make_shared<unsigned>(
-        static_cast<unsigned>(path.size()));
-
-    const auto all_arrived = [this, block_addr, path, shard]() {
-        // Verdict: walk the chain bottom-up against current RAM.
-        bool ok = true;
-        for (const std::uint64_t c : path) {
-            const std::vector<std::uint8_t> image = l2_.ramChunkImage(c);
-            const std::int64_t parent = tree_.parentOf(c);
-            const Slot expected =
-                parent < 0
-                    ? tree_.rootOf(c)
-                    : ram_.readSlot(static_cast<std::uint64_t>(parent),
-                                    tree_.slotIndexOf(c));
-            ok = ok && auth_.verify(image, expected);
-        }
-
-        // Only the demand data block enters the cache: the naive
-        // machinery never caches hashes.
-        l2_.fillBlockFromRam(block_addr);
-        if (params_.speculativeChecks)
-            l2_.completeMshr(block_addr);
-
-        // One digest per chunk in the path; the last completion
-        // announces the check and frees the buffer entry.
-        auto jobs = std::make_shared<unsigned>(
-            static_cast<unsigned>(path.size()));
-        for (std::size_t i = 0; i < path.size(); ++i) {
-            hasher_.hash(static_cast<unsigned>(params_.chunkSize),
-                         [this, jobs, ok, block_addr, shard]() {
-                             if (--*jobs > 0)
-                                 return;
-                             ++l2_.stat_checks;
-                             if (!ok)
-                                 ++l2_.stat_checkFailures;
-                             if (!params_.speculativeChecks)
-                                 l2_.completeMshr(block_addr);
-                             tree_.context(shard).buffers.releaseRead();
-                             l2_.retryPendingMisses();
-                         },
-                         shard);
-        }
-    };
-
-    for (std::size_t i = 0; i < path.size(); ++i) {
+    for (std::size_t i = 0; i < job->path.size(); ++i) {
         if (i == 0)
             ++l2_.stat_demandBlockReads;
         else
             ++l2_.stat_integrityBlockReads;
-        memory_.read(tree_.chunkAddr(path[i]),
+        memory_.read(tree_.chunkAddr(job->path[i]),
                      static_cast<unsigned>(params_.chunkSize),
-                     [pending, all_arrived](std::span<const std::uint8_t>) {
-                         if (--*pending == 0)
-                             all_arrived();
+                     [job](std::span<const std::uint8_t>) {
+                         if (--job->pendingReads == 0)
+                             job->self->missDataArrived(job);
                      });
     }
+}
+
+void
+NaivePolicy::missDataArrived(MissJob *job)
+{
+    // Verdict: the whole chain bottom-up against current RAM, batched
+    // through the authenticator's interleaved multi-stream digest.
+    const std::size_t levels = job->path.size();
+    if (imageScratch_.size() < levels)
+        imageScratch_.resize(levels);
+    spanScratch_.clear();
+    slotScratch_.clear();
+    for (std::size_t i = 0; i < levels; ++i) {
+        const std::uint64_t c = job->path[i];
+        l2_.ramChunkImage(c, imageScratch_[i]);
+        spanScratch_.push_back(imageScratch_[i]);
+        const std::int64_t parent = tree_.parentOf(c);
+        slotScratch_.push_back(
+            parent < 0
+                ? tree_.rootOf(c)
+                : ram_.readSlot(static_cast<std::uint64_t>(parent),
+                                tree_.slotIndexOf(c)));
+    }
+    job->ok = auth_.verifyChain(spanScratch_, slotScratch_);
+
+    // Only the demand data block enters the cache: the naive
+    // machinery never caches hashes.
+    l2_.fillBlockFromRam(job->blockAddr);
+    if (params_.speculativeChecks)
+        l2_.completeMshr(job->blockAddr);
+
+    // One digest per chunk in the path, admitted as a single
+    // pipelined chain; its completion announces the check and frees
+    // the buffer entry.
+    hasher_.hashChain(static_cast<unsigned>(params_.chunkSize),
+                      static_cast<unsigned>(levels),
+                      [job]() { job->self->missChecked(job); },
+                      job->shard);
+}
+
+void
+NaivePolicy::missChecked(MissJob *job)
+{
+    ++l2_.stat_checks;
+    if (!job->ok)
+        ++l2_.stat_checkFailures;
+    if (!params_.speculativeChecks)
+        l2_.completeMshr(job->blockAddr);
+    const std::uint64_t shard = job->shard;
+    missJobs_.release(job);
+    tree_.context(shard).buffers.releaseRead();
+    l2_.retryPendingMisses();
 }
 
 void
@@ -100,41 +112,21 @@ NaivePolicy::evictDirty(const CacheArray::Victim &victim)
     // Timing: read every ancestor (read-modify-write) plus the block's
     // missing words if it was partial, hash every level, write
     // everything back.
-    auto pending = std::make_shared<unsigned>(0);
     const bool partial = victim.validWords != array_.fullMask();
     const unsigned reads = ancestors + (partial ? 1 : 0);
     l2_.stat_integrityBlockReads += reads;
 
-    const auto after_reads = [this, ancestors, chunk, shard]() {
-        const unsigned jobs_total = ancestors + 1;
-        auto jobs = std::make_shared<unsigned>(jobs_total);
-        for (unsigned i = 0; i < jobs_total; ++i) {
-            hasher_.hash(static_cast<unsigned>(params_.chunkSize),
-                         [this, jobs, shard]() {
-                             if (--*jobs > 0)
-                                 return;
-                             tree_.context(shard)
-                                 .buffers.releaseWrite();
-                             l2_.retryPendingMisses();
-                         },
-                         shard);
-        }
-        // Write the block plus every ancestor chunk.
-        memory_.write(tree_.chunkAddr(chunk), params_.blockSize);
-        std::int64_t cur = tree_.parentOf(chunk);
-        while (cur >= 0) {
-            memory_.write(
-                tree_.chunkAddr(static_cast<std::uint64_t>(cur)),
-                static_cast<unsigned>(params_.chunkSize));
-            cur = tree_.parentOf(static_cast<std::uint64_t>(cur));
-        }
-    };
+    EvictJob *job = evictJobs_.acquire();
+    job->self = this;
+    job->chunk = chunk;
+    job->shard = shard;
+    job->ancestors = ancestors;
+    job->pendingReads = reads;
 
     if (reads == 0) {
-        after_reads();
+        evictReadsDone(job);
         return;
     }
-    *pending = reads;
     std::int64_t cur = tree_.parentOf(chunk);
     for (unsigned i = 0; i < reads; ++i) {
         // Addresses only matter for bus occupancy; use the path.
@@ -144,11 +136,39 @@ NaivePolicy::evictDirty(const CacheArray::Victim &victim)
         if (cur >= 0)
             cur = tree_.parentOf(static_cast<std::uint64_t>(cur));
         memory_.read(addr, static_cast<unsigned>(params_.chunkSize),
-                     [pending, after_reads](std::span<const std::uint8_t>) {
-                         if (--*pending == 0)
-                             after_reads();
+                     [job](std::span<const std::uint8_t>) {
+                         if (--job->pendingReads == 0)
+                             job->self->evictReadsDone(job);
                      });
     }
+}
+
+void
+NaivePolicy::evictReadsDone(EvictJob *job)
+{
+    // One chain covers the block plus every ancestor level.
+    hasher_.hashChain(static_cast<unsigned>(params_.chunkSize),
+                      job->ancestors + 1,
+                      [job]() { job->self->evictChecked(job); },
+                      job->shard);
+
+    // Write the block plus every ancestor chunk.
+    memory_.write(tree_.chunkAddr(job->chunk), params_.blockSize);
+    std::int64_t cur = tree_.parentOf(job->chunk);
+    while (cur >= 0) {
+        memory_.write(tree_.chunkAddr(static_cast<std::uint64_t>(cur)),
+                      static_cast<unsigned>(params_.chunkSize));
+        cur = tree_.parentOf(static_cast<std::uint64_t>(cur));
+    }
+}
+
+void
+NaivePolicy::evictChecked(EvictJob *job)
+{
+    const std::uint64_t shard = job->shard;
+    evictJobs_.release(job);
+    tree_.context(shard).buffers.releaseWrite();
+    l2_.retryPendingMisses();
 }
 
 unsigned

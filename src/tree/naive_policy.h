@@ -12,7 +12,10 @@
 #ifndef CMT_TREE_NAIVE_POLICY_H
 #define CMT_TREE_NAIVE_POLICY_H
 
+#include <vector>
+
 #include "cache/cache_array.h"
+#include "support/arena.h"
 #include "tree/integrity_policy.h"
 #include "tree/l2_controller.h"
 
@@ -30,11 +33,57 @@ class NaivePolicy final : public IntegrityPolicy
 
   private:
     /**
+     * Per-demand-miss state, pooled (DESIGN.md §11). The path vector
+     * keeps its capacity across misses, and every callback along the
+     * flow captures just the job pointer - small enough for
+     * std::function's inline storage - so the steady-state miss path
+     * performs no heap allocation.
+     */
+    struct MissJob
+    {
+        NaivePolicy *self = nullptr;
+        std::uint64_t blockAddr = 0;
+        std::uint64_t shard = 0;
+        unsigned pendingReads = 0;
+        bool ok = true;
+        /** Leaf chunk plus every ancestor, bottom-up. */
+        std::vector<std::uint64_t> path;
+    };
+
+    /** Per-write-back state, pooled like MissJob. */
+    struct EvictJob
+    {
+        NaivePolicy *self = nullptr;
+        std::uint64_t chunk = 0;
+        std::uint64_t shard = 0;
+        unsigned pendingReads = 0;
+        unsigned ancestors = 0;
+    };
+
+    /** All of @p job's chunk reads arrived: verdict + hash chain. */
+    void missDataArrived(MissJob *job);
+    /** The miss's hash chain completed: announce and release. */
+    void missChecked(MissJob *job);
+    /** All of @p job's read-modify-write reads arrived. */
+    void evictReadsDone(EvictJob *job);
+    /** The write-back's hash chain completed. */
+    void evictChecked(EvictJob *job);
+
+    /**
      * Recompute and rewrite the ancestor path of @p chunk against
      * current RAM, assuming RAM already holds the chunk's new bytes.
      * @return the number of ancestors updated.
      */
     unsigned recomputePath(std::uint64_t chunk);
+
+    SlabPool<MissJob> missJobs_;
+    SlabPool<EvictJob> evictJobs_;
+
+    /** Ancestor-walk scratch (images stay alive across the batched
+     *  verifyChain call; capacity retained across misses). */
+    std::vector<std::vector<std::uint8_t>> imageScratch_;
+    std::vector<std::span<const std::uint8_t>> spanScratch_;
+    std::vector<Slot> slotScratch_;
 };
 
 } // namespace cmt

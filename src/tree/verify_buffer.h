@@ -18,8 +18,8 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 
+#include "support/callback.h"
 #include "support/logging.h"
 
 namespace cmt
@@ -29,7 +29,8 @@ namespace cmt
 class VerifyBuffer
 {
   public:
-    using Callback = std::function<void()>;
+    /** Same inline-only token the L2 threads through the miss path. */
+    using Callback = SmallCallback<void()>;
 
     /** One demand miss queued until buffer space frees up. */
     struct DeferredMiss
@@ -42,6 +43,15 @@ class VerifyBuffer
     VerifyBuffer(unsigned readEntries, unsigned writeEntries)
         : readEntries_(readEntries), writeEntries_(writeEntries)
     {}
+
+    // Deferred misses hold move-only callbacks; spell the copy/move
+    // pair out so type traits see "movable, not copyable" (the
+    // implicit copy would only fail when instantiated, which misleads
+    // std::move_if_noexcept in containers of TreeContext).
+    VerifyBuffer(const VerifyBuffer &) = delete;
+    VerifyBuffer &operator=(const VerifyBuffer &) = delete;
+    VerifyBuffer(VerifyBuffer &&) = default;
+    VerifyBuffer &operator=(VerifyBuffer &&) = default;
 
     /** True while a new demand miss may enter the check machinery. */
     bool

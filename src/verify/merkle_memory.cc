@@ -1,6 +1,7 @@
 #include "verify/merkle_memory.h"
 
 #include <algorithm>
+#include <array>
 #include <cstring>
 
 #include "crypto/xormac.h"
@@ -335,21 +336,36 @@ MerkleMemory::storeDirect(std::uint64_t chunk, std::uint64_t offset,
         return s;
     };
 
-    // Verify every level against its parent (or the root register).
+    // Verify every level against its parent (or the root register),
+    // as one batched chain through the multi-stream digest. The whole
+    // path lives in one shard, so the fault-injection skip applies to
+    // all levels or none.
     std::vector<Slot> current_slots(path.size());
+    std::vector<std::span<const std::uint8_t>> image_spans(path.size());
     for (std::size_t i = 0; i < path.size(); ++i) {
         current_slots[i] = i + 1 < path.size()
                                ? slot_in(i + 1, path[i])
                                : tree_.rootOf(path[i]);
-        ++statChecks;
-        ++statAuthComputes;
-        if (!auth_.verify(images[i], current_slots[i]) &&
-            !verificationDisabled(tree_, path[i])) {
-            ++statCheckFailures;
-            throw IntegrityException(path[i],
-                                     "integrity check failed on chunk " +
-                                         std::to_string(path[i]));
-        }
+        image_spans[i] = images[i];
+    }
+    const std::int64_t bad =
+        auth_.verifyChainFirstFailure(image_spans, current_slots);
+    const bool failed =
+        bad >= 0 && !verificationDisabled(
+                        tree_, path[static_cast<std::size_t>(bad)]);
+    // Stats mirror the per-level loop this replaces: levels past a
+    // (non-skipped) failure were never reached.
+    const std::size_t counted =
+        failed ? static_cast<std::size_t>(bad) + 1 : path.size();
+    statChecks += counted;
+    statAuthComputes += counted;
+    if (failed) {
+        ++statCheckFailures;
+        const std::uint64_t bad_chunk =
+            path[static_cast<std::size_t>(bad)];
+        throw IntegrityException(bad_chunk,
+                                 "integrity check failed on chunk " +
+                                     std::to_string(bad_chunk));
     }
 
     // Apply the modification at the leaf.
@@ -574,24 +590,38 @@ MerkleMemory::verifyAll()
     flush();
     // Every chunk, touched or canonical, must verify against its
     // trusted parent slot. Canonical chunks verify by construction;
-    // walk only the materialised ones plus their ancestors.
+    // walk only the materialised ones plus their ancestors. Chunks
+    // are checked in fixed-size batches through the chain verifier.
+    constexpr std::size_t kBatch = 16;
+    std::vector<std::vector<std::uint8_t>> images(kBatch);
+    std::array<std::span<const std::uint8_t>, kBatch> spans;
+    std::array<Slot, kBatch> expected;
+    std::size_t pending = 0;
     for (std::uint64_t chunk = 0; chunk < tree_.totalChunks();
          ++chunk) {
         if (!chunks_.touched(chunk))
             continue;
-        const std::vector<std::uint8_t> bytes = chunks_.readChunk(chunk);
-        Slot expected;
+        images[pending] = chunks_.readChunk(chunk);
+        spans[pending] = images[pending];
         const std::int64_t parent = tree_.parentOf(chunk);
         if (parent < 0) {
-            expected = tree_.rootOf(chunk);
+            expected[pending] = tree_.rootOf(chunk);
         } else {
-            expected = chunks_.readSlot(
+            expected[pending] = chunks_.readSlot(
                 static_cast<std::uint64_t>(parent),
                 tree_.slotIndexOf(chunk));
         }
-        if (!auth_.verify(bytes, expected))
-            return false;
+        if (++pending == kBatch) {
+            if (!auth_.verifyChain({spans.data(), pending},
+                                   {expected.data(), pending}))
+                return false;
+            pending = 0;
+        }
     }
+    if (pending > 0 &&
+        !auth_.verifyChain({spans.data(), pending},
+                           {expected.data(), pending}))
+        return false;
     return true;
 }
 

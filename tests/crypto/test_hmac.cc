@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "crypto/hmac.h"
 #include "support/hex.h"
@@ -47,6 +49,58 @@ TEST(HmacTest, MessageSensitivity)
     const std::uint8_t m1[] = {1, 2, 3};
     const std::uint8_t m2[] = {1, 2, 4};
     EXPECT_NE(hmacMd5(key, m1), hmacMd5(key, m2));
+}
+
+TEST(HmacTest, KeyedEngineMatchesFreeFunction)
+{
+    // HmacMd5 precomputes the pad-block states; results must be
+    // bit-identical to the reference free function for every length
+    // around the block/padding boundaries.
+    Key128 key;
+    for (std::size_t i = 0; i < key.size(); ++i)
+        key[i] = static_cast<std::uint8_t>(i * 17 + 3);
+    const HmacMd5 engine(key);
+    for (std::size_t len :
+         {0u, 1u, 54u, 55u, 56u, 63u, 64u, 65u, 200u}) {
+        std::vector<std::uint8_t> msg(len);
+        for (std::size_t i = 0; i < len; ++i)
+            msg[i] = static_cast<std::uint8_t>(i);
+        EXPECT_EQ(engine.mac(msg), hmacMd5(key, msg)) << "len " << len;
+    }
+}
+
+TEST(HmacTest, Mac2MatchesConcatenation)
+{
+    Key128 key;
+    key.fill(0x5a);
+    const HmacMd5 engine(key);
+    const std::uint8_t header[2] = {7, 1};
+    std::vector<std::uint8_t> block(64);
+    for (std::size_t i = 0; i < block.size(); ++i)
+        block[i] = static_cast<std::uint8_t>(255 - i);
+
+    std::vector<std::uint8_t> concat(header, header + 2);
+    concat.insert(concat.end(), block.begin(), block.end());
+    EXPECT_EQ(engine.mac2({header, 2}, block), hmacMd5(key, concat));
+}
+
+TEST(HmacTest, MacChainMatchesPerMessageMacs)
+{
+    Key128 key;
+    key.fill(0xc3);
+    const HmacMd5 engine(key);
+    // 17 equal-length messages exercise the 16-message batching plus
+    // a remainder batch.
+    std::vector<std::vector<std::uint8_t>> msgs(17);
+    std::vector<std::span<const std::uint8_t>> spans;
+    for (std::size_t i = 0; i < msgs.size(); ++i) {
+        msgs[i].assign(66, static_cast<std::uint8_t>(i));
+        spans.push_back(msgs[i]);
+    }
+    std::vector<Hash128> out(msgs.size());
+    engine.macChain(spans, out);
+    for (std::size_t i = 0; i < msgs.size(); ++i)
+        EXPECT_EQ(out[i], hmacMd5(key, spans[i])) << "i " << i;
 }
 
 TEST(HmacTest, DeriveKeyIsDeterministicAndContextSeparated)

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -109,6 +110,86 @@ TEST(Md5Test, SingleBitChangesDigest)
         tampered[bit / 8] ^= 1u << (bit % 8);
         EXPECT_NE(Md5::digest(tampered), base) << "bit " << bit;
     }
+}
+
+TEST(Md5Test, DigestChainMatchesOneShotEqualLengths)
+{
+    // Equal-length chains take the interleaved multi-stream path;
+    // cover every group shape (4/2/1) and both padding branches.
+    Rng rng(7);
+    for (std::size_t len : {0u, 1u, 55u, 56u, 63u, 64u, 65u, 119u,
+                            120u, 128u, 256u}) {
+        for (std::size_t n : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 16u, 17u}) {
+            std::vector<std::vector<std::uint8_t>> msgs(n);
+            std::vector<std::span<const std::uint8_t>> spans;
+            for (auto &m : msgs) {
+                m.resize(len);
+                for (auto &b : m)
+                    b = static_cast<std::uint8_t>(rng.next());
+                spans.push_back(m);
+            }
+            std::vector<Hash128> out(n);
+            Md5::digestChain(spans, out);
+            for (std::size_t i = 0; i < n; ++i)
+                EXPECT_EQ(out[i], Md5::digest(spans[i]))
+                    << "len " << len << " n " << n << " i " << i;
+        }
+    }
+}
+
+TEST(Md5Test, DigestChainMatchesOneShotMixedLengths)
+{
+    // Length changes break the lockstep runs; the chain must still
+    // produce per-message one-shot digests.
+    Rng rng(11);
+    std::vector<std::vector<std::uint8_t>> msgs;
+    std::vector<std::span<const std::uint8_t>> spans;
+    for (std::size_t len :
+         {64u, 64u, 64u, 10u, 200u, 200u, 0u, 64u, 57u}) {
+        std::vector<std::uint8_t> m(len);
+        for (auto &b : m)
+            b = static_cast<std::uint8_t>(rng.next());
+        msgs.push_back(std::move(m));
+    }
+    for (const auto &m : msgs)
+        spans.push_back(m);
+    std::vector<Hash128> out(msgs.size());
+    Md5::digestChain(spans, out);
+    for (std::size_t i = 0; i < msgs.size(); ++i)
+        EXPECT_EQ(out[i], Md5::digest(spans[i])) << "i " << i;
+}
+
+TEST(Md5Test, SeededStateResumesAtBlockBoundary)
+{
+    // seedState(stateWords(), 64) must behave exactly like having
+    // absorbed those 64 bytes in the same context.
+    Rng rng(13);
+    std::vector<std::uint8_t> prefix(64);
+    std::vector<std::uint8_t> rest(37);
+    for (auto &b : prefix)
+        b = static_cast<std::uint8_t>(rng.next());
+    for (auto &b : rest)
+        b = static_cast<std::uint8_t>(rng.next());
+
+    Md5 whole;
+    whole.update(prefix);
+    whole.update(rest);
+    const Hash128 expected = whole.finish();
+
+    Md5 capture;
+    capture.update(prefix);
+    const auto words = capture.stateWords();
+
+    Md5 resumed;
+    resumed.seedState(words.data(), 64);
+    resumed.update(rest);
+    EXPECT_EQ(resumed.finish(), expected);
+
+    // And the chain-from-seed variant agrees too.
+    const std::span<const std::uint8_t> spans[] = {rest};
+    Hash128 out[1];
+    Md5::digestChainFrom(words.data(), 64, spans, out);
+    EXPECT_EQ(out[0], expected);
 }
 
 } // namespace

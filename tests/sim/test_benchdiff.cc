@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Benchmark-snapshot diff unit tests: synthetic BENCH documents
+ * exercising every verdict path of diffBenchSnapshots() and both
+ * exit gates of benchDiffPasses() - clean speedups, slowdown
+ * thresholds, geomean targets, config drift, missing/extra rows and
+ * incomparable documents.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/benchdiff.h"
+
+namespace cmt
+{
+namespace
+{
+
+Json
+makeRun(const std::string &figure, const std::string &label,
+        double hostSeconds, int seed = 1)
+{
+    Json run = Json::object();
+    run.set("label", label);
+    run.set("ok", true);
+    run.set("host_seconds", hostSeconds);
+    Json config = Json::object();
+    config.set("benchmark", label);
+    config.set("seed", seed);
+    run.set("config", std::move(config));
+    run.set("figure", figure);
+    return run;
+}
+
+Json
+makeSnapshot(std::vector<Json> runs, double scale = 0.02)
+{
+    Json doc = Json::object();
+    doc.set("snapshot", "micro");
+    doc.set("repro_scale", scale);
+    Json arr = Json::array();
+    for (Json &run : runs)
+        arr.push(std::move(run));
+    doc.set("runs", std::move(arr));
+    return doc;
+}
+
+const BenchRowDiff &
+findRow(const BenchDiffReport &report, const std::string &label)
+{
+    for (const BenchRowDiff &row : report.rows)
+        if (row.label == label)
+            return row;
+    static BenchRowDiff missing;
+    ADD_FAILURE() << "no row labelled " << label;
+    return missing;
+}
+
+TEST(BenchDiff, PairedRowsComputeSpeedupAndGeomean)
+{
+    const Json oldDoc = makeSnapshot({makeRun("micro_sim", "a", 4.0),
+                                      makeRun("micro_sim", "b", 1.0)});
+    const Json newDoc = makeSnapshot({makeRun("micro_sim", "b", 1.0),
+                                      makeRun("micro_sim", "a", 1.0)});
+
+    const BenchDiffReport report = diffBenchSnapshots(oldDoc, newDoc);
+    EXPECT_TRUE(report.docError.empty());
+    EXPECT_EQ(report.compared, 2u);
+    EXPECT_EQ(report.incomparable + report.missing + report.extra, 0u);
+    EXPECT_DOUBLE_EQ(findRow(report, "a").speedup, 4.0);
+    EXPECT_DOUBLE_EQ(findRow(report, "b").speedup, 1.0);
+    // geomean(4, 1) = 2
+    EXPECT_NEAR(report.geomeanSpeedup, 2.0, 1e-12);
+
+    EXPECT_TRUE(benchDiffPasses(report, {}));
+}
+
+TEST(BenchDiff, SameLabelDifferentFigureDoesNotPair)
+{
+    const Json oldDoc =
+        makeSnapshot({makeRun("micro_tree", "load", 1.0)});
+    const Json newDoc =
+        makeSnapshot({makeRun("micro_sim", "load", 1.0)});
+
+    const BenchDiffReport report = diffBenchSnapshots(oldDoc, newDoc);
+    EXPECT_EQ(report.compared, 0u);
+    EXPECT_EQ(report.missing, 1u);
+    EXPECT_EQ(report.extra, 1u);
+    EXPECT_FALSE(benchDiffPasses(report, {}));
+}
+
+TEST(BenchDiff, ConfigDriftIsIncomparableAndFailsGates)
+{
+    const Json oldDoc =
+        makeSnapshot({makeRun("micro_sim", "a", 2.0, /*seed=*/1)});
+    const Json newDoc =
+        makeSnapshot({makeRun("micro_sim", "a", 1.0, /*seed=*/2)});
+
+    const BenchDiffReport report = diffBenchSnapshots(oldDoc, newDoc);
+    EXPECT_EQ(report.compared, 0u);
+    EXPECT_EQ(report.incomparable, 1u);
+    EXPECT_EQ(findRow(report, "a").note, "config drift");
+
+    std::string why;
+    EXPECT_FALSE(benchDiffPasses(report, {}, &why));
+    EXPECT_NE(why.find("incomparable"), std::string::npos);
+}
+
+TEST(BenchDiff, ReproScaleMismatchIsDocLevelIncomparable)
+{
+    const Json oldDoc =
+        makeSnapshot({makeRun("micro_sim", "a", 1.0)}, 0.02);
+    const Json newDoc =
+        makeSnapshot({makeRun("micro_sim", "a", 1.0)}, 1.0);
+
+    const BenchDiffReport report = diffBenchSnapshots(oldDoc, newDoc);
+    EXPECT_FALSE(report.docError.empty());
+    EXPECT_FALSE(benchDiffPasses(report, {}));
+
+    std::ostringstream os;
+    printBenchDiff(os, report);
+    EXPECT_NE(os.str().find("INCOMPARABLE"), std::string::npos);
+}
+
+TEST(BenchDiff, ThresholdGateCatchesSlowdowns)
+{
+    const Json oldDoc = makeSnapshot({makeRun("micro_sim", "a", 1.0),
+                                      makeRun("micro_sim", "b", 1.0)});
+    const Json newDoc = makeSnapshot({makeRun("micro_sim", "a", 1.1),
+                                      makeRun("micro_sim", "b", 5.0)});
+
+    const BenchDiffReport report = diffBenchSnapshots(oldDoc, newDoc);
+    EXPECT_EQ(report.compared, 2u);
+
+    BenchDiffOptions generous;
+    generous.maxSlowdown = 10.0;
+    EXPECT_TRUE(benchDiffPasses(report, generous));
+
+    BenchDiffOptions strict;
+    strict.maxSlowdown = 2.0;
+    std::string why;
+    EXPECT_FALSE(benchDiffPasses(report, strict, &why));
+    EXPECT_NE(why.find("micro_sim/b"), std::string::npos);
+}
+
+TEST(BenchDiff, MinSpeedupGateProvesImprovements)
+{
+    const Json oldDoc = makeSnapshot({makeRun("micro_sim", "a", 4.0),
+                                      makeRun("micro_sim", "b", 4.0)});
+    const Json newDoc = makeSnapshot({makeRun("micro_sim", "a", 1.0),
+                                      makeRun("micro_sim", "b", 2.0)});
+
+    const BenchDiffReport report = diffBenchSnapshots(oldDoc, newDoc);
+    // geomean(4, 2) = sqrt(8) ~ 2.83
+    EXPECT_NEAR(report.geomeanSpeedup, 2.8284271247461903, 1e-12);
+
+    BenchDiffOptions reachable;
+    reachable.minSpeedup = 2.0;
+    EXPECT_TRUE(benchDiffPasses(report, reachable));
+
+    BenchDiffOptions unreachable;
+    unreachable.minSpeedup = 3.0;
+    std::string why;
+    EXPECT_FALSE(benchDiffPasses(report, unreachable, &why));
+    EXPECT_NE(why.find("geomean"), std::string::npos);
+}
+
+TEST(BenchDiff, MissingHostSecondsIsIncomparable)
+{
+    Json oldRun = makeRun("micro_sim", "a", 1.0);
+    Json newRun = makeRun("micro_sim", "a", 0.0); // non-positive
+    const Json oldDoc = makeSnapshot({std::move(oldRun)});
+    const Json newDoc = makeSnapshot({std::move(newRun)});
+
+    const BenchDiffReport report = diffBenchSnapshots(oldDoc, newDoc);
+    EXPECT_EQ(report.incomparable, 1u);
+    EXPECT_FALSE(benchDiffPasses(report, {}));
+}
+
+TEST(BenchDiff, ExtraNewRowsAreAllowed)
+{
+    const Json oldDoc = makeSnapshot({makeRun("micro_sim", "a", 1.0)});
+    const Json newDoc =
+        makeSnapshot({makeRun("micro_sim", "a", 1.0),
+                      makeRun("micro_sim", "fresh_workload", 1.0)});
+
+    const BenchDiffReport report = diffBenchSnapshots(oldDoc, newDoc);
+    EXPECT_EQ(report.compared, 1u);
+    EXPECT_EQ(report.extra, 1u);
+    EXPECT_TRUE(benchDiffPasses(report, {}));
+
+    std::ostringstream os;
+    printBenchDiff(os, report);
+    EXPECT_NE(os.str().find("fresh_workload"), std::string::npos);
+    EXPECT_NE(os.str().find("extra"), std::string::npos);
+}
+
+TEST(BenchDiff, RepeatedLabelsPairInOrder)
+{
+    const Json oldDoc = makeSnapshot({makeRun("micro_sim", "a", 2.0),
+                                      makeRun("micro_sim", "a", 8.0)});
+    const Json newDoc = makeSnapshot({makeRun("micro_sim", "a", 1.0),
+                                      makeRun("micro_sim", "a", 2.0)});
+
+    const BenchDiffReport report = diffBenchSnapshots(oldDoc, newDoc);
+    EXPECT_EQ(report.compared, 2u);
+    EXPECT_DOUBLE_EQ(report.rows[0].speedup, 2.0);
+    EXPECT_DOUBLE_EQ(report.rows[1].speedup, 4.0);
+}
+
+TEST(BenchDiff, FigureFilterScopesTheWholeAccounting)
+{
+    const Json oldDoc =
+        makeSnapshot({makeRun("micro_tree", "slow_component", 1.0),
+                      makeRun("micro_sim", "a", 4.0)});
+    const Json newDoc =
+        makeSnapshot({makeRun("micro_sim", "a", 1.0),
+                      makeRun("micro_tree", "slow_component", 2.0)});
+
+    BenchDiffFilter filter;
+    filter.figure = "micro_sim";
+    const BenchDiffReport report =
+        diffBenchSnapshots(oldDoc, newDoc, filter);
+    // The micro_tree slowdown is outside the filter: one pair, and
+    // the geomean is the filtered row's speedup alone.
+    EXPECT_EQ(report.compared, 1u);
+    EXPECT_EQ(report.rows.size(), 1u);
+    EXPECT_NEAR(report.geomeanSpeedup, 4.0, 1e-12);
+
+    BenchDiffOptions gate;
+    gate.minSpeedup = 3.0;
+    EXPECT_TRUE(benchDiffPasses(report, gate));
+}
+
+TEST(BenchDiff, LabelPrefixFilterSelectsVariantFamilies)
+{
+    const Json oldDoc =
+        makeSnapshot({makeRun("micro_sim", "sim_instructions/base", 2.0),
+                      makeRun("micro_sim", "sim_instructions/naive", 8.0),
+                      makeRun("micro_sim", "specgen_next", 1.0)});
+    const Json newDoc =
+        makeSnapshot({makeRun("micro_sim", "sim_instructions/base", 1.0),
+                      makeRun("micro_sim", "sim_instructions/naive", 2.0),
+                      makeRun("micro_sim", "specgen_next", 1.0)});
+
+    BenchDiffFilter filter;
+    filter.labelPrefix = "sim_instructions";
+    const BenchDiffReport report =
+        diffBenchSnapshots(oldDoc, newDoc, filter);
+    EXPECT_EQ(report.compared, 2u);
+    // geomean(2, 4) = sqrt(8); specgen_next's 1.0 is excluded.
+    EXPECT_NEAR(report.geomeanSpeedup, 2.8284271247461903, 1e-12);
+}
+
+TEST(BenchDiff, FilterMatchingNothingFailsGates)
+{
+    const Json oldDoc = makeSnapshot({makeRun("micro_sim", "a", 1.0)});
+    const Json newDoc = makeSnapshot({makeRun("micro_sim", "a", 1.0)});
+
+    BenchDiffFilter filter;
+    filter.figure = "no_such_figure";
+    const BenchDiffReport report =
+        diffBenchSnapshots(oldDoc, newDoc, filter);
+    EXPECT_EQ(report.compared, 0u);
+
+    std::string why;
+    EXPECT_FALSE(benchDiffPasses(report, {}, &why));
+    EXPECT_NE(why.find("no comparable rows"), std::string::npos);
+}
+
+TEST(BenchDiff, FilterHidesMissingRowsOutsideItsScope)
+{
+    // A row dropped from the new snapshot normally fails every gate;
+    // when it falls outside the filter the filtered verdict must not
+    // see it (the gate is about the selected subset only).
+    const Json oldDoc =
+        makeSnapshot({makeRun("micro_tree", "retired_row", 1.0),
+                      makeRun("micro_sim", "a", 2.0)});
+    const Json newDoc = makeSnapshot({makeRun("micro_sim", "a", 1.0)});
+
+    const BenchDiffReport unfiltered =
+        diffBenchSnapshots(oldDoc, newDoc);
+    EXPECT_EQ(unfiltered.missing, 1u);
+    EXPECT_FALSE(benchDiffPasses(unfiltered, {}));
+
+    BenchDiffFilter filter;
+    filter.figure = "micro_sim";
+    const BenchDiffReport filtered =
+        diffBenchSnapshots(oldDoc, newDoc, filter);
+    EXPECT_EQ(filtered.missing, 0u);
+    EXPECT_TRUE(benchDiffPasses(filtered, {}));
+}
+
+TEST(BenchDiff, MalformedDocumentIsDocLevelIncomparable)
+{
+    const Json notAnObject = Json::array();
+    const Json fine = makeSnapshot({makeRun("micro_sim", "a", 1.0)});
+
+    const BenchDiffReport report =
+        diffBenchSnapshots(notAnObject, fine);
+    EXPECT_FALSE(report.docError.empty());
+    EXPECT_FALSE(benchDiffPasses(report, {}));
+}
+
+} // namespace
+} // namespace cmt

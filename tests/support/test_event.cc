@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Event-core contract tests: the ordering guarantees the simulator
+ * leans on (same-cycle FIFO, events scheduling events) plus the
+ * slab-pool recycling behaviour under completion-style churn, and a
+ * golden end-to-end mini-sweep pinning that the pooled/batched event
+ * core reproduces the fig3 scheme results byte-for-byte.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/system.h"
+#include "support/event.h"
+
+namespace cmt
+{
+namespace
+{
+
+TEST(EventCore, SameCycleEventsRunInScheduleOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    // Interleave two cycles' worth of events out of time order; each
+    // cycle's batch must still drain FIFO in schedule order.
+    q.schedule(7, [&] { order.push_back(10); });
+    q.schedule(5, [&] { order.push_back(0); });
+    q.schedule(7, [&] { order.push_back(11); });
+    q.schedule(5, [&] { order.push_back(1); });
+    q.schedule(5, [&] { order.push_back(2); });
+    q.runUntil(7);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 10, 11}));
+}
+
+TEST(EventCore, EventsSchedulingEventsCascadeAcrossCycles)
+{
+    EventQueue q;
+    std::vector<Cycle> fired;
+    // Each firing re-arms itself two cycles out: the chain must keep
+    // running inside one runUntil() without external ticks.
+    std::uint64_t remaining = 5;
+    std::function<void()> arm = [&] {
+        fired.push_back(q.now());
+        if (--remaining > 0)
+            q.scheduleIn(2, [&] { arm(); });
+    };
+    q.schedule(1, [&] { arm(); });
+    q.runUntil(100);
+    EXPECT_EQ(fired, (std::vector<Cycle>{1, 3, 5, 7, 9}));
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventCore, SameCycleFollowUpsRunBeforeTimeAdvances)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(3, [&] {
+        order.push_back(1);
+        q.scheduleIn(0, [&] { order.push_back(3); });
+    });
+    q.schedule(3, [&] { order.push_back(2); });
+    q.runUntil(3);
+    // The nested zero-delay event lands after the already-queued
+    // same-cycle event (FIFO by schedule time), before cycle 4.
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 3u);
+}
+
+TEST(EventCore, SlabPoolRecyclesNodesUnderChurn)
+{
+    EventQueue q;
+    // Completion-style churn: tens of thousands of events, but only a
+    // handful in flight at once. Freed nodes must be reused - the
+    // pool stays at its first slab instead of growing with the total
+    // event count.
+    std::uint64_t fired = 0;
+    constexpr std::uint64_t kTotal = 50'000;
+    std::function<void()> arm = [&] {
+        ++fired;
+        if (fired + 8 <= kTotal)
+            q.scheduleIn(1 + fired % 3, [&] { arm(); });
+    };
+    for (int i = 0; i < 8; ++i)
+        q.scheduleIn(1, [&] { arm(); });
+    while (!q.empty())
+        q.runUntil(q.nextEventTime());
+    EXPECT_EQ(fired, kTotal);
+    EXPECT_EQ(q.slabCount(), 1u)
+        << "free-list recycling failed: pool grew under bounded "
+           "in-flight churn";
+}
+
+TEST(EventCore, OversizedCallablesStillExecute)
+{
+    EventQueue q;
+    // A capture bigger than the node's inline storage takes the heap
+    // fallback; behaviour (not footprint) must be identical.
+    std::array<std::uint64_t, 32> big{};
+    for (std::size_t i = 0; i < big.size(); ++i)
+        big[i] = i + 1;
+    std::uint64_t sum = 0;
+    q.schedule(1, [big, &sum] {
+        for (const std::uint64_t v : big)
+            sum += v;
+    });
+    q.runUntil(1);
+    EXPECT_EQ(sum, 32u * 33u / 2);
+}
+
+/**
+ * Golden fig3 mini-sweep: one small run per scheme, pinned to exact
+ * instruction/cycle/miss counts. The event core (pooled nodes, the
+ * core's completion wheel, cycle skipping) is pure plumbing - any
+ * drift in these numbers means the plumbing changed simulated
+ * behaviour, the one thing it must never do. Regenerate only with a
+ * deliberate behaviour change, alongside results/baselines/.
+ */
+struct GoldenRow
+{
+    Scheme scheme;
+    std::uint64_t instructions;
+    std::uint64_t cycles;
+    std::uint64_t l2DemandMisses;
+    std::uint64_t extraReadsPerMissMicros; ///< x1e6, truncated
+    std::uint64_t integrityFailures;
+};
+
+TEST(EventCore, GoldenMiniSweepIsByteIdentical)
+{
+    const GoldenRow golden[] = {
+        {Scheme::kBase, 20003, 77077, 1128, 0, 0},
+        {Scheme::kCached, 20002, 137291, 1789, 636668, 0},
+        {Scheme::kNaive, 20002, 881339, 1637, 12113622, 0},
+        {Scheme::kIncremental, 20001, 115686, 436, 4788990, 0},
+    };
+    for (const GoldenRow &row : golden) {
+        SystemConfig cfg;
+        cfg.benchmark = "gcc";
+        cfg.warmupInstructions = 5'000;
+        cfg.measureInstructions = 20'000;
+        cfg.l2.scheme = row.scheme;
+        cfg.l2.sizeBytes = 256 << 10;
+        if (row.scheme == Scheme::kIncremental)
+            cfg.l2.chunkSize = 256;
+        const SimResult r = simulate(cfg);
+        EXPECT_EQ(r.instructions, row.instructions)
+            << schemeName(row.scheme);
+        EXPECT_EQ(r.cycles, row.cycles) << schemeName(row.scheme);
+        EXPECT_EQ(r.l2DemandMisses, row.l2DemandMisses)
+            << schemeName(row.scheme);
+        EXPECT_EQ(static_cast<std::uint64_t>(r.extraReadsPerMiss *
+                                             1e6),
+                  row.extraReadsPerMissMicros)
+            << schemeName(row.scheme);
+        EXPECT_EQ(r.integrityFailures, row.integrityFailures)
+            << schemeName(row.scheme);
+    }
+}
+
+TEST(EventCore, GoldenShardedRunIsByteIdentical)
+{
+    SystemConfig cfg;
+    cfg.benchmark = "twolf";
+    cfg.warmupInstructions = 5'000;
+    cfg.measureInstructions = 20'000;
+    cfg.l2.scheme = Scheme::kCached;
+    cfg.l2.shards = 4;
+    const SimResult r = simulate(cfg);
+    EXPECT_EQ(r.instructions, 20001u);
+    EXPECT_EQ(r.cycles, 107325u);
+    EXPECT_EQ(r.l2DemandMisses, 1671u);
+    EXPECT_EQ(r.integrityFailures, 0u);
+}
+
+} // namespace
+} // namespace cmt

@@ -1,0 +1,20 @@
+// Negative fixture: hot-path-alloc rule. A tree policy carrying its
+// per-miss completion in std::function and allocating job state with
+// make_shared - both heap-allocate on the access path.
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+struct Job
+{
+    std::uint64_t chunk = 0;
+    std::function<void()> onDone;
+};
+
+void
+startRead(std::uint64_t chunk, std::function<void()> on_done)
+{
+    auto job = std::make_shared<Job>();
+    job->chunk = chunk;
+    job->onDone = std::move(on_done);
+}

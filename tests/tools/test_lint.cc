@@ -277,6 +277,55 @@ TEST(LintSeedNondeterminism, AllowsFixedSeedsAndDefersToSrcRule)
                       "nondeterminism"));
 }
 
+TEST(LintHotPathAlloc, FlagsTypeErasureAndSharedAllocInTree)
+{
+    EXPECT_TRUE(fires("src/tree/cached_tree_policy.cc",
+                      "std::function<void()> cb = job;",
+                      "hot-path-alloc"));
+    EXPECT_TRUE(fires("src/tree/naive_policy.cc",
+                      "auto job = std::make_shared<Job>();",
+                      "hot-path-alloc"));
+    EXPECT_TRUE(fires("src/tree/hash_engine.h",
+                      "std :: function<void()> f;",
+                      "hot-path-alloc"));
+}
+
+TEST(LintHotPathAlloc, ScopedToTreeAndRespectsEscapes)
+{
+    // The rule polices the per-miss policy paths only; the rest of
+    // the simulator (and harness code) may use type erasure freely.
+    EXPECT_FALSE(fires("src/sim/runner.cc",
+                       "std::function<void()> task;",
+                       "hot-path-alloc"));
+    EXPECT_FALSE(fires("tests/tree/x.cc",
+                       "auto p = std::make_shared<Policy>();",
+                       "hot-path-alloc"));
+    // Identifier substrings are not calls.
+    EXPECT_FALSE(fires("src/tree/x.cc",
+                       "void make_shared_things_happen();",
+                       "hot-path-alloc"));
+    EXPECT_FALSE(fires("src/tree/x.cc",
+                       "SmallCallback<void()> onDone;",
+                       "hot-path-alloc"));
+    // Cold-path wiring justifies itself with the usual directive.
+    EXPECT_FALSE(fires("src/tree/l2.h",
+                       "// cmt-lint: allow(hot-path-alloc)\n"
+                       "std::function<void()> onBackInvalidate;\n",
+                       "hot-path-alloc"));
+}
+
+TEST(LintNakedNew, SkipsPreprocessorDirectives)
+{
+    // The earlier fix: #include <new> and macro lines never contain
+    // allocation expressions, so the rule must not fire on them.
+    EXPECT_FALSE(fires("src/support/x.cc", "#include <new>\n",
+                       "naked-new"));
+    EXPECT_FALSE(fires("src/support/x.cc",
+                       "  #define MAKE_NEW(T) T\n", "naked-new"));
+    EXPECT_TRUE(fires("src/support/x.cc", "int *p = new int;\n",
+                      "naked-new"));
+}
+
 // --- suppression directives -------------------------------------------
 
 TEST(LintAllow, TrailingDirectiveSuppressesItsLine)

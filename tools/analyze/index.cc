@@ -814,7 +814,8 @@ class Parser
                  is(j - 1, "->")) &&
                 isIdent(j - 2))
                 e.qualifier = tok(j - 2).text;
-            if (e.name == "verify")
+            if (e.name == "verify" || e.name == "verifyChain" ||
+                e.name == "verifyChainFirstFailure")
                 e.kind = Event::Kind::kVerify;
             else if (isUntrustedReadCall(e.name, e.qualifier))
                 e.kind = Event::Kind::kRead;

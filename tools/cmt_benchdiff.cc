@@ -1,0 +1,129 @@
+/**
+ * @file
+ * cmt_benchdiff: compare two benchmark snapshots' wall-clock.
+ *
+ *   cmt_benchdiff [options] OLD.json NEW.json
+ *
+ *     --threshold R    exit 1 if any paired row's new/old slowdown
+ *                      exceeds R (CI perf gate; use a generous band)
+ *     --min-speedup S  exit 1 unless the geomean old/new speedup over
+ *                      all paired rows reaches S (optimisation proof)
+ *     --figure NAME    restrict the comparison to rows of one figure
+ *                      (exact match), e.g. micro_sim
+ *     --label PREFIX   restrict to rows whose label starts with
+ *                      PREFIX, e.g. sim_instructions
+ *
+ * Both inputs are BENCH_*.json documents from
+ * scripts/bench_snapshot.sh. Rows pair by (figure, label); a paired
+ * row whose config block differs is INCOMPARABLE - its timings
+ * measure different experiments - and fails any active gate, as do
+ * rows missing from the new snapshot. Rows only in the new snapshot
+ * are reported but allowed (new workloads gain baseline timings when
+ * the committed snapshot is regenerated).
+ *
+ * Exit status: 0 pass, 1 gate failure or incomparable, 2 usage/I-O.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/benchdiff.h"
+#include "support/json.h"
+
+using namespace cmt;
+
+namespace
+{
+
+[[noreturn]] void
+usage()
+{
+    std::cerr << "usage: cmt_benchdiff [--threshold R] "
+                 "[--min-speedup S] [--figure NAME] "
+                 "[--label PREFIX] OLD.json NEW.json\n";
+    std::exit(2);
+}
+
+Json
+readJsonFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        std::cerr << "cmt_benchdiff: cannot open " << path << "\n";
+        std::exit(2);
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    Json doc;
+    std::string error;
+    if (!Json::parse(buf.str(), &doc, &error)) {
+        std::cerr << "cmt_benchdiff: " << path << ": " << error
+                  << "\n";
+        std::exit(2);
+    }
+    return doc;
+}
+
+double
+parseRatio(const std::string &text)
+{
+    try {
+        return std::stod(text);
+    } catch (const std::exception &) {
+        usage();
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchDiffOptions options;
+    BenchDiffFilter filter;
+    std::vector<std::string> positional;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--threshold") {
+            options.maxSlowdown = parseRatio(value());
+        } else if (arg == "--min-speedup") {
+            options.minSpeedup = parseRatio(value());
+        } else if (arg == "--figure") {
+            filter.figure = value();
+        } else if (arg == "--label") {
+            filter.labelPrefix = value();
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage();
+        } else {
+            positional.push_back(arg);
+        }
+    }
+    if (positional.size() != 2)
+        usage();
+
+    const Json oldDoc = readJsonFile(positional[0]);
+    const Json newDoc = readJsonFile(positional[1]);
+
+    const BenchDiffReport report =
+        diffBenchSnapshots(oldDoc, newDoc, filter);
+    printBenchDiff(std::cout, report);
+
+    std::string why;
+    if (!benchDiffPasses(report, options, &why)) {
+        std::cout << "benchdiff: FAIL - " << why << "\n";
+        return 1;
+    }
+    std::cout << "benchdiff: PASS\n";
+    return 0;
+}

@@ -174,6 +174,36 @@ rootRegisterPatterns()
     return patterns;
 }
 
+/**
+ * Allocation hygiene for the integrity-tree hot path. Every L2 miss
+ * walks a policy's access path, so a per-call heap allocation there
+ * is a per-miss allocation: std::function's type erasure spills
+ * captures past its small-buffer onto the heap, and make_shared is a
+ * heap allocation by definition. Policy code carries callbacks in
+ * SmallCallback (compile-time-bounded inline storage) and recycles
+ * job state through pooled slabs; cold-path uses (wiring hooks at
+ * construction, test scaffolding) justify themselves with an allow
+ * directive.
+ */
+const std::vector<Pattern> &
+hotPathAllocPatterns()
+{
+    static const std::vector<Pattern> patterns = {
+        {"hot-path-alloc",
+         std::regex(R"((^|[^A-Za-z0-9_])make_shared($|[^A-Za-z0-9_]))"),
+         "make_shared in tree policy code allocates per call on the "
+         "per-miss path; use pooled job slabs (support/arena.h) or "
+         "justify the cold path with an allow directive"},
+        {"hot-path-alloc",
+         std::regex(R"((^|[^A-Za-z0-9_])std\s*::\s*function($|[^A-Za-z0-9_]))"),
+         "std::function in tree policy code heap-allocates spilled "
+         "captures per call; carry callbacks in SmallCallback "
+         "(support/callback.h) or justify the cold path with an "
+         "allow directive"},
+    };
+    return patterns;
+}
+
 const std::vector<Pattern> &
 catchAllPatterns()
 {
@@ -196,6 +226,11 @@ checkNakedNewDelete(const std::string &path,
         R"((^|[^A-Za-z0-9_])(new|delete)($|[^A-Za-z0-9_]))");
     for (std::size_t n = 0; n < lines.size(); ++n) {
         const std::string &line = lines[n];
+        // Preprocessor directives never contain allocation
+        // expressions; `#include <new>` is the obvious false match.
+        const auto first = line.find_first_not_of(" \t");
+        if (first != std::string::npos && line[first] == '#')
+            continue;
         for (auto it = std::sregex_iterator(line.begin(), line.end(),
                                             word);
              it != std::sregex_iterator(); ++it) {
@@ -261,7 +296,7 @@ ruleNames()
     static const std::vector<std::string> names = {
         "nondeterminism", "stdout-discipline", "naked-new",
         "header-guard", "catch-all", "root-registers",
-        "seed-nondeterminism",
+        "seed-nondeterminism", "hot-path-alloc",
     };
     return names;
 }
@@ -382,6 +417,8 @@ lintSource(const std::string &rawPath, const std::string &source)
         apply(catchAllPatterns());
     if (inSrc && !isShardRouter)
         apply(rootRegisterPatterns());
+    if (inDir(path, "src/tree/"))
+        apply(hotPathAllocPatterns());
 
     std::sort(diags.begin(), diags.end(),
               [](const Diagnostic &a, const Diagnostic &b) {

@@ -30,6 +30,14 @@
  *                     owns the per-shard root registers; everyone else
  *                     goes through rootOf() / context(), which carry
  *                     the shard routing and root-level assertions.
+ *  - hot-path-alloc : no std::make_shared / std::function in
+ *                     src/tree/. The policy access paths run once per
+ *                     L2 miss; type-erased callbacks spill captures to
+ *                     the heap and make_shared allocates outright.
+ *                     Callbacks ride SmallCallback's bounded inline
+ *                     storage, job state recycles through pooled
+ *                     slabs. Cold-path wiring (construction-time
+ *                     hooks) escapes with an allow directive.
  *  - seed-nondeterminism : no time()/getpid()/std::random_device in
  *                     tests/, bench/, or tools/ (src/ is covered by
  *                     the stricter nondeterminism rule). Wall-clock
