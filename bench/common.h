@@ -82,12 +82,13 @@ parseArgs(int argc, char **argv, const char *figure)
         };
         if (arg == "--jobs") {
             const std::string v = value();
-            char *end = nullptr;
-            const unsigned long n = std::strtoul(v.c_str(), &end, 10);
-            if (end == v.c_str() || *end != '\0')
-                cmt_fatal("%s: --jobs expects a number, got '%s'",
+            // parseWorkerCount checks errno/ERANGE: an overflowing
+            // "--jobs 99999999999999999999" must fail loudly, not
+            // wrap into a huge worker count.
+            if (!parseWorkerCount(v, &opt.jobs))
+                cmt_fatal("%s: --jobs expects a worker count, got "
+                          "'%s'",
                           figure, v.c_str());
-            opt.jobs = static_cast<unsigned>(n);
         } else if (arg == "--json") {
             opt.jsonPath = value();
         } else if (arg == "--filter") {

@@ -1,0 +1,70 @@
+#!/bin/sh
+# End-to-end smoke test for the verification daemon.
+#
+# Starts cmt_served on a scratch socket, drives it with the
+# multi-client cmt_loadgen workload, replays the identical traces
+# serially, and feeds both JSON reports to cmt_regress: the daemon's
+# concurrent execution must be byte-identical to the serial one
+# (timing fields are ignored; checksums and op counts are not). Then
+# SIGTERM shuts the daemon down gracefully - which must persist every
+# store through the crash-safe save path - and a --load restart must
+# serve the snapshot cleanly.
+#
+# Usage: scripts/served_smoke.sh [BUILD_DIR [SCRATCH_DIR]]
+# BUILD_DIR defaults to $CMT_BUILD_DIR, then ./build. The scratch
+# directory (sockets, state, JSON) is removed on success when the
+# script created it itself.
+set -e
+cd "$(dirname "$0")/.."
+builddir="${1:-${CMT_BUILD_DIR:-build}}"
+if [ -n "$2" ]; then
+    scratch="$2"
+    made_scratch=0
+else
+    scratch="$(mktemp -d)"
+    made_scratch=1
+fi
+state="$scratch/state"
+sock="$scratch/served.sock"
+scale="${REPRO_SCALE:-0.05}"
+mkdir -p "$state"
+
+echo "== daemon up =="
+"$builddir"/tools/cmt_served --socket "$sock" --state-dir "$state" &
+pid=$!
+trap 'kill -TERM "$pid" 2> /dev/null || true' EXIT
+
+echo "== parallel load (8 clients) =="
+REPRO_SCALE="$scale" "$builddir"/tools/cmt_loadgen --socket "$sock" \
+    --json "$scratch/parallel.json"
+
+echo "== serial replay of the same traces =="
+REPRO_SCALE="$scale" "$builddir"/tools/cmt_loadgen --socket "$sock" \
+    --serial --json "$scratch/serial.json"
+
+echo "== parallel run must match serial run =="
+"$builddir"/tools/cmt_regress "$scratch/parallel.json" \
+    "$scratch/serial.json"
+
+echo "== graceful shutdown persists the store =="
+kill -TERM "$pid"
+wait "$pid"
+trap - EXIT
+test -f "$state/store0.image"
+test -f "$state/store0.roots"
+
+echo "== --load restart serves the snapshot =="
+"$builddir"/tools/cmt_served --socket "$sock" --state-dir "$state" \
+    --load &
+pid=$!
+trap 'kill -TERM "$pid" 2> /dev/null || true' EXIT
+REPRO_SCALE="$scale" "$builddir"/tools/cmt_loadgen --socket "$sock" \
+    --clients 4 --json "$scratch/reload.json"
+kill -TERM "$pid"
+wait "$pid"
+trap - EXIT
+
+if [ "$made_scratch" = 1 ]; then
+    rm -rf "$scratch"
+fi
+echo "served_smoke: PASS"

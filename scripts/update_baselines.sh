@@ -36,4 +36,18 @@ run fig8_chunk_schemes --filter swim
 run ext_smp
 run ext_shards
 
+# cmt_loadgen needs a live daemon: bring one up on a scratch socket,
+# drive the deterministic multi-client workload, and snapshot the
+# per-client result rows. Checksums are interleaving-independent, so
+# the rows are stable across machines; cmt_regress ignores the timing
+# fields.
+echo "== cmt_loadgen =="
+sock="$(mktemp -u /tmp/cmt_baseline_XXXXXX).sock"
+"$builddir"/tools/cmt_served --socket "$sock" 2> /dev/null &
+served_pid=$!
+REPRO_SCALE="$scale" "$builddir"/tools/cmt_loadgen --socket "$sock" \
+    --json "$outdir/cmt_loadgen.json" 2> /dev/null
+kill -TERM "$served_pid"
+wait "$served_pid"
+
 echo "baselines written to $outdir (REPRO_SCALE=$scale)"

@@ -1,0 +1,805 @@
+#include "serve/server.h"
+
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "serve/protocol.h"
+#include "serve/store.h"
+#include "support/logging.h"
+#include "support/thread_annotations.h"
+
+namespace cmt::serve
+{
+
+namespace
+{
+
+constexpr std::span<const std::uint8_t> kNoBytes{};
+
+/**
+ * A path can only be bound once: probe an existing socket file and
+ * refuse to displace a live daemon; a stale file (dead daemon) is
+ * unlinked so bind() can succeed.
+ */
+bool
+claimSocketPath(const std::string &path, std::string *err)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size());
+    const int probe = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (probe < 0) {
+        *err = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    const int rc = ::connect(
+        probe, reinterpret_cast<const sockaddr *>(&addr), sizeof addr);
+    ::close(probe);
+    if (rc == 0) {
+        *err = "socket '" + path + "' is in use by a live daemon";
+        return false;
+    }
+    ::unlink(path.c_str()); // stale or absent; bind() reports the rest
+    return true;
+}
+
+} // namespace
+
+Server::Connection::~Connection()
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+Server::Server(ServeConfig config) : config_(std::move(config)) {}
+
+Server::~Server()
+{
+    requestStop();
+    waitUntilStopped();
+    if (epollFd_ >= 0)
+        ::close(epollFd_);
+    if (wakeFd_ >= 0)
+        ::close(wakeFd_);
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        ::unlink(config_.socketPath.c_str());
+    }
+}
+
+std::uint32_t
+Server::addStore(std::unique_ptr<ServeStore> store)
+{
+    cmt_assert(!running_.load());
+    stores_.push_back(std::move(store));
+    return static_cast<std::uint32_t>(stores_.size() - 1);
+}
+
+ServeStore *
+Server::store(std::uint32_t id)
+{
+    return id < stores_.size() ? stores_[id].get() : nullptr;
+}
+
+bool
+Server::start(std::string *err)
+{
+    sockaddr_un addr{};
+    if (config_.socketPath.empty() ||
+        config_.socketPath.size() >= sizeof(addr.sun_path)) {
+        *err = "socket path empty or longer than the kernel sun_path "
+               "limit";
+        return false;
+    }
+    if (stores_.empty()) {
+        *err = "no stores registered";
+        return false;
+    }
+    if (!claimSocketPath(config_.socketPath, err))
+        return false;
+
+    listenFd_ = ::socket(AF_UNIX,
+                         SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (listenFd_ < 0) {
+        *err = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, config_.socketPath.c_str(),
+                config_.socketPath.size());
+    if (::bind(listenFd_, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(listenFd_, 128) != 0) {
+        *err = "bind/listen on '" + config_.socketPath +
+               "': " + std::strerror(errno);
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+
+    epollFd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    wakeFd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (epollFd_ < 0 || wakeFd_ < 0) {
+        *err = std::string("epoll/eventfd: ") + std::strerror(errno);
+        return false;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = listenFd_;
+    if (::epoll_ctl(epollFd_, EPOLL_CTL_ADD, listenFd_, &ev) != 0) {
+        *err = std::string("epoll_ctl: ") + std::strerror(errno);
+        return false;
+    }
+    ev.data.fd = wakeFd_;
+    if (::epoll_ctl(epollFd_, EPOLL_CTL_ADD, wakeFd_, &ev) != 0) {
+        *err = std::string("epoll_ctl: ") + std::strerror(errno);
+        return false;
+    }
+
+    running_.store(true);
+    const unsigned n = config_.workers ? config_.workers : 1;
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+    epollThread_ = std::thread([this] { epollLoop(); });
+    return true;
+}
+
+void
+Server::requestStop()
+{
+    stopping_.store(true);
+    if (wakeFd_ >= 0) {
+        const std::uint64_t one = 1;
+        const ssize_t r = ::write(wakeFd_, &one, sizeof one);
+        (void)r;
+    }
+}
+
+void
+Server::waitUntilStopped()
+{
+    if (epollThread_.joinable())
+        epollThread_.join();
+    for (std::thread &t : workers_)
+        if (t.joinable())
+            t.join();
+    workers_.clear();
+}
+
+ServerStats
+Server::statsSnapshot() const
+{
+    ServerStats s;
+    s.connections = connections_.load();
+    s.requests = requests_.load();
+    for (const auto &st : stores_) {
+        s.readOps += st->readOps();
+        s.writeOps += st->writeOps();
+    }
+    s.verifyFailures = verifyFailures_.load();
+    s.bytesIn = bytesIn_.load();
+    s.bytesOut = bytesOut_.load();
+    return s;
+}
+
+// ------------------------------------------------------- epoll thread
+
+void
+Server::epollLoop()
+{
+    std::vector<epoll_event> events(64);
+    while (true) {
+        const bool stopping = stopping_.load();
+        if (stopping) {
+            // Re-notify each pass: a worker that dozed off between
+            // the stop flag and the first notify still exits.
+            queueCv_.notifyAll();
+            // Workers exit the moment they see the stop flag with an
+            // empty queue, but this thread can still parse late bytes
+            // and schedule connections afterwards. Serve those here,
+            // or the drain below never finishes and the connection's
+            // level-triggered EPOLLHUP spins this loop forever.
+            while (true) {
+                ConnPtr conn;
+                {
+                    MutexLock lock(queueMu_);
+                    if (ready_.empty())
+                        break;
+                    conn = ready_.front();
+                    ready_.pop_front();
+                }
+                serveBatch(conn);
+            }
+            processAttention();
+            if (drainFinished())
+                break;
+        }
+        const int n =
+            ::epoll_wait(epollFd_, events.data(),
+                         static_cast<int>(events.size()),
+                         stopping ? 50 : -1);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("cmt_served: epoll_wait: %s", std::strerror(errno));
+            break;
+        }
+        for (int i = 0; i < n; ++i) {
+            const int fd = events[i].data.fd;
+            if (fd == listenFd_) {
+                if (!stopping_.load())
+                    acceptAll();
+                continue;
+            }
+            if (fd == wakeFd_) {
+                std::uint64_t v = 0;
+                while (::read(wakeFd_, &v, sizeof v) > 0) {
+                }
+                continue;
+            }
+            auto it = conns_.find(fd);
+            if (it == conns_.end())
+                continue;
+            ConnPtr conn = it->second;
+            if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+                Connection &c = *conn;
+                c.stopRead = true;
+                MutexLock lock(c.mu);
+                c.closing = true;
+                c.outbuf.clear();
+            } else {
+                if (events[i].events & EPOLLIN)
+                    handleReadable(conn);
+                if (events[i].events & EPOLLOUT)
+                    handleWritable(conn);
+            }
+            // The EPOLLIN handler may have destroyed the connection
+            // via reconcile; only touch it if it is still registered.
+            auto again = conns_.find(fd);
+            if (again != conns_.end() && again->second == conn)
+                reconcile(conn);
+        }
+        processAttention();
+    }
+    // Drain complete (or the loop died): tear everything down.
+    {
+        MutexLock lock(queueMu_);
+        stopping_.store(true);
+    }
+    queueCv_.notifyAll();
+    for (auto &kv : conns_)
+        ::epoll_ctl(epollFd_, EPOLL_CTL_DEL, kv.first, nullptr);
+    conns_.clear();
+    running_.store(false);
+}
+
+void
+Server::acceptAll()
+{
+    while (true) {
+        const int fd = ::accept4(listenFd_, nullptr, nullptr,
+                                 SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno != EAGAIN && errno != EWOULDBLOCK)
+                warn("cmt_served: accept: %s", std::strerror(errno));
+            return;
+        }
+        ConnPtr conn = std::make_shared<Connection>(fd);
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.fd = fd;
+        if (::epoll_ctl(epollFd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+            warn("cmt_served: epoll_ctl(add): %s",
+                 std::strerror(errno));
+            continue; // conn dtor closes the fd
+        }
+        conn->armed = EPOLLIN;
+        conns_.emplace(fd, std::move(conn));
+        connections_.fetch_add(1);
+    }
+}
+
+void
+Server::handleReadable(const ConnPtr &conn)
+{
+    Connection &c = *conn;
+    if (c.stopRead)
+        return;
+    std::uint8_t buf[65536];
+    bool peerGone = false;
+    while (true) {
+        const ssize_t r = ::recv(c.fd, buf, sizeof buf, 0);
+        if (r > 0) {
+            bytesIn_.fetch_add(static_cast<std::uint64_t>(r));
+            c.inbuf.insert(c.inbuf.end(), buf, buf + r);
+            continue;
+        }
+        if (r < 0 && errno == EINTR)
+            continue;
+        if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            break;
+        peerGone = true; // orderly EOF or hard error
+        break;
+    }
+    parseFrames(conn);
+    if (peerGone) {
+        c.stopRead = true;
+        MutexLock lock(c.mu);
+        c.closing = true;
+    }
+}
+
+void
+Server::handleWritable(const ConnPtr &conn)
+{
+    Connection &c = *conn;
+    MutexLock lock(c.mu);
+    sendPending(c);
+}
+
+void
+Server::parseFrames(const ConnPtr &conn)
+{
+    Connection &c = *conn;
+    std::vector<Request> parsed;
+    bool framingError = false;
+    std::size_t off = 0;
+    while (c.inbuf.size() - off >= kHeaderBytes) {
+        const std::uint32_t len = readU32(c.inbuf.data() + off);
+        if (len == 0 || len > kMaxFrameBytes) {
+            framingError = true;
+            break;
+        }
+        if (c.inbuf.size() - off - kHeaderBytes < len)
+            break; // incomplete frame: wait for more bytes
+        Request r;
+        r.op = c.inbuf[off + kHeaderBytes];
+        r.payload.assign(
+            c.inbuf.begin() +
+                static_cast<std::ptrdiff_t>(off + kHeaderBytes + 1),
+            c.inbuf.begin() +
+                static_cast<std::ptrdiff_t>(off + kHeaderBytes + len));
+        parsed.push_back(std::move(r));
+        off += kHeaderBytes + len;
+    }
+    c.inbuf.erase(c.inbuf.begin(),
+                  c.inbuf.begin() + static_cast<std::ptrdiff_t>(off));
+    if (framingError) {
+        // The stream cannot be resynchronized; queue the reserved
+        // op-0 request so the error reply goes out in order, and
+        // never read from this peer again.
+        c.inbuf.clear();
+        c.stopRead = true;
+        parsed.push_back(Request{});
+    }
+    if (parsed.empty())
+        return;
+    bool schedule = false;
+    {
+        MutexLock lock(c.mu);
+        if (c.closing)
+            return;
+        for (Request &r : parsed)
+            c.pending.push_back(std::move(r));
+        if (!c.scheduled) {
+            c.scheduled = true;
+            schedule = true;
+        }
+    }
+    if (schedule) {
+        MutexLock lock(queueMu_);
+        ready_.push_back(conn);
+        queueCv_.notifyOne();
+    }
+}
+
+void
+Server::processAttention()
+{
+    std::vector<ConnPtr> list;
+    {
+        MutexLock lock(attnMu_);
+        list.swap(attn_);
+    }
+    for (const ConnPtr &conn : list) {
+        // fd numbers recycle; only reconcile connections still
+        // registered under this exact object.
+        auto it = conns_.find(conn->fd);
+        if (it != conns_.end() && it->second == conn)
+            reconcile(conn);
+    }
+}
+
+void
+Server::reconcile(const ConnPtr &conn)
+{
+    Connection &c = *conn;
+    bool destroy = false;
+    bool wantIn = false;
+    bool wantOut = false;
+    {
+        MutexLock lock(c.mu);
+        sendPending(c);
+        const bool idle = !c.scheduled && c.pending.empty();
+        if (c.closing) {
+            destroy = idle && c.outbuf.empty();
+        } else {
+            wantOut = !c.outbuf.empty();
+            // Backpressure: park EPOLLIN at queueDepth, resume once a
+            // worker drains the FIFO below half.
+            const std::size_t depth = std::max<std::size_t>(
+                config_.queueDepth, 2);
+            wantIn = !c.stopRead &&
+                     c.pending.size() <
+                         (c.armed & EPOLLIN ? depth : depth / 2);
+        }
+    }
+    if (destroy) {
+        destroyConnection(conn);
+        return;
+    }
+    updateInterest(conn, wantIn, wantOut);
+}
+
+void
+Server::updateInterest(const ConnPtr &conn, bool want_in,
+                       bool want_out)
+{
+    Connection &c = *conn;
+    std::uint32_t ev = 0;
+    if (want_in)
+        ev |= EPOLLIN;
+    if (want_out)
+        ev |= EPOLLOUT;
+    if (ev == c.armed)
+        return;
+    epoll_event e{};
+    e.events = ev;
+    e.data.fd = c.fd;
+    if (::epoll_ctl(epollFd_, EPOLL_CTL_MOD, c.fd, &e) == 0)
+        c.armed = ev;
+}
+
+void
+Server::destroyConnection(const ConnPtr &conn)
+{
+    ::epoll_ctl(epollFd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+    conns_.erase(conn->fd);
+    // The fd closes when the last ConnPtr (queue/attention refs)
+    // drops; until then the stale entries are filtered by identity.
+}
+
+bool
+Server::drainFinished()
+{
+    for (auto &kv : conns_) {
+        Connection &c = *kv.second;
+        MutexLock lock(c.mu);
+        if (c.scheduled || !c.pending.empty())
+            return false;
+        if (!c.closing && !c.outbuf.empty())
+            return false;
+    }
+    return true;
+}
+
+// ------------------------------------------------------ worker threads
+
+void
+Server::workerLoop()
+{
+    while (true) {
+        ConnPtr conn;
+        {
+            MutexLock lock(queueMu_);
+            while (ready_.empty() && !stopping_.load())
+                queueCv_.wait(queueMu_);
+            if (ready_.empty())
+                return; // stopping and nothing left to serve
+            conn = ready_.front();
+            ready_.pop_front();
+        }
+        serveBatch(conn);
+    }
+}
+
+void
+Server::serveBatch(const ConnPtr &conn)
+{
+    Connection &c = *conn;
+    std::vector<Request> batch;
+    {
+        MutexLock lock(c.mu);
+        if (c.closing) {
+            c.pending.clear();
+            c.scheduled = false;
+        } else {
+            const std::size_t n =
+                std::min(c.pending.size(),
+                         std::max<std::size_t>(config_.batchMax, 1));
+            batch.reserve(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                batch.push_back(std::move(c.pending.front()));
+                c.pending.pop_front();
+            }
+        }
+    }
+    if (batch.empty()) {
+        requestAttention(conn);
+        return;
+    }
+
+    std::vector<std::uint8_t> replies;
+    bool closeAfter = false;
+    std::size_t i = 0;
+    while (i < batch.size()) {
+        if (batch[i].op == 0) {
+            appendReply(replies, Status::kError,
+                        std::string("malformed frame (zero-length or "
+                                    "over-limit)"));
+            closeAfter = true;
+            ++i;
+        } else if (batch[i].op ==
+                   static_cast<std::uint8_t>(Op::kWrite)) {
+            i += executeWriteRun(batch, i, replies);
+        } else {
+            executeRequest(batch[i], replies);
+            ++i;
+        }
+    }
+    requests_.fetch_add(batch.size());
+
+    bool repush = false;
+    {
+        MutexLock lock(c.mu);
+        c.outbuf.insert(c.outbuf.end(), replies.begin(),
+                        replies.end());
+        sendPending(c);
+        if (closeAfter)
+            c.closing = true;
+        if (c.closing) {
+            // The peer hung up (or we poisoned the stream) while this
+            // batch was in flight; anything parsed meanwhile will
+            // never be answered. Drop it, or the drain logic waits on
+            // requests nobody serves.
+            c.pending.clear();
+            c.scheduled = false;
+        } else if (!c.pending.empty()) {
+            repush = true; // stays scheduled
+        } else {
+            c.scheduled = false;
+        }
+    }
+    if (repush) {
+        MutexLock lock(queueMu_);
+        ready_.push_back(conn);
+        queueCv_.notifyOne();
+    }
+    // Let the epoll thread flush leftovers, re-arm a parked EPOLLIN,
+    // or destroy a drained closing connection.
+    requestAttention(conn);
+}
+
+void
+Server::executeRequest(const Request &request,
+                       std::vector<std::uint8_t> &replies)
+{
+    WireReader r(request.payload);
+    switch (static_cast<Op>(request.op)) {
+    case Op::kPing:
+        appendReply(replies, Status::kOk, kNoBytes);
+        return;
+    case Op::kRead: {
+        std::uint32_t sid = 0;
+        std::uint64_t addr = 0;
+        std::uint32_t len = 0;
+        if (!r.u32(&sid) || !r.u64(&addr) || !r.u32(&len) ||
+            !r.done()) {
+            appendReply(replies, Status::kError,
+                        std::string("malformed read request"));
+            return;
+        }
+        ServeStore *s = store(sid);
+        if (s == nullptr) {
+            appendReply(replies, Status::kError,
+                        std::string("no such store"));
+            return;
+        }
+        std::vector<std::uint8_t> data;
+        std::string err;
+        switch (s->read(addr, len, &data, &err)) {
+        case StoreOutcome::kOk:
+            appendReply(replies, Status::kOk,
+                        std::span<const std::uint8_t>(data));
+            return;
+        case StoreOutcome::kCorrupt:
+            verifyFailures_.fetch_add(1);
+            appendReply(replies, Status::kCorrupt, err);
+            return;
+        default:
+            appendReply(replies, Status::kError, err);
+            return;
+        }
+    }
+    case Op::kVerify:
+    case Op::kSync:
+    case Op::kSave: {
+        std::uint32_t sid = 0;
+        if (!r.u32(&sid) || !r.done()) {
+            appendReply(replies, Status::kError,
+                        std::string("malformed request"));
+            return;
+        }
+        ServeStore *s = store(sid);
+        if (s == nullptr) {
+            appendReply(replies, Status::kError,
+                        std::string("no such store"));
+            return;
+        }
+        if (static_cast<Op>(request.op) == Op::kVerify) {
+            if (s->verifyAll()) {
+                appendReply(replies, Status::kOk, kNoBytes);
+            } else {
+                verifyFailures_.fetch_add(1);
+                appendReply(replies, Status::kCorrupt,
+                            std::string("verification found "
+                                        "inconsistent chunks"));
+            }
+        } else if (static_cast<Op>(request.op) == Op::kSync) {
+            s->sync();
+            appendReply(replies, Status::kOk, kNoBytes);
+        } else {
+            std::string err;
+            if (s->saveState(&err))
+                appendReply(replies, Status::kOk, kNoBytes);
+            else
+                appendReply(replies, Status::kError, err);
+        }
+        return;
+    }
+    case Op::kStats: {
+        const std::vector<std::uint8_t> packed =
+            packStats(statsSnapshot());
+        appendReply(replies, Status::kOk,
+                    std::span<const std::uint8_t>(packed));
+        return;
+    }
+    case Op::kShutdown:
+        appendReply(replies, Status::kOk, kNoBytes);
+        // The reply is already queued ahead of the drain: it flushes
+        // before the epoll thread closes the connection.
+        stopping_.store(true);
+        return;
+    case Op::kWrite: // unreachable: serveBatch routes writes
+    default:
+        appendReply(replies, Status::kError,
+                    std::string("unknown opcode"));
+        return;
+    }
+}
+
+std::size_t
+Server::executeWriteRun(const std::vector<Request> &batch,
+                        std::size_t first,
+                        std::vector<std::uint8_t> &replies)
+{
+    // Collect the longest run of well-formed writes aimed at one
+    // store; the store applies them under a single lock acquisition,
+    // grouped by shard.
+    std::vector<WriteOp> ops;
+    std::uint32_t sid = 0;
+    std::size_t n = 0;
+    while (first + n < batch.size() &&
+           batch[first + n].op == static_cast<std::uint8_t>(Op::kWrite)) {
+        const Request &req = batch[first + n];
+        WireReader r(req.payload);
+        std::uint32_t s = 0;
+        std::uint64_t addr = 0;
+        std::uint32_t len = 0;
+        std::span<const std::uint8_t> data;
+        if (!r.u32(&s) || !r.u64(&addr) || !r.u32(&len) ||
+            !r.bytes(len, &data) || !r.done())
+            break;
+        if (n > 0 && s != sid)
+            break;
+        sid = s;
+        WriteOp op;
+        op.addr = addr;
+        op.data.assign(data.begin(), data.end());
+        ops.push_back(std::move(op));
+        ++n;
+    }
+    if (n == 0) {
+        appendReply(replies, Status::kError,
+                    std::string("malformed write request"));
+        return 1;
+    }
+    ServeStore *s = store(sid);
+    if (s == nullptr) {
+        for (std::size_t i = 0; i < n; ++i)
+            appendReply(replies, Status::kError,
+                        std::string("no such store"));
+        return n;
+    }
+    std::vector<StoreOutcome> fates;
+    std::string err;
+    const StoreOutcome overall =
+        s->applyWriteBatch(ops, &fates, &err);
+    if (overall == StoreOutcome::kCorrupt)
+        verifyFailures_.fetch_add(1);
+    for (std::size_t i = 0; i < n; ++i) {
+        switch (fates[i]) {
+        case StoreOutcome::kOk:
+            appendReply(replies, Status::kOk, kNoBytes);
+            break;
+        case StoreOutcome::kCorrupt:
+            appendReply(replies, Status::kCorrupt, err);
+            break;
+        case StoreOutcome::kBadRequest:
+            appendReply(replies, Status::kError, err);
+            break;
+        default:
+            appendReply(replies, Status::kError,
+                        std::string("not applied: batch aborted"));
+            break;
+        }
+    }
+    return n;
+}
+
+// ------------------------------------------------------------- shared
+
+void
+Server::requestAttention(const ConnPtr &conn)
+{
+    {
+        MutexLock lock(attnMu_);
+        attn_.push_back(conn);
+    }
+    wake();
+}
+
+void
+Server::wake()
+{
+    const std::uint64_t one = 1;
+    const ssize_t r = ::write(wakeFd_, &one, sizeof one);
+    (void)r;
+}
+
+void
+Server::sendPending(Connection &conn)
+{
+    while (!conn.outbuf.empty()) {
+        const ssize_t r = ::send(conn.fd, conn.outbuf.data(),
+                                 conn.outbuf.size(), MSG_NOSIGNAL);
+        if (r > 0) {
+            bytesOut_.fetch_add(static_cast<std::uint64_t>(r));
+            conn.outbuf.erase(conn.outbuf.begin(),
+                              conn.outbuf.begin() + r);
+            continue;
+        }
+        if (r < 0 && errno == EINTR)
+            continue;
+        if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            return;
+        // Peer is gone; nothing left to deliver.
+        conn.outbuf.clear();
+        conn.closing = true;
+        return;
+    }
+}
+
+} // namespace cmt::serve

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * The cmt_served network core: epoll event loop + worker pool over
+ * unix-domain stream sockets.
+ *
+ * Threading model (three roles, two lock levels):
+ *
+ *  - One epoll thread owns every socket: it accepts, reads bytes into
+ *    per-connection input buffers, parses complete frames into the
+ *    connection's pending FIFO, and flushes reply bytes. It is the
+ *    only thread that calls epoll_ctl or destroys connections, so fd
+ *    lifetime needs no cross-thread reasoning.
+ *  - N worker threads pop *connections* (not requests) from a ready
+ *    queue, drain a bounded batch from the connection's FIFO, execute
+ *    it against the stores, and append framed replies to the
+ *    connection's output buffer. Queueing connections - each
+ *    scheduled at most once - preserves per-connection request order
+ *    with any worker count.
+ *  - Workers and the epoll thread hand each other connections through
+ *    an eventfd-woken attention list.
+ *
+ * Lock order is Connection::mu before queueMu_/attnMu_ (never the
+ * reverse). Backpressure is bounded end to end: a connection whose
+ * FIFO reaches queueDepth has EPOLLIN parked until a worker drains it
+ * below half, so a flooding client stalls only itself while the
+ * socket's own buffer absorbs the rest.
+ *
+ * Graceful shutdown (requestStop(), a kShutdown request, or a signal
+ * handler - the signal path is async-signal-safe: one atomic store
+ * and one eventfd write) stops accepting, lets workers finish every
+ * queued request, flushes every reply, then joins. The daemon then
+ * saves store state through ServeStore::saveState().
+ */
+
+#ifndef CMT_SERVE_SERVER_H
+#define CMT_SERVE_SERVER_H
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "serve/store.h"
+#include "support/thread_annotations.h"
+
+namespace cmt::serve
+{
+
+/** Daemon tuning knobs. */
+struct ServeConfig
+{
+    /** Filesystem path of the listening socket (<= ~100 chars: the
+     *  kernel's sun_path limit). */
+    std::string socketPath;
+    /** Worker threads executing requests. */
+    unsigned workers = 2;
+    /** Per-connection pending-request cap before EPOLLIN is parked. */
+    std::size_t queueDepth = 64;
+    /** Max requests a worker drains from one connection per turn. */
+    std::size_t batchMax = 32;
+};
+
+/** One parsed request frame (opcode left raw so unknown opcodes can
+ *  round-trip into an error reply; 0 marks a framing error that needs
+ *  an in-order reply before the connection closes). */
+struct Request
+{
+    std::uint8_t op = 0;
+    std::vector<std::uint8_t> payload;
+};
+
+/** The daemon core. Register stores, start(), then waitUntilStopped(). */
+class Server
+{
+  public:
+    explicit Server(ServeConfig config);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Register a store before start(); the returned id is the wire
+     * store id (registration order from 0).
+     */
+    std::uint32_t addStore(std::unique_ptr<ServeStore> store);
+
+    /** Store by wire id; nullptr when out of range. */
+    ServeStore *store(std::uint32_t id);
+    std::size_t storeCount() const { return stores_.size(); }
+
+    /**
+     * Bind the socket and launch the epoll + worker threads.
+     * @return false with @p err set when the socket cannot be bound
+     * (path too long, address in use by a live daemon, permissions).
+     */
+    bool start(std::string *err);
+
+    /**
+     * Ask the daemon to stop: finish queued requests, flush replies,
+     * exit the threads. Async-signal-safe (atomic store + eventfd
+     * write), so signal handlers may call it directly.
+     */
+    void requestStop();
+
+    /** Block until every daemon thread has exited. */
+    void waitUntilStopped();
+
+    /** True between a successful start() and thread exit. */
+    bool running() const { return running_.load(); }
+
+    /** Server-wide counters (lock-free snapshot). */
+    ServerStats statsSnapshot() const;
+
+  private:
+    /**
+     * Per-connection state. The input buffer and the epoll interest
+     * bookkeeping (paused/wantOut) belong to the epoll thread alone;
+     * everything workers share sits behind mu. Destroyed only by the
+     * epoll thread, and only once no worker holds it scheduled.
+     */
+    struct Connection
+    {
+        explicit Connection(int fd_in) : fd(fd_in) {}
+        ~Connection();
+        Connection(const Connection &) = delete;
+        Connection &operator=(const Connection &) = delete;
+
+        const int fd;
+
+        // Epoll thread only.
+        std::vector<std::uint8_t> inbuf;
+        std::uint32_t armed = 0; ///< epoll events currently registered
+        bool stopRead = false;   ///< framing error: never read again
+
+        Mutex mu;
+        /** Parsed requests awaiting a worker, arrival order. */
+        std::deque<Request> pending CMT_GUARDED_BY(mu);
+        /** Framed reply bytes not yet accepted by the socket. */
+        std::vector<std::uint8_t> outbuf CMT_GUARDED_BY(mu);
+        /** In the ready queue or being served (at most one worker). */
+        bool scheduled CMT_GUARDED_BY(mu) = false;
+        /** Peer is gone, or we decided to close after flushing. */
+        bool closing CMT_GUARDED_BY(mu) = false;
+    };
+    using ConnPtr = std::shared_ptr<Connection>;
+
+    // --- epoll thread ------------------------------------------------
+    void epollLoop();
+    void acceptAll();
+    void handleReadable(const ConnPtr &conn);
+    void handleWritable(const ConnPtr &conn);
+    void parseFrames(const ConnPtr &conn);
+    void processAttention();
+    /** Re-examine one connection's epoll interest + lifetime. */
+    void reconcile(const ConnPtr &conn);
+    void updateInterest(const ConnPtr &conn, bool want_in,
+                        bool want_out);
+    void destroyConnection(const ConnPtr &conn);
+    bool drainFinished();
+
+    // --- worker threads ----------------------------------------------
+    void workerLoop();
+    void serveBatch(const ConnPtr &conn);
+    void executeRequest(const Request &request,
+                        std::vector<std::uint8_t> &replies);
+    /** Coalesce a run of kWrite requests to one store; returns the
+     *  number of batch entries consumed (>= 1). */
+    std::size_t executeWriteRun(const std::vector<Request> &batch,
+                                std::size_t first,
+                                std::vector<std::uint8_t> &replies);
+
+    // --- shared ------------------------------------------------------
+    /** Queue @p conn for the epoll thread's attention and wake it. */
+    void requestAttention(const ConnPtr &conn);
+    void wake();
+    /** Flush as much of outbuf as the socket accepts right now. */
+    void sendPending(Connection &conn) CMT_REQUIRES(conn.mu);
+
+    ServeConfig config_;
+    std::vector<std::unique_ptr<ServeStore>> stores_;
+
+    int listenFd_ = -1;
+    int epollFd_ = -1;
+    int wakeFd_ = -1;
+
+    std::thread epollThread_;
+    std::vector<std::thread> workers_;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopping_{false};
+
+    /** Connections scheduled for worker service (each at most once). */
+    Mutex queueMu_;
+    CondVar queueCv_;
+    std::deque<ConnPtr> ready_ CMT_GUARDED_BY(queueMu_);
+
+    /** Connections the epoll thread must reconcile after a wake. */
+    Mutex attnMu_;
+    std::vector<ConnPtr> attn_ CMT_GUARDED_BY(attnMu_);
+
+    /** Live connections by fd; epoll thread only. */
+    std::unordered_map<int, ConnPtr> conns_;
+
+    std::atomic<std::uint64_t> connections_{0};
+    std::atomic<std::uint64_t> requests_{0};
+    std::atomic<std::uint64_t> verifyFailures_{0};
+    std::atomic<std::uint64_t> bytesIn_{0};
+    std::atomic<std::uint64_t> bytesOut_{0};
+};
+
+} // namespace cmt::serve
+
+#endif // CMT_SERVE_SERVER_H

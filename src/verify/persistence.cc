@@ -1,9 +1,11 @@
 #include "verify/persistence.h"
 
+#include <cerrno>
 // cmt-lint: allow(stdout-discipline) - atomic rename needs std::rename
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "crypto/md5.h"
@@ -22,6 +24,11 @@ namespace
 constexpr char kRamMagic[8] = {'C', 'M', 'T', 'R', 'A', 'M', '0', '1'};
 constexpr char kRootMagic[8] = {'C', 'M', 'T', 'R', 'T', 'S', '0', '2'};
 
+/**
+ * Unwind-path cleanup only. Save paths must go through closeOrDie():
+ * fclose() flushes stdio's buffer, so an ENOSPC/EIO surfacing there
+ * is a failed save, and a destructor has no way to report it.
+ */
 struct FileCloser
 {
     void
@@ -40,6 +47,53 @@ openOrDie(const std::string &path, const char *mode)
     if (!f)
         cmt_fatal("cannot open '%s' (%s)", path.c_str(), mode);
     return f;
+}
+
+/**
+ * Flush and close a written file, checking both verdicts: a buffered
+ * write that failed earlier (ferror), a flush that hits a full disk,
+ * or a close whose final implicit flush fails must all abort the save
+ * loudly instead of leaving a silently short file behind.
+ */
+void
+closeOrDie(File f, const std::string &path)
+{
+    std::FILE *raw = f.release();
+    const bool flushed = std::fflush(raw) == 0;
+    const bool healthy = std::ferror(raw) == 0;
+    const bool closed = std::fclose(raw) == 0;
+    if (!flushed || !healthy || !closed)
+        cmt_fatal("write to '%s' failed (%s): disk full or I/O error",
+                  path.c_str(), std::strerror(errno));
+}
+
+/** The crash stage injected by setSaveCrashStage(), if any. */
+std::string &
+crashStage()
+{
+    static std::string stage;
+    return stage;
+}
+
+/** Die (via cmt_fatal) when the injected crash stage matches. */
+void
+maybeCrashAt(const char *stage)
+{
+    if (crashStage() == stage)
+        cmt_fatal("injected crash at save stage '%s'", stage);
+}
+
+/**
+ * Atomically publish @p tmp as @p path. Only the rename makes the new
+ * state visible: a crash anywhere before it leaves the previous image
+ * untouched, and a failed rename must not pretend the save happened.
+ */
+void
+commitOrDie(const std::string &tmp, const std::string &path)
+{
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        cmt_fatal("cannot publish '%s' over '%s' (%s)", tmp.c_str(),
+                  path.c_str(), std::strerror(errno));
 }
 
 void
@@ -96,15 +150,29 @@ fingerprint(const MerkleMemory &memory)
 } // namespace
 
 void
+setSaveCrashStage(const char *stage)
+{
+    crashStage() = stage == nullptr ? "" : stage;
+}
+
+void
 saveUntrustedImage(MerkleMemory &memory, const BackingStore &ram,
                    const std::string &ram_path)
 {
     memory.flush();
-    File f = openOrDie(ram_path, "wb");
-    std::fwrite(kRamMagic, 1, sizeof(kRamMagic), f.get());
+
+    // Never write the final path in place: a crash (or ENOSPC) midway
+    // would destroy the last good snapshot. Build the new image under
+    // a tmp name and only rename() it over once fully flushed.
+    const std::string tmp = ram_path + ".tmp";
+    File f = openOrDie(tmp, "wb");
+    if (std::fwrite(kRamMagic, 1, sizeof(kRamMagic), f.get()) !=
+        sizeof(kRamMagic))
+        cmt_fatal("short write during RAM save");
 
     const auto &pages = ram.pages();
     put64(f.get(), pages.size());
+    maybeCrashAt("image-mid-write");
     for (const auto &[index, bytes] : pages) {
         put64(f.get(), index);
         if (std::fwrite(bytes.data(), 1, bytes.size(), f.get()) !=
@@ -116,6 +184,10 @@ saveUntrustedImage(MerkleMemory &memory, const BackingStore &ram,
     put64(f.get(), touched.size());
     for (const std::uint64_t chunk : touched)
         put64(f.get(), chunk);
+
+    closeOrDie(std::move(f), tmp);
+    maybeCrashAt("image-pre-rename");
+    commitOrDie(tmp, ram_path);
 }
 
 void
@@ -143,13 +215,23 @@ saveTrustedRoots(MerkleMemory &memory, const std::string &root_path)
     }
     const Hash128 digest = Md5::digest(payload);
 
-    File f = openOrDie(root_path, "wb");
-    std::fwrite(kRootMagic, 1, sizeof(kRootMagic), f.get());
+    // Same tmp + flush + rename discipline as the RAM image: the
+    // previous root file stays intact until the new one is durable.
+    const std::string tmp = root_path + ".tmp";
+    File f = openOrDie(tmp, "wb");
+    if (std::fwrite(kRootMagic, 1, sizeof(kRootMagic), f.get()) !=
+        sizeof(kRootMagic))
+        cmt_fatal("short write during root save");
+    maybeCrashAt("roots-mid-write");
     if (std::fwrite(payload.data(), 1, payload.size(), f.get()) !=
             payload.size() ||
         std::fwrite(digest.data(), 1, digest.size(), f.get()) !=
             digest.size())
         cmt_fatal("short write during root save");
+
+    closeOrDie(std::move(f), tmp);
+    maybeCrashAt("roots-pre-rename");
+    commitOrDie(tmp, root_path);
 }
 
 void

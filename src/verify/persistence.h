@@ -13,6 +13,14 @@
  *   <ram_path>   : the untrusted image (sparse pages + touched set)
  *   <root_path>  : the trusted root registers + geometry fingerprint
  *
+ * Both saves are crash-safe: the new state is written to
+ * `<path>.tmp`, flushed and close-checked (so a buffered ENOSPC
+ * surfaces as a fatal error, never a silently short file), and only
+ * then rename()d over the final path. A process killed at any point
+ * of a save leaves the previous snapshot byte-identical on disk - at
+ * worst with a stale `.tmp` beside it, which the next successful
+ * save overwrites.
+ *
  * The root file (format CMTRTS02) stores one record per shard - the
  * shard index followed by its root registers - and ends with an MD5
  * digest over the whole payload. A crash between two per-shard root
@@ -56,6 +64,17 @@ void saveTrustedRoots(MerkleMemory &memory,
 void loadState(MerkleMemory &memory, BackingStore &ram,
                const std::string &ram_path,
                const std::string &root_path);
+
+/**
+ * Test seam: make the next saves die (via cmt_fatal, so a
+ * ScopedThrowOnError guard turns the death into a SimError) at a
+ * named stage, simulating a process killed mid-save. Stages:
+ * "image-mid-write", "image-pre-rename", "roots-mid-write",
+ * "roots-pre-rename". Pass nullptr (or "") to disarm. The
+ * crash-consistency suite uses this to prove the previous snapshot
+ * survives a death at every stage.
+ */
+void setSaveCrashStage(const char *stage);
 
 } // namespace cmt
 

@@ -1,0 +1,159 @@
+/** @file Wire-protocol unit tests: framing, cursor, stats packing. */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+
+namespace cmt::serve
+{
+namespace
+{
+
+TEST(WireEncoding, IntegersRoundTripLittleEndian)
+{
+    std::vector<std::uint8_t> buf;
+    appendU32(buf, 0x04030201u);
+    appendU64(buf, 0x0807060504030201ull);
+    ASSERT_EQ(buf.size(), 12u);
+    // Little-endian on the wire, byte for byte.
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(buf[static_cast<std::size_t>(i)], i + 1);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(buf[4 + static_cast<std::size_t>(i)], i + 1);
+    EXPECT_EQ(readU32(buf.data()), 0x04030201u);
+    EXPECT_EQ(readU64(buf.data() + 4), 0x0807060504030201ull);
+}
+
+TEST(WireEncoding, FrameRequestLayout)
+{
+    const std::uint8_t payload[] = {0xaa, 0xbb, 0xcc};
+    const std::vector<std::uint8_t> frame =
+        frameRequest(Op::kRead, payload);
+    ASSERT_EQ(frame.size(), kHeaderBytes + 1 + 3);
+    // Length covers opcode + payload, not the header itself.
+    EXPECT_EQ(readU32(frame.data()), 4u);
+    EXPECT_EQ(frame[4], static_cast<std::uint8_t>(Op::kRead));
+    EXPECT_EQ(frame[5], 0xaa);
+    EXPECT_EQ(frame[7], 0xcc);
+}
+
+TEST(WireEncoding, AppendReplySpanAndStringAgree)
+{
+    std::vector<std::uint8_t> a;
+    std::vector<std::uint8_t> b;
+    const std::string msg = "nope";
+    appendReply(a, Status::kError, msg);
+    appendReply(b, Status::kError,
+                std::span<const std::uint8_t>(
+                    reinterpret_cast<const std::uint8_t *>(msg.data()),
+                    msg.size()));
+    EXPECT_EQ(a, b);
+    ASSERT_EQ(a.size(), kHeaderBytes + 1 + msg.size());
+    EXPECT_EQ(readU32(a.data()), 1 + msg.size());
+    EXPECT_EQ(a[4], static_cast<std::uint8_t>(Status::kError));
+}
+
+TEST(WireReaderTest, SequentialReadsConsumeExactly)
+{
+    std::vector<std::uint8_t> buf;
+    appendU8(buf, 0x7f);
+    appendU32(buf, 123456u);
+    appendU64(buf, 0xdeadbeefcafef00dull);
+    WireReader r(buf);
+    std::uint8_t u8v = 0;
+    std::uint32_t u32v = 0;
+    std::uint64_t u64v = 0;
+    ASSERT_TRUE(r.u8(&u8v));
+    ASSERT_TRUE(r.u32(&u32v));
+    ASSERT_TRUE(r.u64(&u64v));
+    EXPECT_EQ(u8v, 0x7f);
+    EXPECT_EQ(u32v, 123456u);
+    EXPECT_EQ(u64v, 0xdeadbeefcafef00dull);
+    EXPECT_TRUE(r.done());
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(WireReaderTest, OverReadPoisonsPermanently)
+{
+    std::vector<std::uint8_t> buf;
+    appendU32(buf, 9u);
+    WireReader r(buf);
+    std::uint64_t u64v = 0;
+    EXPECT_FALSE(r.u64(&u64v)); // only 4 bytes available
+    // Poisoned: even a fitting read must now fail.
+    std::uint8_t u8v = 0;
+    EXPECT_FALSE(r.u8(&u8v));
+    EXPECT_FALSE(r.ok());
+    EXPECT_FALSE(r.done());
+}
+
+TEST(WireReaderTest, TrailingBytesFailDone)
+{
+    std::vector<std::uint8_t> buf;
+    appendU32(buf, 1u);
+    appendU8(buf, 0x55);
+    WireReader r(buf);
+    std::uint32_t u32v = 0;
+    ASSERT_TRUE(r.u32(&u32v));
+    EXPECT_TRUE(r.ok());
+    EXPECT_FALSE(r.done()) << "one unread byte must fail done()";
+}
+
+TEST(WireReaderTest, BytesAndRestViews)
+{
+    const std::uint8_t raw[] = {1, 2, 3, 4, 5};
+    WireReader r(raw);
+    std::span<const std::uint8_t> head;
+    ASSERT_TRUE(r.bytes(2, &head));
+    ASSERT_EQ(head.size(), 2u);
+    EXPECT_EQ(head[0], 1);
+    EXPECT_EQ(head[1], 2);
+    const std::span<const std::uint8_t> tail = r.rest();
+    ASSERT_EQ(tail.size(), 3u);
+    EXPECT_EQ(tail[0], 3);
+    EXPECT_EQ(tail[2], 5);
+    EXPECT_TRUE(r.done());
+}
+
+TEST(StatsPacking, RoundTrip)
+{
+    ServerStats in;
+    in.connections = 3;
+    in.requests = 1000;
+    in.readOps = 400;
+    in.writeOps = 600;
+    in.verifyFailures = 1;
+    in.bytesIn = 123456789ull;
+    in.bytesOut = 987654321ull;
+    const std::vector<std::uint8_t> packed = packStats(in);
+    ASSERT_EQ(packed.size(), 7u * 8u);
+    ServerStats out;
+    ASSERT_TRUE(unpackStats(packed, &out));
+    EXPECT_EQ(out.connections, in.connections);
+    EXPECT_EQ(out.requests, in.requests);
+    EXPECT_EQ(out.readOps, in.readOps);
+    EXPECT_EQ(out.writeOps, in.writeOps);
+    EXPECT_EQ(out.verifyFailures, in.verifyFailures);
+    EXPECT_EQ(out.bytesIn, in.bytesIn);
+    EXPECT_EQ(out.bytesOut, in.bytesOut);
+}
+
+TEST(StatsPacking, RejectsShortAndOversizedBuffers)
+{
+    const std::vector<std::uint8_t> packed = packStats(ServerStats{});
+    ServerStats out;
+    std::vector<std::uint8_t> shortBuf(packed.begin(),
+                                       packed.end() - 1);
+    EXPECT_FALSE(unpackStats(shortBuf, &out));
+    std::vector<std::uint8_t> longBuf = packed;
+    longBuf.push_back(0);
+    EXPECT_FALSE(unpackStats(longBuf, &out));
+}
+
+} // namespace
+} // namespace cmt::serve

@@ -216,6 +216,107 @@ TEST(CrashConsistencyTest, OutOfOrderShardRecordsRejected)
     EXPECT_THROW(loadState(mm, ram, p.ram, p.roots), SimError);
 }
 
+/** Disarm the injected save crash even when an assertion fails. */
+struct CrashStageGuard
+{
+    explicit CrashStageGuard(const char *stage)
+    {
+        setSaveCrashStage(stage);
+    }
+    ~CrashStageGuard() { setSaveCrashStage(nullptr); }
+};
+
+/** Write one recognisable value per shard and persist. */
+void
+saveEpoch(const Paths &p, std::uint64_t tag)
+{
+    BackingStore ram;
+    MerkleMemory mm(ram, shardedConfig());
+    const std::uint64_t span = mm.size() / 4;
+    for (unsigned s = 0; s < 4; ++s)
+        mm.store64(s * span + 64, tag + s);
+    saveUntrustedImage(mm, ram, p.ram);
+    saveTrustedRoots(mm, p.roots);
+}
+
+/** The files must still hold exactly epoch @p tag. */
+void
+expectEpochLoads(const Paths &p, std::uint64_t tag)
+{
+    BackingStore ram;
+    MerkleMemory mm(ram, shardedConfig());
+    loadState(mm, ram, p.ram, p.roots);
+    const std::uint64_t span = mm.size() / 4;
+    for (unsigned s = 0; s < 4; ++s)
+        EXPECT_EQ(mm.load64(s * span + 64), tag + s);
+    mm.flush();
+    EXPECT_TRUE(mm.verifyAll());
+}
+
+// A process killed at any stage of a re-save - while the tmp file is
+// still being filled, or with the tmp complete but not yet renamed -
+// must leave the previous snapshot loadable and byte-consistent. This
+// is the regression test for the old clobber-on-save behaviour, which
+// opened the final path with "wb" and destroyed it before the new
+// state was durable.
+TEST(CrashConsistencyTest, KillMidSaveKeepsPreviousSnapshot)
+{
+    for (const char *stage :
+         {"image-mid-write", "image-pre-rename", "roots-mid-write",
+          "roots-pre-rename"}) {
+        SCOPED_TRACE(stage);
+        Paths p("killmidsave");
+        saveEpoch(p, 100); // epoch A, fully durable
+
+        {
+            // Epoch B's save dies at the injected stage. Each save
+            // call is individually atomic, so the crash is armed for
+            // exactly one call: the interrupted file must keep its
+            // epoch A content and the other file is never touched.
+            BackingStore ram;
+            MerkleMemory mm(ram, shardedConfig());
+            const std::uint64_t span = mm.size() / 4;
+            for (unsigned s = 0; s < 4; ++s)
+                mm.store64(s * span + 64, 200 + s);
+            ScopedThrowOnError sim_guard;
+            CrashStageGuard crash_guard(stage);
+            if (std::string(stage).rfind("image", 0) == 0)
+                EXPECT_THROW(saveUntrustedImage(mm, ram, p.ram),
+                             SimError);
+            else
+                EXPECT_THROW(saveTrustedRoots(mm, p.roots), SimError);
+        }
+
+        expectEpochLoads(p, 100);
+    }
+}
+
+// A stale .tmp left behind by a crashed save must not poison the next
+// successful save: epoch B fully saved over the debris loads as B.
+TEST(CrashConsistencyTest, StaleTmpFromCrashedSaveIsHarmless)
+{
+    Paths p("staletmp");
+    saveEpoch(p, 300); // epoch A
+    {
+        BackingStore ram;
+        MerkleMemory mm(ram, shardedConfig());
+        mm.store64(64, 999);
+        ScopedThrowOnError sim_guard;
+        CrashStageGuard crash_guard("roots-pre-rename");
+        saveUntrustedImage(mm, ram, p.ram);
+        EXPECT_THROW(saveTrustedRoots(mm, p.roots), SimError);
+    }
+    // The RAM image committed (epoch B's image + epoch A's roots on
+    // disk): a torn *pair* like this fails root verification on load,
+    // which is exactly the detection the tree exists to provide. A
+    // fresh full save then supersedes everything, including the stale
+    // roots tmp file.
+    saveEpoch(p, 400);
+    expectEpochLoads(p, 400);
+    std::remove((p.ram + ".tmp").c_str());
+    std::remove((p.roots + ".tmp").c_str());
+}
+
 // Roots saved under one shard geometry must not load under another:
 // the fingerprint folds the shard count.
 TEST(CrashConsistencyTest, ShardCountMismatchRejected)
